@@ -1,0 +1,42 @@
+"""EX310/FIG4 -- Example 3.10 and Figure 4: the procedure IMPLIES in action.
+
+Reproduces the paper's worked run of the decision procedure:
+
+- tau' does not imply tau, refuted on the pattern p''_2 whose canonical
+  instances are I = {S1(a1), S2(a2), S2(a2')} and
+  J = {R(a2, f(a1)), R(a2', f(a1))};
+- tau'' implies tau, with the homomorphism [f(a1) -> a1] closing the check;
+- the clone bounds are k = 2 for tau' and k = 3 for tau''.
+"""
+
+from repro.core.implication import implies_tgd
+from repro.core.patterns import Pattern
+
+
+def test_ex310_tau_prime_refuted(benchmark, tau_310, tau_prime_310):
+    result = benchmark(implies_tgd, [tau_prime_310], tau_310)
+    assert not result.holds
+    assert result.k == 2
+    # the refuting pattern needs at least two S2 triggerings
+    assert result.failing_pattern.node_count >= 3
+    assert len(result.counterexample_source.facts_of("S2")) >= 2
+
+
+def test_ex310_tau_double_prime_implied(benchmark, tau_310, tau_dprime_310):
+    result = benchmark(implies_tgd, [tau_dprime_310], tau_310)
+    assert result.holds
+    assert result.k == 3
+    # the complete set P_3(tau) = {p', p'', p''_2, p''_3} was checked
+    assert result.patterns_checked == 4
+
+
+def test_fig4_pattern_set(benchmark, tau_310):
+    from repro.core.patterns import enumerate_k_patterns
+
+    patterns = benchmark(enumerate_k_patterns, tau_310, 3)
+    assert patterns == [
+        Pattern(1),
+        Pattern(1, (Pattern(2),)),
+        Pattern(1, (Pattern(2), Pattern(2))),
+        Pattern(1, (Pattern(2), Pattern(2), Pattern(2))),
+    ]

@@ -1,0 +1,65 @@
+"""EX53 -- Example 5.3: legal canonical instances under source egds.
+
+Cloning the inner part of the Example 5.3 tgd produces a canonical source
+instance that violates the source egd (P1 functional in its first argument);
+the *legal* canonical instances of Definition 5.4 chase the egd in, merging
+the cloned P1 values, and replay the equalities inside the target's Skolem
+nulls.  With the egd, implication reasoning changes (Theorem 5.7) and the
+boundedness analysis uses the legal instances (Theorem 5.5).
+"""
+
+from repro.core.canonical import canonical_instances, legal_canonical_instances
+from repro.core.fblock_analysis import decide_bounded_fblock_size
+from repro.core.implication import implies
+from repro.core.patterns import Pattern
+from repro.engine.egd_chase import satisfies_egds
+from repro.logic.parser import parse_egd, parse_nested_tgd, parse_tgd
+
+
+CLONED = Pattern(1, (Pattern(2), Pattern(2)))
+
+
+def test_ex53_plain_canonical_violates_egd(benchmark, sigma_53, egd_53):
+    canon = benchmark(canonical_instances, CLONED, sigma_53)
+    assert not satisfies_egds(canon.source, [egd_53])
+
+
+def test_ex53_legal_canonical_satisfies_egd(benchmark, sigma_53, egd_53):
+    canon = benchmark(legal_canonical_instances, CLONED, sigma_53, [egd_53])
+    assert satisfies_egds(canon.source, [egd_53])
+    assert len(canon.source) == 4  # the two P1 atoms merged
+    # the merged constant reached into the target atoms
+    p1_value = canon.source.facts_of("P1")[0].args[1]
+    assert all(p1_value in f.args for f in canon.target)
+
+
+def test_ex53_implication_flips_with_egd(benchmark):
+    """Theorem 5.7's phenomenon: an implication that holds only relative to
+    sources satisfying the key."""
+    sigma = parse_tgd("S(x,y) -> R2(y,y)")
+    target = parse_tgd("S(x,y) & S(x,z) -> R2(y,z)")
+    egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+
+    def both():
+        return (
+            implies([sigma], target),
+            implies([sigma], target, source_egds=[egd]),
+        )
+
+    without, with_egd = benchmark(both)
+    assert not without and with_egd
+
+
+def test_ex53_boundedness_flips_with_egd(benchmark):
+    """Theorem 5.5/5.6's phenomenon on a one-variable variant."""
+    tgd = parse_nested_tgd("Q(z) -> exists y . (P(z,x) -> R(y,x))")
+    egd = parse_egd("P(z,x) & P(z,xp) -> x = xp")
+
+    def both():
+        return (
+            decide_bounded_fblock_size([tgd]).bounded,
+            decide_bounded_fblock_size([tgd], source_egds=[egd]).bounded,
+        )
+
+    without, with_egd = benchmark(both)
+    assert not without and with_egd

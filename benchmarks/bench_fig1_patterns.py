@@ -1,0 +1,35 @@
+"""FIG1 -- Figure 1 of the paper: the eight 1-patterns of the tgd sigma (*).
+
+Regenerates ``P_1(sigma)`` and measures the enumeration.  The paper displays
+the patterns p1 .. p8; we assert the exact set.
+"""
+
+from repro.core.patterns import Pattern, one_patterns
+
+
+EXPECTED = {
+    Pattern(1),
+    Pattern(1, (Pattern(2),)),
+    Pattern(1, (Pattern(3),)),
+    Pattern(1, (Pattern(2), Pattern(3))),
+    Pattern(1, (Pattern(3, (Pattern(4),)),)),
+    Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),)))),
+    Pattern(1, (Pattern(3), Pattern(3, (Pattern(4),)))),
+    Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),)))),
+}
+
+
+def test_fig1_one_pattern_enumeration(benchmark, sigma_star):
+    patterns = benchmark(one_patterns, sigma_star)
+    assert len(patterns) == 8
+    assert set(patterns) == EXPECTED
+
+
+def test_fig1_two_pattern_enumeration(benchmark, sigma_star):
+    from repro.core.patterns import enumerate_k_patterns
+
+    patterns = benchmark(enumerate_k_patterns, sigma_star, 2)
+    # |P*_2(s4)| = 1, |P*_2(s3)| = 3, |P*_2(s2)| = 1
+    # |P_2| = 3^1 (s2 multiplicities) * 3^3 (s3-tree multiplicities) = 81
+    assert len(patterns) == 81
+    assert all(p.is_k_pattern(2) for p in patterns)

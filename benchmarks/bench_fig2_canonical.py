@@ -1,0 +1,32 @@
+"""FIG2 -- Figure 2 of the paper: canonical source and target instances of p8.
+
+Regenerates ``I_{p8}`` and ``J_{p8}`` for the full 1-pattern of sigma (*) and
+measures the construction.  Figure 2 shows I_{p8} with the five source atoms
+S1(a1); S2(a2); S3(a1,a3); S3(a1,a4); S4(a4,a5) and J_{p8} with the four
+target atoms R2(f(a1),a2); R3(f(a1),a3); R3(f(a1),a4); R4(g(a1,a4,a5),a5).
+"""
+
+from collections import Counter
+
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import Pattern
+
+
+P8 = Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),))))
+
+
+def test_fig2_canonical_instances(benchmark, sigma_star):
+    canon = benchmark(canonical_instances, P8, sigma_star)
+    assert Counter(f.relation for f in canon.source) == Counter(
+        {"S1": 1, "S2": 1, "S3": 2, "S4": 1}
+    )
+    assert Counter(f.relation for f in canon.target) == Counter(
+        {"R2": 1, "R3": 2, "R4": 1}
+    )
+    # the null f(x1) is shared by R2 and both R3 facts; R4 has its own g-null
+    nulls = [n for f in canon.target for n in f.nulls()]
+    counts = sorted(Counter(nulls).values())
+    assert counts == [1, 3]
+    # the g-null records the full ancestor assignment (arity 3)
+    g_null = next(n for n in nulls if Counter(nulls)[n] == 1)
+    assert g_null.arity == 3

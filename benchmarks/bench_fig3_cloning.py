@@ -1,0 +1,40 @@
+"""FIG3 -- Figure 3 of the paper: a 3-pattern obtained by cloning, and its
+canonical source instance.
+
+The figure shows p8 with one clone of the node sigma_2 and two clones of the
+node sigma_4: the canonical source then has one extra S2 atom and two extra
+S4 atoms (each S4 clone binding a fresh x4 under the same x3).
+"""
+
+from collections import Counter
+
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import Pattern
+
+
+def build_fig3_pattern() -> Pattern:
+    p8 = Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),))))
+    cloned = p8.with_extra_clone((0,))  # one clone of sigma_2 (children sorted)
+    deep_index = next(
+        i for i, child in enumerate(cloned.children) if child.children
+    )
+    return cloned.with_clones((deep_index, 0), 2)  # two clones of sigma_4
+
+
+def test_fig3_pattern_shape(benchmark, sigma_star):
+    pattern = benchmark(build_fig3_pattern)
+    assert pattern.node_count == 8
+    assert pattern.is_k_pattern(3)
+    assert not pattern.is_k_pattern(2)
+    pattern.validate_against(sigma_star)
+
+
+def test_fig3_canonical_source(benchmark, sigma_star):
+    pattern = build_fig3_pattern()
+    canon = benchmark(canonical_instances, pattern, sigma_star)
+    assert Counter(f.relation for f in canon.source) == Counter(
+        {"S1": 1, "S2": 2, "S3": 2, "S4": 3}
+    )
+    # all three S4 clones hang off the same x3 constant
+    s4_parents = {f.args[0] for f in canon.source.facts_of("S4")}
+    assert len(s4_parents) == 1

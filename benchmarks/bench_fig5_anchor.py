@@ -1,0 +1,47 @@
+"""FIG5/EX48 -- Example 4.8 and Figure 5: odd cycles and the bounded anchor.
+
+The SO tgd ``S(x,y) -> R(f(x),f(y)) & R(f(y),f(x))`` turns a directed cycle
+into an undirected cycle.  For odd n, ``core(chase(I_n))`` is the whole
+undirected n-cycle (left of Figure 5); the bounded anchor cannot be found
+among subinstances of I_n (a sub-path collapses to one undirected edge), but
+I_3 -- not a subinstance of I_n -- provides it (right of Figure 5).  This is
+the counterexample to the proof step of [FK12, Theorem 5.2].
+"""
+
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.gaifman import fact_block_size
+from repro.workloads import cycle_instance, path_instance
+
+
+def core_of_cycle(n, so_tgd):
+    return core(chase(cycle_instance(n), so_tgd))
+
+
+def test_fig5_odd_cycle_core(benchmark, so_tgd_48):
+    solution = benchmark(core_of_cycle, 7, so_tgd_48)
+    assert len(solution) == 14
+    assert fact_block_size(solution) == 14
+
+
+def test_fig5_odd_cycle_series(so_tgd_48):
+    """The series the figure depicts: odd cores persist, even cores collapse."""
+    odd = [len(core_of_cycle(n, so_tgd_48)) for n in (3, 5, 7)]
+    even = [len(core_of_cycle(n, so_tgd_48)) for n in (4, 6)]
+    assert odd == [6, 10, 14]
+    assert even == [2, 2]
+
+
+def test_fig5_subinstances_cannot_anchor(benchmark, so_tgd_48):
+    """Any proper subinstance of the cycle (a path) gives a tiny core."""
+
+    def path_core(n):
+        return core(chase(path_instance(n), so_tgd_48))
+
+    solution = benchmark(path_core, 6)
+    assert len(solution) == 2
+
+
+def test_fig5_triangle_is_the_anchor(benchmark, so_tgd_48):
+    solution = benchmark(core_of_cycle, 3, so_tgd_48)
+    assert len(solution) == 6  # |J'| >= |J| = 6, with |I_3| = 3 small

@@ -1,0 +1,57 @@
+"""FIG7/EX415 -- Example 4.15 and Figure 7: same f-blocks, nested-expressible.
+
+The SO tgd ``S(x,y) & Q(z) -> R(f(x,y,z), g(z), x)`` has the same clique
+f-blocks as Example 4.14 on successor+Q sources, but its null graph is a star
+(path length 2, constant), consistent with Theorem 4.16 -- and indeed it is
+logically equivalent to the nested tgd
+``Q(z) -> exists u (S(x,y) -> exists v R(v,u,x))``.
+"""
+
+from repro.core.implication import implies
+from repro.core.separation import (
+    fblock_profile,
+    nested_expressibility_report,
+    path_length_bound,
+)
+from repro.engine.chase import chase
+from repro.engine.homomorphism import homomorphically_equivalent
+from repro.workloads.families import SUCCESSOR_Q_FAMILY
+
+
+def test_fig7_null_graph_path_constant(benchmark, so_tgd_415):
+    profiles = benchmark(
+        fblock_profile, [so_tgd_415], SUCCESSOR_Q_FAMILY, [2, 3, 4, 5]
+    )
+    assert [p.path_length for p in profiles] == [2, 2, 2, 2]
+
+
+def test_fig7_same_fblocks_as_fig6(benchmark, so_tgd_414, so_tgd_415):
+    """The two examples are indistinguishable by f-block size."""
+
+    def both_profiles():
+        left = fblock_profile([so_tgd_414], SUCCESSOR_Q_FAMILY, [3, 4])
+        right = fblock_profile([so_tgd_415], SUCCESSOR_Q_FAMILY, [3, 4])
+        return left, right
+
+    left, right = benchmark(both_profiles)
+    assert [p.fblock_size for p in left] == [p.fblock_size for p in right]
+
+
+def test_ex415_inconclusive_and_equivalent(benchmark, so_tgd_415, nested_415):
+    report = nested_expressibility_report(
+        [so_tgd_415], SUCCESSOR_Q_FAMILY, [2, 3, 4, 5]
+    )
+    assert report.nested_expressible is None  # no necessary condition violated
+
+    # equivalence evidence: IMPLIES one way, chase hom-equivalence on samples
+    assert benchmark(implies, [so_tgd_415], nested_415)
+    for n in (1, 2, 3):
+        source = SUCCESSOR_Q_FAMILY(n)
+        assert homomorphically_equivalent(
+            chase(source, so_tgd_415), chase(source, nested_415)
+        )
+
+
+def test_ex415_nested_path_bound(benchmark, nested_415):
+    """Theorem 4.16's effective bound for the nested tgd: the star's 2."""
+    assert benchmark(path_length_bound, nested_415) == 2

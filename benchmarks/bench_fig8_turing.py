@@ -1,0 +1,66 @@
+"""FIG8/THM51 -- Figure 8 and Theorem 5.1: the Turing-machine enumeration.
+
+Regenerates the triangular enumeration of TM configurations in the chase
+target and exhibits the paper's dichotomy: a halting machine gives an
+origin-connected f-block whose size plateaus regardless of the successor
+length, while a looping machine's block grows (quadratically -- the area of
+the Figure 8 triangle).  The enumeration also has f-degree <= 4 throughout,
+which is the structural fact behind Theorem 5.2.
+"""
+
+from repro.engine.chase import chase_so_tgd
+from repro.engine.gaifman import fblock_degree
+from repro.turing.encoding import run_source_instance
+from repro.turing.machine import halting_machine, looping_machine
+from repro.turing.reduction import build_reduction, enumeration_chain_length
+
+
+def run_enumeration(machine, reduction, n):
+    source = run_source_instance(machine, "", max_steps=n, length=n)
+    target = chase_so_tgd(source, reduction.so_tgd)
+    return target
+
+
+def test_fig8_halting_machine_plateaus(benchmark):
+    machine = halting_machine(3)
+    reduction = build_reduction(machine)
+
+    def chains():
+        return [
+            enumeration_chain_length(reduction, run_enumeration(machine, reduction, n))
+            for n in (5, 7, 9)
+        ]
+
+    lengths = benchmark(chains)
+    assert lengths[0] == lengths[1] == lengths[2] > 0
+
+
+def test_fig8_looping_machine_grows(benchmark):
+    machine = looping_machine()
+    reduction = build_reduction(machine)
+
+    def chains():
+        return [
+            enumeration_chain_length(reduction, run_enumeration(machine, reduction, n))
+            for n in (4, 6, 8)
+        ]
+
+    lengths = benchmark(chains)
+    assert lengths[0] < lengths[1] < lengths[2]
+    # quadratic shape: the triangle of Figure 8
+    assert lengths[2] - lengths[1] > lengths[1] - lengths[0]
+
+
+def test_fig8_bounded_fdegree(benchmark):
+    """Theorem 5.2's hook: growing blocks, f-degree bounded by a constant."""
+    machine = looping_machine()
+    reduction = build_reduction(machine)
+    target = benchmark(run_enumeration, machine, reduction, 8)
+    assert fblock_degree(target) <= 4
+
+
+def test_fig8_key_dependency_is_single(benchmark):
+    reduction = benchmark(build_reduction, halting_machine(2))
+    # one key dependency ("unique predecessor"), and a plain SO tgd
+    assert reduction.key_dependency.name == "unique_predecessor"
+    assert reduction.so_tgd.is_plain()

@@ -1,0 +1,48 @@
+"""MC -- the data-complexity contrast of the introduction.
+
+"The data complexity of the model checking problem of nested tgds is in
+LOGSPACE, while the data complexity of plain SO tgds is NP-complete."
+
+We measure the two checkers on the same growing instances: the nested tgd of
+Example 4.15 and its equivalent plain SO tgd.  The nested checker is a
+first-order recursion (polynomial); the SO checker searches for function
+interpretations (exponential worst case).  The shape to observe is the
+growth-rate gap, not absolute times.
+"""
+
+import pytest
+
+from repro.engine.chase import chase
+from repro.engine.model_check import satisfies_nested, satisfies_so
+from repro.workloads.families import SUCCESSOR_Q_FAMILY
+
+
+def solution_for(dep, n):
+    return SUCCESSOR_Q_FAMILY(n), chase(SUCCESSOR_Q_FAMILY(n), dep)
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_mc_nested_checker(benchmark, nested_415, n):
+    source, target = solution_for(nested_415, n)
+    assert benchmark(satisfies_nested, source, target, nested_415)
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_mc_so_checker(benchmark, so_tgd_415, n):
+    source, target = solution_for(so_tgd_415, n)
+    assert benchmark(satisfies_so, source, target, so_tgd_415)
+
+
+def test_mc_checkers_agree(nested_415, so_tgd_415):
+    """On solutions and non-solutions alike, the two formalisms agree here
+    (the dependencies are logically equivalent)."""
+    from repro.logic.instances import Instance
+
+    for n in (1, 2, 3):
+        source, target = solution_for(nested_415, n)
+        assert satisfies_nested(source, target, nested_415)
+        assert satisfies_so(source, target, so_tgd_415)
+        broken = Instance(list(target)[:-1]) if len(target) else target
+        assert satisfies_nested(source, broken, nested_415) == satisfies_so(
+            source, broken, so_tgd_415
+        )

@@ -1,0 +1,27 @@
+"""PROP413 -- Proposition 4.13: unbounded f-block size, bounded f-degree.
+
+On successor relations, ``S(x,y) -> R(f(x),f(y))`` produces a single f-block
+of the same size as S in which no null occurs more than twice: f-block size
+grows linearly while the f-degree stays at 2.  By Theorem 4.12 this rules out
+equivalence to any nested GLAV mapping.
+"""
+
+from repro.core.separation import fblock_profile, nested_expressibility_report
+from repro.workloads.families import SUCCESSOR_FAMILY
+
+
+SIZES = [2, 4, 6, 8]
+
+
+def test_prop413_profile(benchmark, so_tgd_413):
+    profiles = benchmark(fblock_profile, [so_tgd_413], SUCCESSOR_FAMILY, SIZES)
+    assert [p.fblock_size for p in profiles] == SIZES  # grows with n
+    assert [p.fdegree for p in profiles][1:] == [2, 2, 2]  # the paper's constant
+
+
+def test_prop413_verdict(benchmark, so_tgd_413):
+    report = benchmark(
+        nested_expressibility_report, [so_tgd_413], SUCCESSOR_FAMILY, SIZES
+    )
+    assert report.nested_expressible is False
+    assert "4.12" in report.reason

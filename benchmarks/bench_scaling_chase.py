@@ -1,0 +1,53 @@
+"""SCALE-CHASE -- chase runtime scaling per dependency formalism.
+
+Measures ``chase(I, sigma)`` on successor sources of growing length for a
+flat s-t tgd, the introduction's nested tgd, and a plain SO tgd.  The nested
+tgd's quadratic output (every (x1,x2) root re-scans x3) should dominate the
+linear-output flat and SO tgds.
+"""
+
+import pytest
+
+from repro.engine.chase import chase
+from repro.logic.parser import parse_nested_tgd, parse_so_tgd, parse_tgd
+from repro.workloads import successor_instance
+
+
+FLAT = parse_tgd("S(x,y) -> R(x,z)")
+NESTED = parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+PLAIN_SO = parse_so_tgd("S(x,y) -> R(f(x), f(y))")
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scale_chase_flat(benchmark, n):
+    source = successor_instance(n)
+    result = benchmark(chase, source, FLAT)
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scale_chase_nested(benchmark, n):
+    source = successor_instance(n)
+    result = benchmark(chase, source, NESTED)
+    assert len(result) == n  # on a successor relation each x1 has one x3
+
+def test_scale_chase_nested_fanout(benchmark):
+    """A star source makes the nested tgd's inner part fan out: n roots x n
+    inner triggerings."""
+    from repro.logic.atoms import Atom
+    from repro.logic.instances import Instance
+    from repro.logic.values import Constant
+
+    n = 15
+    star = Instance(
+        Atom("S", (Constant("hub"), Constant(f"v{i}"))) for i in range(n)
+    )
+    result = benchmark(chase, star, NESTED)
+    assert len(result) == n * n
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_scale_chase_plain_so(benchmark, n):
+    source = successor_instance(n)
+    result = benchmark(chase, source, PLAIN_SO)
+    assert len(result) == n

@@ -1,0 +1,41 @@
+"""SCALE-CORE -- core computation scaling.
+
+Measures ``core`` on chased instances of growing size, in the two regimes the
+paper's constructions produce: foldable chases (many isomorphic blocks that
+collapse) and rigid chases (odd undirected cycles that are already cores).
+"""
+
+import pytest
+
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.logic.parser import parse_nested_tgd
+from repro.workloads import cycle_instance
+
+
+NESTED = parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+
+
+def star_source(n):
+    from repro.logic.atoms import Atom
+    from repro.logic.instances import Instance
+    from repro.logic.values import Constant
+
+    return Instance(Atom("S", (Constant("hub"), Constant(f"v{i}"))) for i in range(n))
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_scale_core_foldable_blocks(benchmark, n):
+    """n isomorphic blocks of size n fold down to a single block."""
+    chased = chase(star_source(n), NESTED)
+    assert len(chased) == n * n
+    result = benchmark(core, chased)
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def test_scale_core_rigid_odd_cycle(benchmark, n, so_tgd_48):
+    """Odd undirected cycles are cores: the computation must prove rigidity."""
+    chased = chase(cycle_instance(n), so_tgd_48)
+    result = benchmark(core, chased)
+    assert len(result) == 2 * n

@@ -1,0 +1,82 @@
+"""SCALE-IMPL -- runtime scaling of the decision procedure IMPLIES.
+
+The cost of IMPLIES is driven by the clone bound ``k = v * w + 1`` (which
+fixes how many k-patterns must be checked) and by the chase-plus-homomorphism
+work per pattern.  We scale ``w`` (universal variables on the left-hand side)
+and the nesting of the right-hand side.
+"""
+
+import pytest
+
+from repro.core.implication import implies_tgd
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+
+def wide_lhs(width: int):
+    """S1(x1) & ... & Sw(xw) & S2(y) -> R(y, x1): w+1 universal variables."""
+    body = " & ".join(f"B{i}(x{i})" for i in range(1, width + 1))
+    return parse_tgd(f"{body} & S2(y) -> R(y, x1)")
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_scale_implies_by_lhs_width(benchmark, width, tau_310):
+    """Growing w grows k and with it the number of patterns checked."""
+    lhs = wide_lhs(width)
+    result = benchmark(implies_tgd, [lhs], tau_310)
+    assert result.k == width + 2
+    assert not result.holds  # B-atoms never match tau's canonical sources
+
+
+@pytest.mark.parametrize("parts", [2, 3])
+def test_scale_implies_by_rhs_nesting(benchmark, parts):
+    """Deeper right-hand sides multiply the pattern count."""
+    if parts == 2:
+        rhs = parse_nested_tgd("S1(x1) -> exists y . (S2(x2) -> R(x2, y))")
+    else:
+        rhs = parse_nested_tgd(
+            "S1(x1) -> exists y . (S2(x2) -> (S3(x3) -> R(x2, x3, y)))"
+        )
+    lhs = parse_tgd("S1(x1) -> T(x1)")
+    result = benchmark(implies_tgd, [lhs], rhs, (), 100_000)
+    assert not result.holds  # T does not help with R
+
+
+def test_scale_implies_self_implication(benchmark, intro_nested):
+    """Implication between variable-renamed copies of the introduction's
+    nested tgd (k = 4): the procedure must do the full 5-pattern sweep
+    because the copies are not syntactically equal."""
+    renamed = parse_nested_tgd(
+        "S(u1,u2) -> exists w . (R(w,u2) & (S(u1,u3) -> R(w,u3)))"
+    )
+    result = benchmark(implies_tgd, [intro_nested], renamed, (), 200_000)
+    assert result.holds
+    assert result.k == 4
+    assert result.patterns_checked == 5
+
+
+def test_scale_implies_syntactic_shortcircuit(benchmark, sigma_star):
+    """Literal self-implication is answered without touching the pattern
+    machinery (whose k = 9 sweep would be non-elementary)."""
+    result = benchmark(implies_tgd, [sigma_star], sigma_star, (), 200_000)
+    assert result.holds
+    assert result.patterns_checked == 0
+
+
+def test_scale_implies_nonelementary_wall(sigma_star):
+    """Implication between renamed copies of the 4-part sigma (*) has k = 9
+    and |P_9| = 10 * 10^10 patterns: the honest non-elementary blow-up of
+    Section 3.  The procedure reports the wall instead of running forever."""
+    import pytest as _pytest
+
+    from repro.core.patterns import count_k_patterns
+    from repro.errors import ResourceLimitExceeded
+
+    renamed = parse_nested_tgd(
+        "S1(u1) -> exists w1 . ((S2(u2) -> R2(w1,u2)) & (S3(u1,u3) -> R3(w1,u3) "
+        "& (S4(u3,u4) -> exists w2 . R4(w2,u4))))"
+    )
+    k = renamed.skolem_function_count() * sigma_star.universal_variable_count() + 1
+    assert k == 9
+    assert count_k_patterns(renamed, k) == 10 * 10 ** 10
+    with _pytest.raises(ResourceLimitExceeded):
+        implies_tgd([sigma_star], renamed, (), 200_000)

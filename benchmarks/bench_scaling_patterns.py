@@ -1,0 +1,54 @@
+"""SCALE-PAT -- the non-elementary growth of the pattern machinery.
+
+Sections 3 and 6 of the paper point out that the number and the maximum size
+of k-patterns are non-elementary in the nesting depth of the tgd.  We measure
+``count_k_patterns`` (closed form, no enumeration) and the actual enumeration
+across depth and k, reporting the counts the closed form predicts.
+"""
+
+import pytest
+
+from repro.core.patterns import count_k_patterns, enumerate_k_patterns
+from repro.logic.parser import parse_nested_tgd
+
+
+def linear_nesting(depth: int):
+    """S1(x1) -> (S2(x2) -> ( ... -> T(x1))) with *depth* parts."""
+    text = "S1(x1)"
+    for i in range(2, depth + 1):
+        text += f" -> (S{i}(x{i})"
+    text += " -> T(x1)" + ")" * (depth - 1)
+    return parse_nested_tgd(text)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_scale_pattern_count_by_depth(benchmark, depth):
+    tgd = linear_nesting(depth)
+    count = benchmark(count_k_patterns, tgd, 2)
+    # tower of (k+1)s: depth 1 -> 1 (flat), depth 2 -> 3, depth 3 -> 3^3
+    expected = {1: 1, 2: 3, 3: 27}[depth]
+    assert count == expected
+
+
+def test_scale_pattern_count_tower(benchmark):
+    """Depth 4 at k=2 already gives 3^27 = 7.6 trillion patterns -- countable
+    in closed form, hopeless to enumerate.  This is the non-elementary wall."""
+    tgd = linear_nesting(4)
+    count = benchmark(count_k_patterns, tgd, 2)
+    assert count == 3 ** 27
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_scale_pattern_enumeration_by_k(benchmark, k, sigma_star):
+    patterns = benchmark(enumerate_k_patterns, sigma_star, k, None)
+    assert len(patterns) == count_k_patterns(sigma_star, k)
+
+
+def test_scale_pattern_resource_guard(sigma_star):
+    """The enumeration refuses to silently truncate: it raises instead."""
+    import pytest as _pytest
+
+    from repro.errors import ResourceLimitExceeded
+
+    with _pytest.raises(ResourceLimitExceeded):
+        enumerate_k_patterns(sigma_star, 4, max_patterns=100)

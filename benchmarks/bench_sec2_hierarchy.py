@@ -1,0 +1,48 @@
+"""SEC2-SEP -- the strict hierarchy GLAV < nested GLAV < plain SO tgds.
+
+Reproduces both strict separations the paper builds on:
+
+- the introduction's nested tgd is not logically equivalent to any GLAV
+  mapping (decided by Theorem 4.2's procedure);
+- the plain SO tgd ``S(x,y) -> R(f(x),f(y))`` is not logically equivalent to
+  any nested GLAV mapping (Proposition 4.13 via Theorem 4.12);
+- and the positive directions: every s-t tgd is a nested tgd, and every
+  Skolemized nested tgd is a plain SO tgd.
+"""
+
+from repro.core.fblock_analysis import decide_bounded_fblock_size
+from repro.core.glav_equivalence import is_equivalent_to_glav, to_glav
+from repro.core.implication import equivalent
+from repro.core.separation import nested_expressibility_report
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+from repro.workloads.families import SUCCESSOR_FAMILY
+
+
+def test_hierarchy_nested_strictly_above_glav(benchmark, intro_nested):
+    assert not benchmark(is_equivalent_to_glav, [intro_nested])
+
+
+def test_hierarchy_plain_so_strictly_above_nested(benchmark, so_tgd_413):
+    report = benchmark(
+        nested_expressibility_report, [so_tgd_413], SUCCESSOR_FAMILY, [2, 4, 6, 8]
+    )
+    assert report.nested_expressible is False
+
+
+def test_hierarchy_bounded_nested_collapses_to_glav(benchmark):
+    """A nested tgd with bounded f-block size has an equivalent GLAV mapping,
+    and the library constructs it."""
+    tgd = parse_nested_tgd("S1(x1) -> (S2(x2) -> exists y . T(x1, x2, y))")
+    glav = benchmark(to_glav, [tgd])
+    assert equivalent(glav, [tgd])
+
+
+def test_hierarchy_every_st_tgd_is_nested(benchmark):
+    tgd = parse_tgd("S(x,y) -> R(x,z)")
+    verdict = benchmark(decide_bounded_fblock_size, [tgd])
+    assert verdict.bounded  # flat tgds always have bounded f-blocks
+
+
+def test_hierarchy_skolemized_nested_is_plain_so(benchmark, sigma_star):
+    so = benchmark(sigma_star.skolemize)
+    assert so.is_plain()

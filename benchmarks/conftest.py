@@ -1,0 +1,80 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one artifact of the paper (a figure or a
+worked example; the paper has no empirical tables) and measures the runtime
+of the machinery that produces it.  The asserted *shapes* -- who wins, what
+grows, what stays flat -- are the reproduction targets; absolute timings
+depend on this pure-Python engine.  ``python benchmarks/report.py``
+regenerates all artifacts as text and is the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_egd, parse_nested_tgd, parse_so_tgd, parse_tgd
+
+
+@pytest.fixture
+def sigma_star():
+    return parse_nested_tgd(
+        "S1(x1) -> exists y1 . ("
+        "  (S2(x2) -> R2(y1, x2))"
+        "  & (S3(x1, x3) -> R3(y1, x3) & (S4(x3, x4) -> exists y2 . R4(y2, x4)))"
+        ")"
+    )
+
+
+@pytest.fixture
+def intro_nested():
+    return parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+
+
+@pytest.fixture
+def tau_310():
+    return parse_nested_tgd("S1(x1) -> exists y . (S2(x2) -> R(x2, y))")
+
+
+@pytest.fixture
+def tau_prime_310():
+    return parse_tgd("S2(x2) -> exists z . R(x2, z)")
+
+
+@pytest.fixture
+def tau_dprime_310():
+    return parse_tgd("S1(x1) & S2(x2) -> R(x2, x1)")
+
+
+@pytest.fixture
+def so_tgd_48():
+    return parse_so_tgd("S(x,y) -> R(f(x), f(y)) & R(f(y), f(x))")
+
+
+@pytest.fixture
+def so_tgd_413():
+    return parse_so_tgd("S(x,y) -> R(f(x), f(y))")
+
+
+@pytest.fixture
+def so_tgd_414():
+    return parse_so_tgd("S(x,y) & Q(z) -> R(f(z,x), f(z,y), g(z))")
+
+
+@pytest.fixture
+def so_tgd_415():
+    return parse_so_tgd("S(x,y) & Q(z) -> R(f(x,y,z), g(z), x)")
+
+
+@pytest.fixture
+def nested_415():
+    return parse_nested_tgd("Q(z) -> exists u . (S(x,y) -> exists v . R(v, u, x))")
+
+
+@pytest.fixture
+def sigma_53():
+    return parse_nested_tgd("Q(z) -> exists y . (P1(z,x1) & P2(z,x2) -> R(y,x1,x2))")
+
+
+@pytest.fixture
+def egd_53():
+    return parse_egd("P1(z,x1) & P1(z,xp) -> x1 = xp")

@@ -1,0 +1,68 @@
+"""Data integration: certain answers over nested GLAV mappings.
+
+The payoff of nested mappings for query answering: correlations expressed by
+shared existentials make joins *certain* that flat mappings cannot certify.
+This example integrates two hospital sources into a mediated schema and
+compares certain answers under a nested mapping and its naive flattening.
+
+Run with:  python examples/data_integration.py
+"""
+
+from repro import parse_instance, parse_nested_tgd, parse_tgd
+from repro.mappings import SchemaMapping
+from repro.queries import certain_answers, parse_query
+
+
+def main() -> None:
+    # Source 1: admissions; Source 2: lab results keyed by patient.
+    source = parse_instance(
+        "Admitted(p1, cardiology), Admitted(p2, oncology), "
+        "Lab(p1, troponin), Lab(p1, ecg), Lab(p2, biopsy)"
+    )
+    print("source:", source)
+
+    # Mediated target: Case(caseid, ward), Finding(caseid, test).
+    # The nested mapping creates one case per admission and attaches all of
+    # the patient's lab results to THAT case.
+    nested = parse_nested_tgd(
+        "Admitted(p, w) -> exists c . (Case(c, w) & (Lab(p, t) -> Finding(c, t)))",
+        name="nested_integration",
+    )
+    flat = [
+        parse_tgd("Admitted(p, w) -> exists c . Case(c, w)"),
+        parse_tgd("Admitted(p, w) & Lab(p, t) -> exists c . (Case(c, w) & Finding(c, t))"),
+    ]
+
+    queries = [
+        ("wards with any case", "q(w) :- Case(c, w)"),
+        ("ward of each finding", "q(w, t) :- Case(c, w) & Finding(c, t)"),
+        ("co-located findings", "q(t1, t2) :- Finding(c, t1) & Finding(c, t2)"),
+    ]
+
+    for title, text in queries:
+        query = parse_query(text)
+        nested_answers = certain_answers(query, source, [nested])
+        flat_answers = certain_answers(query, source, flat)
+        print(f"\n{title}:  {query}")
+        print("  certain under nested mapping:",
+              sorted(tuple(repr(v) for v in t) for t in nested_answers))
+        print("  certain under flat mapping:  ",
+              sorted(tuple(repr(v) for v in t) for t in flat_answers))
+
+    print(
+        "\nreading: the first two queries agree, but the cross-join through"
+        "\nthe case id separates the mappings: only the nested mapping makes"
+        "\nit certain that troponin and ecg belong to the SAME case, because"
+        "\nthe flat mapping re-invents a case null per lab result and cannot"
+        "\ncertify the correlation."
+    )
+
+    # Sanity: the two mappings really are inequivalent, and decidably so.
+    from repro import implies
+
+    print("\nnested implies flat:", implies([nested], flat))
+    print("flat implies nested:", implies(flat, [nested]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: nested tgds, the chase, cores, and the IMPLIES procedure.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    SchemaMapping,
+    compute_core,
+    equivalent,
+    implies,
+    implies_tgd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_tgd,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A nested tgd (the paper's running example) and a source instance.
+    # ------------------------------------------------------------------
+    sigma = parse_nested_tgd(
+        "S(x1, x2) -> exists y . (R(y, x2) & (S(x1, x3) -> R(y, x3)))"
+    )
+    print("nested tgd sigma:")
+    print(" ", sigma)
+
+    source = parse_instance("S(a, b), S(a, c)")
+    print("\nsource instance:", source)
+
+    # ------------------------------------------------------------------
+    # 2. Chase it: the canonical universal solution.
+    # ------------------------------------------------------------------
+    mapping = SchemaMapping([sigma])
+    solution = mapping.chase(source)
+    print("\nchase(I, sigma):")
+    for fact in sorted(solution, key=repr):
+        print("  ", fact)
+
+    # The two chase trees (roots (a,b) and (a,c)) produce isomorphic blocks,
+    # so the core keeps only one of them.
+    core_solution = compute_core(solution)
+    print("\ncore of the universal solution:")
+    for fact in sorted(core_solution, key=repr):
+        print("  ", fact)
+
+    # ------------------------------------------------------------------
+    # 3. Reason about implication (Theorem 3.1: this is decidable).
+    # ------------------------------------------------------------------
+    flattening = parse_tgd(
+        "S(x1, x2) & S(x1, x3) -> exists y . (R(y, x2) & R(y, x3))"
+    )
+    print("\nsigma implies its 2-unfolding:", implies([sigma], flattening))
+    print("the 2-unfolding implies sigma:", implies([flattening], sigma))
+
+    result = implies_tgd([flattening], sigma)
+    print("refuting pattern:", result.failing_pattern)
+    print("counterexample source:", result.counterexample_source)
+
+    # ------------------------------------------------------------------
+    # 4. Logical equivalence (Corollary 3.11).
+    # ------------------------------------------------------------------
+    reordered = parse_nested_tgd(
+        "S(x1, x2) -> exists y . ((S(x1, x3) -> R(y, x3)) & R(y, x2))"
+    )
+    print("\nsigma equivalent to its reordering:", equivalent([sigma], [reordered]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Clio's promise, executed: a nested GLAV mapping compiled to SQL.
+
+The paper's introduction recalls why Clio adopted nested GLAV mappings:
+first-order specifications "give rise to transformations that ... can be
+implemented using SQL queries".  This example compiles the customers-and-
+orders nested mapping to INSERT ... SELECT statements, runs them on an
+in-memory SQLite database, and checks that the result is exactly the chase.
+
+Run with:  python examples/sql_exchange.py
+"""
+
+from repro import chase, parse_instance, parse_nested_tgd
+from repro.export.sql import (
+    compile_mapping_to_sql,
+    execute_exchange,
+    render_instance_values,
+    schema_ddl,
+)
+
+
+def main() -> None:
+    nested = parse_nested_tgd(
+        "Customer(c, n) -> exists y . "
+        "(Account(y, n) & (Ord(c, i) -> Purchase(y, i)))"
+    )
+    print("mapping:", nested)
+
+    print("\ntarget DDL:")
+    for statement in schema_ddl(nested.target_schema()):
+        print("  ", statement)
+
+    print("\ncompiled transformation:")
+    for statement in compile_mapping_to_sql([nested]):
+        print("  ", statement)
+
+    source = parse_instance(
+        "Customer(c1, alice), Customer(c2, bob), "
+        "Ord(c1, book), Ord(c1, pen), Ord(c2, ink)"
+    )
+    print("\nsource:", source)
+
+    result = execute_exchange(source, [nested])
+    print("\nSQLite result:")
+    for fact in sorted(result, key=repr):
+        print("  ", fact)
+
+    expected = render_instance_values(chase(source, [nested]))
+    print(
+        "\nagrees with the oblivious chase (up to null labels):",
+        result.isomorphic(expected),
+    )
+    print(
+        "\nreading: the Skolem term became a string-concatenation expression,"
+        "\nso alice's account key is the SAME generated value in her Account"
+        "\nrow and in both of her Purchase rows -- the correlation the nested"
+        "\nmapping was designed to preserve, now in plain SQL."
+    )
+
+
+if __name__ == "__main__":
+    main()

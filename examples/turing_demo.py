@@ -1,0 +1,52 @@
+"""The Theorem 5.1 gadget: simulating a Turing machine with a plain SO tgd.
+
+Builds the reduction for a halting and a looping machine and prints the
+Figure 8 enumeration statistics: the size of the f-block connected to the
+origin null f(e0, e0) as the successor relation grows.  Halting machine ->
+the block plateaus (bounded f-block size); looping machine -> it grows
+quadratically (unbounded), with f-degree staying below a constant -- which by
+Theorem 4.12 also certifies non-equivalence to any nested GLAV mapping
+(Theorem 5.2).
+
+Run with:  python examples/turing_demo.py
+"""
+
+from repro.engine.chase import chase_so_tgd
+from repro.engine.gaifman import fblock_degree
+from repro.turing import build_reduction, enumeration_chain_length, run_source_instance
+from repro.turing.machine import halting_machine, looping_machine
+
+
+def demo(name, machine, lengths) -> None:
+    reduction = build_reduction(machine)
+    print(f"\n=== {name} ===")
+    print(f"gadget: plain SO tgd with {len(reduction.so_tgd.clauses)} clauses, "
+          f"key dependency: {reduction.key_dependency}")
+    print(f"{'n':>4} {'|I|':>6} {'|J|':>6} {'origin chain':>13} {'f-degree':>9}")
+    for n in lengths:
+        source = run_source_instance(machine, "", max_steps=n, length=n)
+        target = chase_so_tgd(source, reduction.so_tgd)
+        chain = enumeration_chain_length(reduction, target)
+        degree = fblock_degree(target)
+        print(f"{n:>4} {len(source):>6} {len(target):>6} {chain:>13} {degree:>9}")
+
+
+def main() -> None:
+    print("Theorem 5.1: a plain SO tgd + one key dependency simulate a TM.")
+    print("The origin-connected f-block is bounded iff the machine halts.")
+
+    demo("halting machine (3 steps)", halting_machine(3), [4, 6, 8, 10, 12])
+    demo("looping machine", looping_machine(), [4, 6, 8, 10, 12])
+
+    print(
+        "\nreading: the halting column plateaus -- its f-block size is bounded,"
+        "\nso by Theorem 4.1 the gadget is equivalent to a GLAV mapping."
+        "\nThe looping column grows quadratically (the Figure 8 triangle):"
+        "\nunbounded f-block size with bounded f-degree, so the gadget is"
+        "\nequivalent neither to a GLAV mapping nor (Theorem 4.12) to any"
+        "\nnested GLAV mapping.  Deciding which case holds decides halting."
+    )
+
+
+if __name__ == "__main__":
+    main()

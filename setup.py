@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The pinned offline environment has setuptools but no `wheel`, so PEP-660
+editable installs (`pip install -e .`) cannot build. This shim lets
+`python setup.py develop` (and `pip install -e . --no-build-isolation` on
+newer toolchains) work either way. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

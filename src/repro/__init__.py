@@ -1,0 +1,139 @@
+"""repro: a full reproduction of "Nested Dependencies: Structure and Reasoning"
+(Kolaitis, Pichler, Sallinger, Savenkov, PODS 2014).
+
+The library implements the complete data-exchange substrate (schemas,
+instances, s-t tgds, nested tgds, SO tgds, egds, chase variants,
+homomorphisms, cores, Gaifman graphs) and, on top of it, the paper's
+contributions:
+
+- the decision procedure IMPLIES for implication and logical equivalence of
+  nested tgds, with and without source egds (Theorems 3.1, 5.7);
+- the analysis of cores of universal solutions: effective threshold and
+  bounded anchor for f-block size, and the decision procedure for
+  equivalence of a nested GLAV mapping to a GLAV mapping (Theorems 4.2, 5.6);
+- the separation tools between plain SO tgds and nested GLAV mappings:
+  f-degree (Theorem 4.12) and null-graph path length (Theorem 4.16);
+- the Turing-machine reduction behind the undecidability results with source
+  key dependencies (Theorems 5.1, 5.2), operationalized in :mod:`repro.turing`.
+
+Quickstart::
+
+    from repro import parse_nested_tgd, parse_instance, SchemaMapping
+
+    sigma = parse_nested_tgd(
+        "S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+    mapping = SchemaMapping([sigma])
+    J = mapping.core_solution(parse_instance("S(a,b), S(a,c)"))
+"""
+
+from repro.errors import (
+    ChaseError,
+    DependencyError,
+    EgdViolation,
+    ParseError,
+    ReproError,
+    ResourceLimitExceeded,
+    SchemaError,
+    UndecidedError,
+)
+from repro.logic import (
+    Atom,
+    Constant,
+    Egd,
+    FuncTerm,
+    Instance,
+    KeyDependency,
+    NestedTgd,
+    Null,
+    Part,
+    RelationSymbol,
+    Schema,
+    SOClause,
+    SOTgd,
+    STTgd,
+    Substitution,
+    Variable,
+    parse_atom,
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+from repro.engine import (
+    ChaseForest,
+    ChaseTree,
+    Triggering,
+    chase,
+    chase_egds,
+    chase_nested,
+    fact_block_size,
+    fact_blocks,
+    fblock_degree,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    null_path_length,
+    satisfies,
+)
+# The paper-core subpackage is ``repro.core``; the core-of-an-instance
+# function therefore lives at the top level under the name ``compute_core``
+# (it is also available as ``repro.engine.core``).
+from repro.engine.core_instance import core as compute_core
+from repro.mappings import SchemaMapping
+from repro.mappings.composition import compose
+from repro.queries import certain_answers, parse_query
+from repro.core.cq_equivalence import cq_equivalent
+from repro.core.normalization import optimize
+from repro.core import (
+    CanonicalInstances,
+    FBlockProfile,
+    FBlockVerdict,
+    Pattern,
+    bounded_anchor_witness,
+    canonical_instances,
+    count_k_patterns,
+    decide_bounded_fblock_size,
+    enumerate_k_patterns,
+    equivalent,
+    fblock_profile,
+    fblock_threshold,
+    implies,
+    implies_tgd,
+    is_equivalent_to_glav,
+    legal_canonical_instances,
+    nested_expressibility_report,
+    one_patterns,
+    path_length_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "SchemaError", "DependencyError", "ParseError", "ChaseError",
+    "EgdViolation", "ResourceLimitExceeded", "UndecidedError",
+    # logic
+    "Constant", "Null", "Variable", "FuncTerm", "RelationSymbol", "Schema",
+    "Atom", "Instance", "Substitution", "STTgd", "NestedTgd", "Part",
+    "SOTgd", "SOClause", "Egd", "KeyDependency",
+    "parse_atom", "parse_egd", "parse_instance", "parse_nested_tgd",
+    "parse_so_tgd", "parse_tgd",
+    # engine
+    "chase", "chase_nested", "chase_egds", "compute_core", "satisfies",
+    "find_homomorphism", "has_homomorphism", "homomorphically_equivalent",
+    "fact_blocks", "fact_block_size", "fblock_degree", "null_path_length",
+    "ChaseForest", "ChaseTree", "Triggering",
+    # mappings
+    "SchemaMapping",
+    # paper core
+    "Pattern", "enumerate_k_patterns", "count_k_patterns", "one_patterns",
+    "CanonicalInstances", "canonical_instances", "legal_canonical_instances",
+    "implies", "implies_tgd", "equivalent",
+    "FBlockVerdict", "fblock_threshold", "bounded_anchor_witness",
+    "decide_bounded_fblock_size", "is_equivalent_to_glav",
+    "FBlockProfile", "fblock_profile", "nested_expressibility_report",
+    "path_length_bound",
+    # extensions
+    "compose", "certain_answers", "parse_query", "cq_equivalent", "optimize",
+]

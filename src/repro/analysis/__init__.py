@@ -1,0 +1,32 @@
+"""Structural-property verifiers for schema mappings.
+
+Section 2 and 4.1 of the paper rest on two structural properties that nested
+GLAV mappings (and plain SO tgds) enjoy: *admitting universal solutions* and
+*closure under target homomorphisms*.  This subpackage provides executable
+verifiers for them -- exhaustive where feasible, sampling-based otherwise --
+used both as test oracles and as analysis tools for user-supplied mappings.
+"""
+
+from repro.analysis.properties import (
+    check_admits_universal_solutions,
+    check_closed_under_target_homomorphisms,
+    check_core_is_universal,
+    PropertyReport,
+)
+from repro.analysis.characterization import (
+    ModularityReport,
+    check_closed_under_union,
+    check_n_modular,
+    glav_modularity_bound,
+)
+
+__all__ = [
+    "check_admits_universal_solutions",
+    "check_closed_under_target_homomorphisms",
+    "check_core_is_universal",
+    "PropertyReport",
+    "check_closed_under_union",
+    "check_n_modular",
+    "ModularityReport",
+    "glav_modularity_bound",
+]

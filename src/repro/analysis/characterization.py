@@ -1,0 +1,123 @@
+"""Verifiers for the structural characterization properties of [17].
+
+The paper's concluding section points to structural characterizations of
+schema-mapping languages (ten Cate & Kolaitis, reference [17]): GLAV
+mappings are exactly the mappings that admit universal solutions and are
+closed under target homomorphisms, *closed under union*, and *n-modular* for
+some n.  Nested GLAV mappings keep the first two properties but can fail
+closure under union -- which gives yet another executable separation tool,
+complementing the f-degree and path-length criteria of Section 4.2.
+
+- *Closed under union*: if J is a solution for I and J' for I', then J ∪ J'
+  is a solution for I ∪ I'.
+- *n-modular*: if (I, J) is NOT a solution, some subinstance of I with at
+  most n facts already witnesses that.  GLAV mappings are n-modular for n =
+  the maximal body size; the introduction's nested tgd is not n-modular for
+  any n (larger and larger sources are needed to expose violations).
+
+As in :mod:`repro.analysis.properties`, the verifiers are refuters over
+supplied batches: a False verdict carries a genuine counterexample, a True
+verdict means "no counterexample in the batch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from repro.logic.instances import Instance
+from repro.engine.model_check import satisfies
+from repro.analysis.properties import PropertyReport, _normalize
+
+
+def check_closed_under_union(
+    dependencies,
+    pairs: Iterable[tuple[Instance, Instance]],
+) -> PropertyReport:
+    """Refute closure under union on a batch of (source, solution) pairs.
+
+    For every two pairs (I, J), (I', J') with J, J' solutions, the union
+    (I ∪ I', J ∪ J') must be a solution too.
+    """
+    deps = _normalize(dependencies)
+    valid = [(i, j) for i, j in pairs if satisfies(i, j, deps)]
+    checked = 0
+    for (left_i, left_j), (right_i, right_j) in combinations(valid, 2):
+        checked += 1
+        union_source = left_i.union(right_i)
+        union_target = left_j.union(right_j)
+        if not satisfies(union_source, union_target, deps):
+            return PropertyReport(
+                "closed_under_union",
+                False,
+                checked,
+                (left_i, right_i, union_target),
+            )
+    return PropertyReport("closed_under_union", True, checked)
+
+
+@dataclass
+class ModularityReport:
+    """Outcome of the n-modularity probe."""
+
+    n: int
+    modular: bool
+    checked: int
+    counterexample: tuple | None = None
+
+    def __bool__(self) -> bool:
+        return self.modular
+
+
+def check_n_modular(
+    dependencies,
+    pairs: Iterable[tuple[Instance, Instance]],
+    n: int,
+) -> ModularityReport:
+    """Refute n-modularity on a batch of (source, target) pairs.
+
+    For each non-solution (I, J), some subinstance of I with at most *n*
+    facts must already be a non-solution with J.  A counterexample is a
+    non-solution all of whose small sub-sources are fine -- the signature of
+    the unbounded correlations nested tgds express.
+    """
+    deps = _normalize(dependencies)
+    checked = 0
+    for source, target in pairs:
+        if satisfies(source, target, deps):
+            continue
+        checked += 1
+        witnessed = False
+        facts = sorted(source.facts, key=repr)
+        for size in range(1, min(n, len(facts)) + 1):
+            for subset in combinations(facts, size):
+                if not satisfies(Instance(subset), target, deps):
+                    witnessed = True
+                    break
+            if witnessed:
+                break
+        if not witnessed:
+            return ModularityReport(
+                n=n, modular=False, checked=checked, counterexample=(source, target)
+            )
+    return ModularityReport(n=n, modular=True, checked=checked)
+
+
+def glav_modularity_bound(dependencies) -> int:
+    """The n for which a GLAV mapping is guaranteed n-modular: max body size."""
+    from repro.logic.nested import nested_tgds_from
+
+    best = 1
+    for tgd in nested_tgds_from(_normalize(dependencies)):
+        total = sum(len(tgd.part(pid).body) for pid in tgd.part_ids())
+        best = max(best, total)
+    return best
+
+
+__all__ = [
+    "check_closed_under_union",
+    "check_n_modular",
+    "ModularityReport",
+    "glav_modularity_bound",
+]

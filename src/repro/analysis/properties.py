@@ -1,0 +1,139 @@
+"""Executable verifiers for the structural properties of Section 2 / 4.1.
+
+- *Admits universal solutions*: for every source instance, the chase result
+  is a solution that homomorphically maps into every other solution.
+- *Closed under target homomorphisms*: if J is a solution and ``J -> J'``
+  (constants fixed), then J' is a solution.  Plain SO tgds -- hence nested
+  GLAV mappings -- have this property; SO tgds with equalities generally do
+  not (the self-manager example).
+- *Core is a universal solution*: for mappings with the closure property,
+  ``core(chase(I))`` is itself a (smallest) universal solution.
+
+The verifiers run over a supplied batch of source instances and candidate
+targets; a ``PropertyReport`` records any counterexample found.  They are
+refuters, not provers: ``holds=True`` means "no counterexample in the batch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.instances import Instance
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.homomorphism import has_homomorphism
+from repro.engine.model_check import satisfies
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of a property check over a batch of instances."""
+
+    property_name: str
+    holds: bool
+    checked: int
+    counterexample: tuple | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _normalize(dependencies) -> list:
+    from repro.mappings.mapping import SchemaMapping
+
+    if isinstance(dependencies, SchemaMapping):
+        return list(dependencies.dependencies)
+    try:
+        return list(dependencies)
+    except TypeError:
+        return [dependencies]
+
+
+def check_admits_universal_solutions(
+    dependencies,
+    sources: Iterable[Instance],
+    candidate_targets: Sequence[Instance] = (),
+) -> PropertyReport:
+    """Check that the chase yields universal solutions on the given sources.
+
+    For each source I: chase(I) must be a solution, and must map
+    homomorphically into every candidate target that is a solution for I.
+    """
+    deps = _normalize(dependencies)
+    checked = 0
+    for source in sources:
+        canonical = chase(source, deps)
+        checked += 1
+        if not satisfies(source, canonical, deps):
+            return PropertyReport(
+                "admits_universal_solutions", False, checked, (source, canonical)
+            )
+        for target in candidate_targets:
+            if satisfies(source, target, deps) and not has_homomorphism(
+                canonical, target
+            ):
+                return PropertyReport(
+                    "admits_universal_solutions", False, checked, (source, target)
+                )
+    return PropertyReport("admits_universal_solutions", True, checked)
+
+
+def check_closed_under_target_homomorphisms(
+    dependencies,
+    sources: Iterable[Instance],
+    candidate_targets: Sequence[Instance] = (),
+) -> PropertyReport:
+    """Refute closure under target homomorphisms on the given batch.
+
+    For each source I and each pair (J, J') of candidate targets with J a
+    solution and ``J -> J'``, J' must be a solution too.  The chase result of
+    each source is automatically included among the candidates.
+    """
+    deps = _normalize(dependencies)
+    checked = 0
+    for source in sources:
+        pool = list(candidate_targets) + [chase(source, deps)]
+        solutions = [t for t in pool if satisfies(source, t, deps)]
+        for left in solutions:
+            for right in pool:
+                checked += 1
+                if has_homomorphism(left, right) and not satisfies(
+                    source, right, deps
+                ):
+                    return PropertyReport(
+                        "closed_under_target_homomorphisms",
+                        False,
+                        checked,
+                        (source, left, right),
+                    )
+    return PropertyReport("closed_under_target_homomorphisms", True, checked)
+
+
+def check_core_is_universal(
+    dependencies,
+    sources: Iterable[Instance],
+) -> PropertyReport:
+    """Check that core(chase(I)) is still a solution (Section 4.1).
+
+    True for every mapping closed under target homomorphisms, in particular
+    nested GLAV mappings and plain SO tgds.
+    """
+    deps = _normalize(dependencies)
+    checked = 0
+    for source in sources:
+        solution_core = core(chase(source, deps))
+        checked += 1
+        if not satisfies(source, solution_core, deps):
+            return PropertyReport(
+                "core_is_universal", False, checked, (source, solution_core)
+            )
+    return PropertyReport("core_is_universal", True, checked)
+
+
+__all__ = [
+    "PropertyReport",
+    "check_admits_universal_solutions",
+    "check_closed_under_target_homomorphisms",
+    "check_core_is_universal",
+]

@@ -1,0 +1,286 @@
+"""Command-line interface:  python -m repro.cli <command> ...
+
+Commands
+--------
+chase       chase a source instance with dependencies (optionally the core)
+implies     run the IMPLIES decision procedure
+equivalent  decide logical equivalence of two dependency sets
+glav        decide equivalence to a GLAV mapping; print one if it exists
+patterns    enumerate the k-patterns of a nested tgd
+profile     f-block / f-degree / path-length profile along a family
+optimize    redundancy removal + tgd normalization
+
+Dependencies are given as text (see repro/logic/parser.py); s-t tgds and
+nested tgds are auto-detected, SO tgds are recognized by function terms or
+``;``-separated clauses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ParseError, ReproError
+from repro.logic.parser import (
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+)
+
+
+def parse_dependency(text: str):
+    """Parse a dependency, auto-detecting nested tgd vs SO tgd syntax."""
+    try:
+        return parse_nested_tgd(text)
+    except ParseError:
+        return parse_so_tgd(text)
+
+
+def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dep",
+        action="append",
+        default=[],
+        metavar="TEXT",
+        help="a dependency (repeatable)",
+    )
+    parser.add_argument(
+        "--egd",
+        action="append",
+        default=[],
+        metavar="TEXT",
+        help="a source egd (repeatable)",
+    )
+
+
+def _dependencies(args) -> list:
+    if not args.dep:
+        raise SystemExit("at least one --dep is required")
+    return [parse_dependency(text) for text in args.dep]
+
+
+def _egds(args) -> list:
+    return [parse_egd(text) for text in args.egd]
+
+
+def cmd_chase(args) -> int:
+    from repro.engine.chase import chase
+    from repro.engine.core_instance import core
+
+    deps = _dependencies(args)
+    source = parse_instance(args.instance)
+    result = chase(source, deps)
+    if args.core:
+        result = core(result)
+    for fact in sorted(result, key=repr):
+        print(fact)
+    return 0
+
+
+def cmd_implies(args) -> int:
+    from repro.core.implication import implies_tgd
+
+    lhs = [parse_dependency(text) for text in args.lhs]
+    rhs = parse_dependency(args.rhs)
+    result = implies_tgd(lhs, rhs, source_egds=_egds(args))
+    print(f"implies: {result.holds}   (k = {result.k}, "
+          f"patterns checked = {result.patterns_checked})")
+    if not result.holds:
+        print(f"refuting pattern: {result.failing_pattern}")
+        print(f"counterexample source: {result.counterexample_source}")
+    return 0 if result.holds else 1
+
+
+def cmd_equivalent(args) -> int:
+    from repro.core.implication import equivalent
+
+    left = [parse_dependency(text) for text in args.left]
+    right = [parse_dependency(text) for text in args.right]
+    verdict = equivalent(left, right, source_egds=_egds(args))
+    print(f"equivalent: {verdict}")
+    return 0 if verdict else 1
+
+
+def cmd_glav(args) -> int:
+    from repro.core.glav_equivalence import glav_distance_report
+
+    report = glav_distance_report(_dependencies(args), source_egds=_egds(args))
+    print(f"bounded f-block size: {report['bounded_fblock_size']}")
+    if report["bounded_fblock_size"]:
+        print(f"f-block bound: {report['fblock_bound']}")
+        if report["equivalent_glav"]:
+            print("equivalent GLAV mapping:")
+            for tgd in report["equivalent_glav"]:
+                print(f"  {tgd}")
+        return 0
+    print(f"f-block growth under cloning: {report['growth']}")
+    print(f"witness pattern: {report['witness_pattern']}")
+    print("not equivalent to any GLAV mapping (Theorem 4.1/4.2)")
+    return 1
+
+
+def cmd_patterns(args) -> int:
+    from repro.core.patterns import count_k_patterns, enumerate_k_patterns
+
+    tgd = parse_nested_tgd(args.dep[0]) if args.dep else None
+    if tgd is None:
+        raise SystemExit("one --dep is required")
+    count = count_k_patterns(tgd, args.k)
+    print(f"|P_{args.k}| = {count}")
+    if count <= args.limit:
+        for pattern in enumerate_k_patterns(tgd, args.k, max_patterns=args.limit):
+            print(f"  {pattern}")
+    else:
+        print(f"  (more than --limit {args.limit}; not enumerating)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.separation import fblock_profile, nested_expressibility_report
+    from repro.workloads.families import (
+        CYCLE_FAMILY,
+        SUCCESSOR_FAMILY,
+        SUCCESSOR_Q_FAMILY,
+    )
+
+    families = {
+        "successor": SUCCESSOR_FAMILY,
+        "successor+Q": SUCCESSOR_Q_FAMILY,
+        "odd-cycle": CYCLE_FAMILY,
+    }
+    family = families[args.family]
+    sizes = [int(piece) for piece in args.sizes.split(",")]
+    deps = _dependencies(args)
+    print(f"{'n':>5} {'fblock':>7} {'fdegree':>8} {'path':>5} {'facts':>6}")
+    for profile in fblock_profile(deps, family, sizes):
+        print(
+            f"{profile.size:>5} {profile.fblock_size:>7} "
+            f"{profile.fdegree:>8} {profile.path_length:>5} {profile.core_facts:>6}"
+        )
+    report = nested_expressibility_report(deps, family, sizes)
+    print(f"verdict: {report.reason}")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    from repro.export.sql import compile_mapping_to_sql, schema_ddl
+    from repro.logic.nested import nested_tgds_from
+    from repro.logic.schema import Schema
+
+    deps = nested_tgds_from(_dependencies(args))
+    source_schema, target_schema = Schema(), Schema()
+    for tgd in deps:
+        source_schema = source_schema.union(tgd.source_schema())
+        target_schema = target_schema.union(tgd.target_schema())
+    print("-- source schema")
+    for statement in schema_ddl(source_schema):
+        print(f"{statement};")
+    print("-- target schema")
+    for statement in schema_ddl(target_schema):
+        print(f"{statement};")
+    print("-- transformation")
+    for statement in compile_mapping_to_sql(deps):
+        print(f"{statement};")
+    return 0
+
+
+def cmd_certain(args) -> int:
+    from repro.queries import certain_answers, parse_query
+
+    deps = _dependencies(args)
+    query = parse_query(args.query)
+    source = parse_instance(args.instance)
+    answers = certain_answers(query, source, deps)
+    for answer in sorted(answers, key=repr):
+        print(", ".join(str(value.name) for value in answer))
+    print(f"-- {len(answers)} certain answer(s)")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.core.normalization import optimize
+
+    deps = _dependencies(args)
+    optimized = optimize(deps, source_egds=_egds(args))
+    print(f"{len(deps)} dependencies -> {len(optimized)}")
+    for dep in optimized:
+        print(f"  {dep}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nested dependencies: structure and reasoning (PODS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chase_parser = sub.add_parser("chase", help="chase a source instance")
+    _add_dependency_arguments(chase_parser)
+    chase_parser.add_argument("--instance", required=True, help="source instance text")
+    chase_parser.add_argument("--core", action="store_true", help="return the core")
+    chase_parser.set_defaults(func=cmd_chase)
+
+    implies_parser = sub.add_parser("implies", help="run the IMPLIES procedure")
+    implies_parser.add_argument("--lhs", action="append", default=[], required=True)
+    implies_parser.add_argument("--rhs", required=True)
+    implies_parser.add_argument("--egd", action="append", default=[])
+    implies_parser.set_defaults(func=cmd_implies)
+
+    equivalent_parser = sub.add_parser("equivalent", help="decide logical equivalence")
+    equivalent_parser.add_argument("--left", action="append", default=[], required=True)
+    equivalent_parser.add_argument("--right", action="append", default=[], required=True)
+    equivalent_parser.add_argument("--egd", action="append", default=[])
+    equivalent_parser.set_defaults(func=cmd_equivalent)
+
+    glav_parser = sub.add_parser("glav", help="decide equivalence to a GLAV mapping")
+    _add_dependency_arguments(glav_parser)
+    glav_parser.set_defaults(func=cmd_glav)
+
+    patterns_parser = sub.add_parser("patterns", help="enumerate k-patterns")
+    _add_dependency_arguments(patterns_parser)
+    patterns_parser.add_argument("--k", type=int, default=1)
+    patterns_parser.add_argument("--limit", type=int, default=1000)
+    patterns_parser.set_defaults(func=cmd_patterns)
+
+    profile_parser = sub.add_parser("profile", help="f-block profile along a family")
+    _add_dependency_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--family", choices=["successor", "successor+Q", "odd-cycle"],
+        default="successor",
+    )
+    profile_parser.add_argument("--sizes", default="2,4,6,8")
+    profile_parser.set_defaults(func=cmd_profile)
+
+    optimize_parser = sub.add_parser("optimize", help="minimize a mapping")
+    _add_dependency_arguments(optimize_parser)
+    optimize_parser.set_defaults(func=cmd_optimize)
+
+    sql_parser = sub.add_parser("sql", help="compile a nested GLAV mapping to SQL")
+    _add_dependency_arguments(sql_parser)
+    sql_parser.set_defaults(func=cmd_sql)
+
+    certain_parser = sub.add_parser("certain", help="certain answers of a CQ")
+    _add_dependency_arguments(certain_parser)
+    certain_parser.add_argument("--instance", required=True, help="source instance")
+    certain_parser.add_argument(
+        "--query", required=True, help='a CQ, e.g. "q(x) :- R(x, y)"'
+    )
+    certain_parser.set_defaults(func=cmd_certain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""The paper's contribution: pattern machinery, implication, f-block analysis,
+GLAV-equivalence, and the separation tools of Sections 3-5.
+
+- :mod:`repro.core.patterns` -- patterns, k-patterns, cloning (Definitions 3.2/3.3);
+- :mod:`repro.core.canonical` -- (legal) canonical instances (Definitions 3.7, 5.4);
+- :mod:`repro.core.implication` -- the procedure IMPLIES (Theorems 3.1, 5.7);
+- :mod:`repro.core.fblock_analysis` -- effective threshold and bounded anchor
+  (Theorems 4.4, 4.9, 4.10, 4.11, 5.5);
+- :mod:`repro.core.glav_equivalence` -- equivalence to GLAV (Theorems 4.2, 5.6);
+- :mod:`repro.core.separation` -- f-degree and path-length tools (Theorems 4.12, 4.16).
+"""
+
+from repro.core.patterns import (
+    Pattern,
+    count_k_patterns,
+    enumerate_k_patterns,
+    one_patterns,
+)
+from repro.core.canonical import (
+    CanonicalInstances,
+    canonical_instances,
+    legal_canonical_instances,
+)
+from repro.core.implication import equivalent, implies, implies_tgd
+from repro.core.fblock_analysis import (
+    FBlockVerdict,
+    bounded_anchor_witness,
+    decide_bounded_fblock_size,
+    decide_bounded_fblock_size_exhaustive,
+    fblock_threshold,
+)
+from repro.core.glav_equivalence import is_equivalent_to_glav
+from repro.core.separation import (
+    FBlockProfile,
+    fblock_profile,
+    nested_expressibility_report,
+    path_length_bound,
+)
+
+__all__ = [
+    "Pattern",
+    "enumerate_k_patterns",
+    "count_k_patterns",
+    "one_patterns",
+    "CanonicalInstances",
+    "canonical_instances",
+    "legal_canonical_instances",
+    "implies",
+    "implies_tgd",
+    "equivalent",
+    "FBlockVerdict",
+    "fblock_threshold",
+    "bounded_anchor_witness",
+    "decide_bounded_fblock_size",
+    "decide_bounded_fblock_size_exhaustive",
+    "is_equivalent_to_glav",
+    "FBlockProfile",
+    "fblock_profile",
+    "nested_expressibility_report",
+    "path_length_bound",
+]

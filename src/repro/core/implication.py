@@ -1,0 +1,239 @@
+"""The decision procedure IMPLIES for nested tgds (Theorems 3.1 and 5.7).
+
+``implies(Sigma, sigma)`` decides whether every pair (I, J) satisfying the
+finite set ``Sigma`` of dependencies also satisfies the nested tgd ``sigma``.
+The procedure follows Section 3 of the paper verbatim:
+
+1. Skolemize; let ``v`` be the number of distinct Skolem functions of
+   ``sigma`` and ``w`` the maximum number of universally quantified variables
+   in a dependency of ``Sigma``; set ``k = v * w + 1``.
+2. For every k-pattern ``p`` of ``sigma``, build the canonical source and
+   target instances ``I_p`` and ``J_p`` and check that a homomorphism
+   ``J_p -> chase(I_p, Sigma)`` exists.  If some check fails, ``Sigma`` does
+   not imply ``sigma`` -- and ``I_p`` is a counterexample source instance.
+
+With source egds (Theorem 5.7) the *legal* canonical instances of
+Definition 5.4 are used and ``I_p^s`` is chased instead.
+
+``Sigma`` may contain s-t tgds and nested tgds (the paper's setting).  As an
+extension, plain SO tgds are accepted on the left-hand side as well: the
+correctness argument only needs that the left-hand side admits universal
+solutions via a chase and is closed under target homomorphisms, which plain
+SO tgds are (Section 4.1); the ``w`` bound likewise only counts universal
+variables per clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DependencyError
+from repro.logic.egds import Egd
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.sotgd import SOTgd
+from repro.logic.tgds import STTgd
+from repro.core.canonical import canonical_instances, legal_canonical_instances
+from repro.core.patterns import Pattern, enumerate_k_patterns
+from repro.engine.chase import chase
+from repro.engine.homomorphism import find_homomorphism
+
+
+@dataclass
+class ImplicationResult:
+    """The outcome of an IMPLIES run, with diagnostics.
+
+    When ``holds`` is False, ``failing_pattern`` is the k-pattern whose check
+    failed and ``counterexample_source`` is a source instance I with
+    ``chase(I, sigma)`` not homomorphically embeddable in ``chase(I, Sigma)``
+    -- i.e. a witness that ``Sigma`` does not imply ``sigma``.
+    """
+
+    holds: bool
+    k: int
+    patterns_checked: int
+    failing_pattern: Pattern | None = None
+    counterexample_source: Instance | None = None
+    counterexample_target: Instance | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _normalize_lhs(dependencies: Iterable) -> list:
+    result = []
+    for dep in dependencies:
+        if isinstance(dep, STTgd):
+            result.append(dep.to_nested())
+        elif isinstance(dep, NestedTgd):
+            result.append(dep)
+        elif isinstance(dep, SOTgd):
+            if not dep.is_plain():
+                raise DependencyError(
+                    "IMPLIES accepts plain SO tgds on the left-hand side only; "
+                    f"{dep!r} has equalities or nested terms"
+                )
+            result.append(dep)
+        else:
+            raise DependencyError(f"unsupported dependency {dep!r}")
+    return result
+
+
+def _normalize_rhs(dep) -> NestedTgd:
+    if isinstance(dep, STTgd):
+        return dep.to_nested()
+    if isinstance(dep, NestedTgd):
+        return dep
+    raise DependencyError(
+        "the right-hand side of IMPLIES must be an s-t tgd or a nested tgd, "
+        f"got {dep!r} (implication of SO tgds is undecidable)"
+    )
+
+
+def _max_universal_variables(dependencies: Sequence) -> int:
+    """The quantity ``w`` of the IMPLIES procedure."""
+    best = 0
+    for dep in dependencies:
+        if isinstance(dep, NestedTgd):
+            best = max(best, dep.universal_variable_count())
+        elif isinstance(dep, SOTgd):
+            best = max(best, dep.max_universal_variables())
+    return best
+
+
+def implication_bound(sigma_set: Sequence, sigma: NestedTgd) -> int:
+    """The clone bound ``k = v_sigma * w_Sigma + 1`` from line 4 of IMPLIES."""
+    v = sigma.skolem_function_count()
+    w = _max_universal_variables(sigma_set)
+    return v * w + 1
+
+
+def implies_tgd(
+    sigma_set,
+    sigma,
+    source_egds: Sequence[Egd] = (),
+    max_patterns: int | None = 1_000_000,
+) -> ImplicationResult:
+    """Run the procedure IMPLIES and return a result with diagnostics.
+
+        >>> from repro.logic.parser import parse_nested_tgd, parse_tgd
+        >>> tau = parse_nested_tgd("S1(x1) -> exists y . (S2(x2) -> R(x2, y))")
+        >>> bool(implies_tgd([parse_tgd("S2(x2) -> R(x2, z)")], tau))
+        False
+        >>> bool(implies_tgd([parse_tgd("S1(x1) & S2(x2) -> R(x2, x1)")], tau))
+        True
+    """
+    lhs = _normalize_lhs(sigma_set if not isinstance(sigma_set, (STTgd, NestedTgd, SOTgd))
+                         else [sigma_set])
+    rhs = _normalize_rhs(sigma)
+    k = implication_bound(lhs, rhs)
+    if any(dep == rhs for dep in lhs):
+        # Syntactic membership short-circuit: Sigma trivially implies its own
+        # members, and the full k-pattern sweep can be non-elementary.
+        return ImplicationResult(holds=True, k=k, patterns_checked=0)
+    patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
+    source_egds = list(source_egds)
+
+    checked = 0
+    for pattern in patterns:
+        if source_egds:
+            canon = legal_canonical_instances(pattern, rhs, source_egds)
+        else:
+            canon = canonical_instances(pattern, rhs)
+        chased = chase(canon.source, lhs)
+        checked += 1
+        if find_homomorphism(canon.target, chased) is None:
+            return ImplicationResult(
+                holds=False,
+                k=k,
+                patterns_checked=checked,
+                failing_pattern=pattern,
+                counterexample_source=canon.source,
+                counterexample_target=canon.target,
+            )
+    return ImplicationResult(holds=True, k=k, patterns_checked=checked)
+
+
+def implies(
+    sigma_set,
+    sigma_prime_set,
+    source_egds: Sequence[Egd] = (),
+    max_patterns: int | None = 1_000_000,
+) -> bool:
+    """Decide ``Sigma |= Sigma'`` for finite sets of (nested) tgds.
+
+    Both arguments may be a single dependency or an iterable.  With
+    *source_egds*, implication is relative to sources satisfying the egds
+    (Theorem 5.7).
+    """
+    if isinstance(sigma_prime_set, (STTgd, NestedTgd)):
+        sigma_prime_set = [sigma_prime_set]
+    return all(
+        implies_tgd(sigma_set, sigma, source_egds=source_egds, max_patterns=max_patterns).holds
+        for sigma in sigma_prime_set
+    )
+
+
+def equivalent(
+    sigma_set,
+    sigma_prime_set,
+    source_egds: Sequence[Egd] = (),
+    max_patterns: int | None = 1_000_000,
+) -> bool:
+    """Decide logical equivalence of two finite sets of nested tgds (Corollary 3.11)."""
+    return implies(
+        sigma_set, sigma_prime_set, source_egds=source_egds, max_patterns=max_patterns
+    ) and implies(
+        sigma_prime_set, sigma_set, source_egds=source_egds, max_patterns=max_patterns
+    )
+
+
+def implies_semantic_bounded(
+    sigma_set,
+    sigma,
+    max_facts: int = 3,
+    max_constants: int = 3,
+    source_egds: Sequence[Egd] = (),
+) -> bool:
+    """Brute-force implication over all source instances up to a size bound.
+
+    ``Sigma |= sigma`` holds iff for every source instance I,
+    ``chase(I, sigma)`` maps homomorphically into ``chase(I, Sigma)`` (the
+    closure-under-target-homomorphisms argument of Section 3).  This checker
+    verifies exactly that over every source instance with at most *max_facts*
+    facts over *max_constants* constants (up to isomorphism).
+
+    It is exponential and exists as a differential-testing oracle for the
+    pattern-based procedure :func:`implies_tgd`: sound refutations, and
+    agreement on small instances is strong evidence of agreement everywhere
+    (the k-pattern argument says small canonical instances suffice).
+    """
+    from repro.core.fblock_analysis import enumerate_source_instances
+    from repro.engine.egd_chase import satisfies_egds
+    from repro.logic.schema import Schema
+
+    lhs = _normalize_lhs(sigma_set if not isinstance(sigma_set, (STTgd, NestedTgd, SOTgd))
+                         else [sigma_set])
+    rhs = _normalize_rhs(sigma)
+    schema = rhs.source_schema()
+    for dep in lhs:
+        schema = schema.union(dep.source_schema())
+    for instance in enumerate_source_instances(schema, max_facts, max_constants):
+        if source_egds and not satisfies_egds(instance, list(source_egds)):
+            continue
+        rhs_chase = chase(instance, [rhs])
+        lhs_chase = chase(instance, lhs)
+        if find_homomorphism(rhs_chase, lhs_chase) is None:
+            return False
+    return True
+
+
+__all__ = [
+    "ImplicationResult",
+    "implication_bound",
+    "implies_tgd",
+    "implies",
+    "implies_semantic_bounded",
+    "equivalent",
+]

@@ -1,0 +1,152 @@
+"""Mapping optimization: redundancy removal and per-dependency normalization.
+
+Decidable implication (Theorem 3.1) makes classic schema-mapping-management
+operations *exact* for nested GLAV mappings:
+
+- :func:`remove_redundant_dependencies` -- drop every dependency implied by
+  the remaining ones (the result is logically equivalent to the input);
+- :func:`minimize_tgd_body` -- drop body atoms of an s-t tgd as long as the
+  dependency stays logically equivalent (the classical tableau-minimization,
+  here performed with IMPLIES so that it is exact);
+- :func:`normalize_tgd_head` -- replace the head by its core: fold redundant
+  existential structure (e.g. ``R(x, y) & R(x, z)`` with existential ``z``
+  folds onto ``R(x, y)``), treating universal variables as constants;
+- :func:`optimize` -- the full pipeline over a set of dependencies.
+
+These operations echo the schema-mapping-optimization agenda of
+[Fagin-Kolaitis-Nash-Popa, reference 6 of the paper], whose f-block results
+Section 4 builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.tgds import STTgd
+from repro.logic.values import Constant, Variable
+from repro.core.implication import equivalent, implies
+from repro.engine.core_instance import core
+
+
+def remove_redundant_dependencies(
+    dependencies: Sequence,
+    source_egds: Sequence[Egd] = (),
+) -> list:
+    """Greedily drop dependencies implied by the remaining ones.
+
+    The result is logically equivalent to the input (relative to the source
+    egds) and inclusion-minimal w.r.t. the greedy order.
+
+        >>> from repro.logic.parser import parse_tgd
+        >>> strong = parse_tgd("S(x,y) -> R(x,y)")
+        >>> weak = parse_tgd("S(x,y) -> R(x,z)")
+        >>> remove_redundant_dependencies([strong, weak]) == [strong]
+        True
+    """
+    kept = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for index, dep in enumerate(kept):
+            rest = kept[:index] + kept[index + 1:]
+            if rest and implies(rest, dep, source_egds=list(source_egds)):
+                kept = rest
+                changed = True
+                break
+    return kept
+
+
+def minimize_tgd_body(tgd: STTgd, source_egds: Sequence[Egd] = ()) -> STTgd:
+    """Drop redundant body atoms of an s-t tgd, preserving logical equivalence.
+
+        >>> from repro.logic.parser import parse_tgd
+        >>> t = parse_tgd("S(x,y) & S(x,yp) -> R(x)")
+        >>> len(minimize_tgd_body(t).body)
+        1
+    """
+    body = list(tgd.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1:]
+            head_vars = {
+                v for a in tgd.head for v in a.variable_set()
+            } & set(tgd.universal_variables)
+            remaining_vars = {v for a in candidate_body for v in a.variable_set()}
+            if not head_vars <= remaining_vars:
+                continue  # dropping would unsafely free a head variable
+            candidate = STTgd(body=tuple(candidate_body), head=tgd.head, name=tgd.name)
+            if equivalent([candidate], [tgd], source_egds=list(source_egds)):
+                body = candidate_body
+                changed = True
+                break
+    return STTgd(body=tuple(body), head=tgd.head, name=tgd.name)
+
+
+def normalize_tgd_head(tgd: STTgd) -> STTgd:
+    """Replace the head of an s-t tgd by its core.
+
+    Universal variables are frozen as constants, existential variables become
+    nulls, and the core computation folds redundant existential structure.
+    The result is logically equivalent to the input.
+    """
+    universal = tgd.universal_variables
+    existential = tgd.existential_variables
+    to_value: dict[Variable, object] = {}
+    for var in universal:
+        to_value[var] = Constant(("$u", var.name))
+    from repro.logic.values import Null
+
+    for var in existential:
+        to_value[var] = Null(("$e", var.name))
+
+    head_instance = Instance(a.substitute(to_value) for a in tgd.head)
+    head_core = core(head_instance)
+
+    back: dict[object, Variable] = {}
+    for var, value in to_value.items():
+        back[value] = var
+
+    new_head = tuple(
+        Atom(f.relation, tuple(back[arg] for arg in f.args))
+        for f in sorted(head_core.facts, key=repr)
+    )
+    return STTgd(body=tgd.body, head=new_head, name=tgd.name)
+
+
+def optimize(
+    dependencies: Sequence,
+    source_egds: Sequence[Egd] = (),
+) -> list:
+    """Run the full optimization pipeline over a set of dependencies.
+
+    Flat dependencies get body minimization and head normalization; then
+    redundant dependencies are removed.  The result is logically equivalent
+    to the input (relative to the source egds).
+    """
+    normalized: list = []
+    for dep in dependencies:
+        if isinstance(dep, STTgd):
+            dep = normalize_tgd_head(dep)
+            dep = minimize_tgd_body(dep, source_egds=source_egds)
+        elif isinstance(dep, NestedTgd) and dep.is_flat():
+            flat = normalize_tgd_head(dep.to_st_tgd())
+            dep = minimize_tgd_body(flat, source_egds=source_egds)
+        elif not isinstance(dep, NestedTgd):
+            raise DependencyError(f"cannot optimize dependency {dep!r}")
+        normalized.append(dep)
+    return remove_redundant_dependencies(normalized, source_egds=source_egds)
+
+
+__all__ = [
+    "remove_redundant_dependencies",
+    "minimize_tgd_body",
+    "normalize_tgd_head",
+    "optimize",
+]

@@ -1,0 +1,104 @@
+"""Realizability of patterns (Example 3.4 of the paper, made effective).
+
+Not every pattern of a nested tgd is the pattern of an actual chase tree:
+"the assignment of the only variable x1 is determined by the root triggering
+and thus only a single triggering of the nested part is possible"
+(Example 3.4).  The paper notes that the decision procedure IMPLIES may
+safely ignore realizability; this module makes the notion itself executable:
+
+- :func:`is_realizable` -- the syntactic criterion: in a chase tree, a
+  triggering of a part is identified by its assignment, and a part whose own
+  universal-variable list is empty admits exactly one assignment per parent
+  triggering.  Hence a pattern is realizable iff no node has two or more
+  children labeled with such a "determined" part.  (Clones of parts *with*
+  own variables are always realizable: the canonical source instance gives
+  each clone fresh constants.)
+- :func:`realized_pattern` -- the pattern actually realized by chasing the
+  canonical source instance of a pattern;
+- :func:`pattern_embeds` -- sub-multiset-tree embedding between patterns,
+  used to cross-validate the two: a pattern is realizable iff it embeds into
+  the pattern realized by its own canonical source (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import Pattern
+from repro.logic.nested import NestedTgd
+from repro.engine.nested_chase import chase_nested
+
+
+def is_realizable(pattern: Pattern, tgd: NestedTgd) -> bool:
+    """Decide whether *pattern* is the pattern of some chase tree of *tgd*.
+
+        >>> from repro.logic.parser import parse_nested_tgd
+        >>> from repro.core.patterns import Pattern
+        >>> tgd = parse_nested_tgd("S1(x1) -> (S2(x1) -> T2(x1))")
+        >>> is_realizable(Pattern(1, (Pattern(2),)), tgd)          # Example 3.4
+        True
+        >>> is_realizable(Pattern(1, (Pattern(2), Pattern(2))), tgd)
+        False
+    """
+    pattern.validate_against(tgd)
+
+    def check(node: Pattern) -> bool:
+        counts: dict[int, int] = {}
+        for child in node.children:
+            counts[child.part_id] = counts.get(child.part_id, 0) + 1
+        for part_id, count in counts.items():
+            if count > 1 and not tgd.part(part_id).universal_vars:
+                return False
+        return all(check(child) for child in node.children)
+
+    return check(pattern)
+
+
+def realized_pattern(pattern: Pattern, tgd: NestedTgd) -> Pattern:
+    """The pattern of the chase tree that the canonical source of *pattern* fires.
+
+    The canonical source instance of an unrealizable pattern collapses its
+    determined clones; the realized pattern records what actually happens.
+    The canonical source can also fire *extra* triggerings (its atoms may
+    match other parts' bodies), so the realized pattern may strictly contain
+    the input even for realizable patterns.
+    """
+    canon = canonical_instances(pattern, tgd)
+    forest = chase_nested(canon.source, tgd)
+    # pick the tree whose root assignment matches the pattern's root constants
+    root_assignment = canon.assignments[()]
+    for tree in forest.trees:
+        if all(
+            tree.root.assignment.get(var) == value
+            for var, value in root_assignment.items()
+        ):
+            return tree.pattern()
+    raise AssertionError("the canonical source must fire its own root triggering")
+
+
+def pattern_embeds(small: Pattern, big: Pattern) -> bool:
+    """Multiset-tree embedding: can *small* be mapped into *big* injectively,
+    preserving labels and the parent-child relation?
+
+        >>> pattern_embeds(Pattern(1, (Pattern(2),)), Pattern(1, (Pattern(2), Pattern(2))))
+        True
+        >>> pattern_embeds(Pattern(1, (Pattern(2), Pattern(2))), Pattern(1, (Pattern(2),)))
+        False
+    """
+    if small.part_id != big.part_id:
+        return False
+
+    def match_children(children: tuple[Pattern, ...], targets: list[Pattern]) -> bool:
+        if not children:
+            return True
+        head, rest = children[0], children[1:]
+        for index, target in enumerate(targets):
+            if pattern_embeds(head, target):
+                remaining = targets[:index] + targets[index + 1:]
+                if match_children(rest, remaining):
+                    return True
+        return False
+
+    return match_children(small.children, list(big.children))
+
+
+__all__ = ["is_realizable", "realized_pattern", "pattern_embeds"]

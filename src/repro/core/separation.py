@@ -1,0 +1,228 @@
+"""Separation tools: telling plain SO tgds apart from nested GLAV mappings
+(Section 4.2 of the paper).
+
+Two necessary conditions for a schema mapping to be logically equivalent to a
+nested GLAV mapping are implemented:
+
+- **f-degree** (Theorem 4.12): a nested GLAV mapping has bounded f-block size
+  on a class C of source instances iff it has bounded f-degree on C.  Hence a
+  mapping with *unbounded f-block size but bounded f-degree* on some family
+  of instances is not equivalent to any nested GLAV mapping
+  (Proposition 4.13: the plain SO tgd ``S(x,y) -> R(f(x),f(y))`` on successor
+  relations).
+
+- **path length** (Theorem 4.16): every nested GLAV mapping has bounded path
+  length in the Gaifman graph of nulls of the cores of its universal
+  solutions.  Hence a mapping with unbounded null-graph path length is not
+  equivalent to any nested GLAV mapping (Example 4.14), even when its fact
+  graphs are uninformative cliques.
+
+:func:`fblock_profile` measures f-block size, f-degree and null path length
+of ``core(chase(I, M))`` along an instance family;
+:func:`nested_expressibility_report` turns the measured growth curves into a
+verdict with the paper's theorems as justifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic.nested import NestedTgd
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import one_patterns
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.gaifman import fact_block_size, fblock_degree, null_path_length
+from repro.workloads.families import InstanceFamily
+
+
+@dataclass
+class FBlockProfile:
+    """Metrics of ``core(chase(I, M))`` for one instance of a family."""
+
+    family: str
+    size: int
+    fblock_size: int
+    fdegree: int
+    path_length: int
+    core_facts: int
+
+
+def fblock_profile(
+    dependencies,
+    family: InstanceFamily,
+    sizes: Sequence[int],
+    path_cutoff: int | None = None,
+) -> list[FBlockProfile]:
+    """Measure f-block size, f-degree, and null path length along *family*.
+
+        >>> from repro.logic.parser import parse_so_tgd
+        >>> from repro.workloads.families import SUCCESSOR_FAMILY
+        >>> tau = parse_so_tgd("S(x,y) -> R(f(x), f(y))")
+        >>> profiles = fblock_profile([tau], SUCCESSOR_FAMILY, [2, 4])
+        >>> [p.fblock_size for p in profiles]
+        [2, 4]
+        >>> [p.fdegree for p in profiles]     # bounded (Proposition 4.13)
+        [1, 2]
+    """
+    from repro.logic.sotgd import SOTgd
+    from repro.logic.tgds import STTgd
+
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd)):
+        dependencies = [dependencies]
+    profiles: list[FBlockProfile] = []
+    for size in sizes:
+        instance = family(size)
+        solution_core = core(chase(instance, list(dependencies)))
+        profiles.append(
+            FBlockProfile(
+                family=family.name,
+                size=size,
+                fblock_size=fact_block_size(solution_core),
+                fdegree=fblock_degree(solution_core),
+                path_length=null_path_length(solution_core, cutoff=path_cutoff),
+                core_facts=len(solution_core),
+            )
+        )
+    return profiles
+
+
+def _grows(values: Sequence[int]) -> bool:
+    """Heuristic growth detector: non-decreasing with the tail strictly above the head."""
+    if len(values) < 2:
+        return False
+    non_decreasing = all(b >= a for a, b in zip(values, values[1:]))
+    return non_decreasing and values[-1] > values[0]
+
+
+def _bounded(values: Sequence[int]) -> bool:
+    """Heuristic boundedness detector: the tail of the curve is flat."""
+    if len(values) < 2:
+        return True
+    tail = values[len(values) // 2:]
+    return max(tail) == min(tail)
+
+
+@dataclass
+class ExpressibilityReport:
+    """The verdict of the necessary-condition checks of Section 4.2."""
+
+    profiles: list[FBlockProfile]
+    fblock_grows: bool
+    fdegree_bounded: bool
+    path_length_grows: bool
+    nested_expressible: bool | None
+    reason: str
+
+    def __bool__(self) -> bool:
+        return bool(self.nested_expressible)
+
+
+def nested_expressibility_report(
+    dependencies,
+    family: InstanceFamily,
+    sizes: Sequence[int],
+) -> ExpressibilityReport:
+    """Apply the f-degree and path-length tests along *family*.
+
+    Returns ``nested_expressible=False`` when one of the paper's necessary
+    conditions is violated on the measured curves, and ``None`` (inconclusive)
+    otherwise -- the conditions are necessary, not sufficient.
+
+        >>> from repro.logic.parser import parse_so_tgd
+        >>> from repro.workloads.families import SUCCESSOR_FAMILY
+        >>> tau = parse_so_tgd("S(x,y) -> R(f(x), f(y))")
+        >>> report = nested_expressibility_report([tau], SUCCESSOR_FAMILY, [2, 4, 6, 8])
+        >>> report.nested_expressible
+        False
+    """
+    profiles = fblock_profile(dependencies, family, sizes)
+    fblock_sizes = [p.fblock_size for p in profiles]
+    fdegrees = [p.fdegree for p in profiles]
+    path_lengths = [p.path_length for p in profiles]
+
+    fblock_grows = _grows(fblock_sizes)
+    fdegree_bounded = _bounded(fdegrees)
+    path_grows = _grows(path_lengths)
+
+    if fblock_grows and fdegree_bounded:
+        return ExpressibilityReport(
+            profiles=profiles,
+            fblock_grows=True,
+            fdegree_bounded=True,
+            path_length_grows=path_grows,
+            nested_expressible=False,
+            reason=(
+                "unbounded f-block size with bounded f-degree on "
+                f"family {family.name!r} contradicts Theorem 4.12"
+            ),
+        )
+    if path_grows:
+        return ExpressibilityReport(
+            profiles=profiles,
+            fblock_grows=fblock_grows,
+            fdegree_bounded=fdegree_bounded,
+            path_length_grows=True,
+            nested_expressible=False,
+            reason=(
+                f"unbounded null-graph path length on family {family.name!r} "
+                "contradicts Theorem 4.16"
+            ),
+        )
+    return ExpressibilityReport(
+        profiles=profiles,
+        fblock_grows=fblock_grows,
+        fdegree_bounded=fdegree_bounded,
+        path_length_grows=path_grows,
+        nested_expressible=None,
+        reason="no necessary condition violated on the measured curves (inconclusive)",
+    )
+
+
+def path_length_bound(tgd: NestedTgd, extra_clones: int | None = None) -> int:
+    """An effective bound on the null-graph path length of a nested GLAV mapping.
+
+    Theorem 4.16 states that every nested GLAV mapping has bounded path
+    length; this computes a concrete bound by saturating the pattern
+    machinery: each 1-pattern subtree is cloned ``v + 1`` times (``v`` being
+    the number of Skolem functions) and the longest simple path of the null
+    graph of ``core(chase(I_p, sigma))`` is measured.  A simple path entering
+    a cloned subtree's nulls must leave through a shared ancestor null, of
+    which there are at most ``v`` per chain, so additional clones cannot
+    lengthen the longest simple path further.
+    """
+    clones = extra_clones if extra_clones is not None else tgd.skolem_function_count() + 1
+    best = 0
+    for pattern in one_patterns(tgd):
+        candidates = [pattern]
+        paths = _all_paths(pattern)
+        for path in paths:
+            candidates.append(pattern.with_clones(path, clones))
+        for candidate in candidates:
+            canon = canonical_instances(candidate, tgd)
+            solution_core = core(chase(canon.source, [tgd]))
+            best = max(best, null_path_length(solution_core))
+    return best
+
+
+def _all_paths(pattern) -> list[tuple[int, ...]]:
+    paths: list[tuple[int, ...]] = []
+
+    def visit(node, path: tuple[int, ...]) -> None:
+        for index, child in enumerate(node.children):
+            child_path = path + (index,)
+            paths.append(child_path)
+            visit(child, child_path)
+
+    visit(pattern, ())
+    return paths
+
+
+__all__ = [
+    "FBlockProfile",
+    "fblock_profile",
+    "ExpressibilityReport",
+    "nested_expressibility_report",
+    "path_length_bound",
+]

@@ -1,0 +1,124 @@
+"""GLAV unfoldings of nested tgds: the best flat approximations.
+
+Every pattern ``p`` of a nested tgd induces the *pattern tgd* ``I_p -> J_p``
+(:func:`repro.core.glav_equivalence.pattern_tgd`).  The set of pattern tgds
+over patterns with at most ``n`` nodes is the *n-th unfolding* of the tgd: a
+GLAV mapping that the nested tgd always implies, growing monotonically
+stronger with ``n``.
+
+The unfoldings quantify the expressiveness gap of Section 4:
+
+- if the nested tgd has *bounded* f-block size, some unfolding is logically
+  equivalent to it (this is how :func:`repro.core.glav_equivalence.to_glav`
+  finds the witness);
+- if it has *unbounded* f-block size -- like the introduction's running
+  example -- **no** unfolding ever implies it back, and
+  :func:`approximation_gap` exhibits, for each ``n``, a source instance on
+  which the n-th unfolding's certain answers differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.tgds import STTgd
+from repro.core.glav_equivalence import pattern_tgd
+from repro.core.implication import implies
+from repro.core.patterns import patterns_up_to_size
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.homomorphism import has_homomorphism
+
+
+def unfolding(tgd: NestedTgd, max_nodes: int) -> list[STTgd]:
+    """The n-th GLAV unfolding: pattern tgds over patterns with <= n nodes.
+
+        >>> from repro.logic.parser import parse_nested_tgd
+        >>> sigma = parse_nested_tgd(
+        ...     "S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+        >>> len(unfolding(sigma, 2))
+        2
+        >>> len(unfolding(sigma, 3))
+        3
+    """
+    result: list[STTgd] = []
+    for pattern in patterns_up_to_size(tgd, max_nodes):
+        induced = pattern_tgd(pattern, tgd)
+        if induced is not None:
+            result.append(induced)
+    return list(dict.fromkeys(result))
+
+
+@dataclass
+class ApproximationGap:
+    """A witness that the n-th unfolding is strictly weaker than the tgd.
+
+    ``source`` is a source instance on which the cores of the chases differ:
+    the nested tgd forces a larger correlated block than the unfolding can.
+    """
+
+    n: int
+    unfolding_size: int
+    source: Instance
+    nested_core_size: int
+    unfolding_core_size: int
+
+
+def approximation_gap(tgd: NestedTgd, max_nodes: int) -> ApproximationGap | None:
+    """Find a source separating *tgd* from its *max_nodes*-th unfolding.
+
+    Returns None when the unfolding already implies the tgd back (i.e. they
+    are logically equivalent -- the bounded case).  Otherwise the separating
+    source is the canonical source instance of a pattern one clone larger
+    than the unfolding covers.
+    """
+    flat = unfolding(tgd, max_nodes)
+    if flat and implies(flat, tgd):
+        return None
+    # A pattern with max_nodes + 1 nodes escapes the unfolding: its canonical
+    # source forces a correlation the unfolding cannot express.
+    for pattern in patterns_up_to_size(tgd, max_nodes + 1):
+        if pattern.node_count != max_nodes + 1:
+            continue
+        from repro.core.canonical import canonical_instances
+
+        canon = canonical_instances(pattern, tgd)
+        nested_chase = chase(canon.source, [tgd])
+        unfolding_chase = chase(canon.source, flat) if flat else Instance()
+        if not has_homomorphism(nested_chase, unfolding_chase):
+            return ApproximationGap(
+                n=max_nodes,
+                unfolding_size=len(flat),
+                source=canon.source,
+                nested_core_size=len(core(nested_chase)),
+                unfolding_core_size=len(core(unfolding_chase)),
+            )
+    return None
+
+
+def unfolding_hierarchy_strict(tgd: NestedTgd, up_to: int) -> list[bool]:
+    """For n = 1 .. up_to: is the (n+1)-th unfolding strictly stronger?
+
+    For an unbounded nested tgd the answer is eventually always True -- the
+    unfoldings form an infinite strictly increasing chain, which is exactly
+    why no finite GLAV mapping captures the tgd.
+    """
+    results: list[bool] = []
+    for n in range(1, up_to + 1):
+        smaller = unfolding(tgd, n)
+        bigger = unfolding(tgd, n + 1)
+        if not smaller:
+            results.append(bool(bigger))
+            continue
+        results.append(not implies(smaller, bigger))
+    return results
+
+
+__all__ = [
+    "unfolding",
+    "ApproximationGap",
+    "approximation_gap",
+    "unfolding_hierarchy_strict",
+]

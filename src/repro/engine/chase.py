@@ -1,0 +1,138 @@
+"""The oblivious chase for s-t tgds and (plain) SO tgds.
+
+``chase(I, M)`` produces the canonical universal solution of Section 2: for
+every dependency and every assignment making its body true in the source
+instance, the head atoms are added with existential variables instantiated by
+fresh nulls.  We realize "fresh null per trigger" with ground Skolem terms:
+the null for existential variable ``y`` under body match ``a`` is the ground
+term ``f_y(a)``, which both deduplicates repeated triggers and records
+provenance (Section 3: "Skolem terms are considered as null labels").
+
+For SO tgds the chase interprets the existentially quantified functions over
+the term algebra: a term evaluates to the corresponding ground Skolem term,
+and an equality ``t = t'`` holds iff the two ground terms are identical.
+This is the canonical-universal-solution chase of Fagin et al. (reference [8]
+of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.sotgd import SOTgd
+from repro.logic.terms import substitute_term
+from repro.logic.tgds import STTgd
+from repro.engine.matching import find_matches
+
+
+def _evaluate_term(term, assignment: dict):
+    """Evaluate a term under *assignment*; function symbols build ground terms."""
+    value = substitute_term(term, assignment)
+    return value
+
+
+def chase_st_tgds(instance: Instance, tgds: Sequence[STTgd]) -> Instance:
+    """Chase *instance* with a finite set of s-t tgds; return the target instance.
+
+        >>> from repro.logic.parser import parse_instance, parse_tgd
+        >>> I = parse_instance("S(a, b)")
+        >>> J = chase_st_tgds(I, [parse_tgd("S(x,y) -> R(x,z)")])
+        >>> len(J)
+        1
+    """
+    facts: set[Atom] = set()
+    for index, tgd in enumerate(tgds):
+        head = tgd.skolem_head(
+            function_namer=lambda var, index=index: f"t{index}_{var.name}"
+        )
+        for assignment in find_matches(tgd.body, instance):
+            for atom in head:
+                facts.add(atom.substitute(assignment))
+    return Instance(facts)
+
+
+def chase_so_tgd(instance: Instance, so_tgd: SOTgd) -> Instance:
+    """Chase *instance* with an SO tgd; return the canonical universal solution.
+
+    Equalities between terms are evaluated over the term algebra (two ground
+    Skolem terms are equal iff identical); this matches the chase of [8] that
+    produces canonical universal solutions for SO tgds.
+    """
+    facts: set[Atom] = set()
+    for clause in so_tgd.clauses:
+        for assignment in find_matches(clause.body, instance):
+            satisfied = True
+            for left, right in clause.equalities:
+                if _evaluate_term(left, assignment) != _evaluate_term(right, assignment):
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+            for atom in clause.head:
+                args = tuple(_evaluate_term(t, assignment) for t in atom.args)
+                facts.add(Atom(atom.relation, args))
+    return Instance(facts)
+
+
+def chase(instance: Instance, dependencies) -> Instance:
+    """Chase *instance* with dependencies of any supported formalism.
+
+    *dependencies* may be a single dependency or an iterable mixing
+    :class:`STTgd`, :class:`~repro.logic.nested.NestedTgd`, and
+    :class:`SOTgd`.  Nested tgds are chased with the recursive-triggering
+    procedure of Section 3; SO tgds clause-wise; s-t tgds obliviously.
+    Distinct dependencies never share nulls (their Skolem functions are
+    renamed apart).
+    """
+    from repro.logic.nested import NestedTgd
+    from repro.engine.nested_chase import chase_nested
+
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd)):
+        dependencies = [dependencies]
+
+    result = Instance()
+    st_batch: list[STTgd] = []
+    for index, dep in enumerate(dependencies):
+        if isinstance(dep, STTgd):
+            st_batch.append(dep)
+        elif isinstance(dep, NestedTgd):
+            forest = chase_nested(instance, dep, function_prefix=f"d{index}_")
+            result = result.union(forest.instance)
+        elif isinstance(dep, SOTgd):
+            renamed = _rename_functions_apart(dep, f"d{index}_")
+            result = result.union(chase_so_tgd(instance, renamed))
+        else:
+            raise ChaseError(f"cannot chase with dependency {dep!r}")
+    if st_batch:
+        result = result.union(chase_st_tgds(instance, st_batch))
+    return result
+
+
+def _rename_functions_apart(so_tgd: SOTgd, prefix: str) -> SOTgd:
+    """Prefix all function symbols of *so_tgd* so nulls do not collide across tgds."""
+    from repro.logic.sotgd import SOClause
+    from repro.logic.terms import rename_term_functions
+
+    renaming = {f: f"{prefix}{f}" for f in so_tgd.functions}
+    clauses = []
+    for clause in so_tgd.clauses:
+        head = tuple(
+            Atom(a.relation, tuple(rename_term_functions(t, renaming) for t in a.args))
+            for a in clause.head
+        )
+        equalities = tuple(
+            (rename_term_functions(left, renaming), rename_term_functions(right, renaming))
+            for left, right in clause.equalities
+        )
+        clauses.append(SOClause(body=clause.body, equalities=equalities, head=head))
+    return SOTgd(
+        functions=tuple(renaming[f] for f in so_tgd.functions),
+        clauses=tuple(clauses),
+        name=so_tgd.name,
+    )
+
+
+__all__ = ["chase", "chase_st_tgds", "chase_so_tgd"]

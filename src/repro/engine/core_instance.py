@@ -1,0 +1,72 @@
+"""Core computation.
+
+The core of an instance J is the smallest subinstance of J homomorphically
+equivalent to J; it is unique up to isomorphism (Section 2, citing Hell &
+Nesetril).  The algorithm repeatedly looks for a null that can be
+*eliminated*: null ``x`` is eliminable when the f-block of ``x`` has a
+homomorphism into the subinstance of J consisting of the facts that do not
+contain ``x``.  Applying such a homomorphism (identity outside the block)
+yields a proper retract of J without ``x``; when no null is eliminable, J is
+a core.
+
+Correctness of the stopping condition: if J is not a core, it has a proper
+idempotent retract ``r``.  ``r`` moves some null ``x`` (otherwise it is the
+identity), and idempotence puts ``x`` outside the image of ``r``, so the
+restriction of ``r`` to the f-block of ``x`` is exactly an eliminating
+homomorphism.  Conversely each elimination strictly decreases the number of
+nulls, so the loop terminates after at most ``|nulls(J)|`` rounds.
+
+Note that merely searching for a homomorphism that maps ``x`` to another
+value would be wrong: such a homomorphism can be an automorphism (e.g.
+rotating the nulls of a symmetric cycle), whose application does not shrink
+the instance.
+"""
+
+from __future__ import annotations
+
+from repro.engine.gaifman import fact_blocks
+from repro.engine.homomorphism import _block_homomorphism
+from repro.logic.instances import Instance
+from repro.logic.values import is_null
+
+
+def _try_eliminate(instance: Instance) -> Instance | None:
+    """Eliminate one null via a folding retract; return None if J is a core."""
+    for block in fact_blocks(instance):
+        block_facts = list(block)
+        block_nulls = sorted(
+            {arg for fact in block_facts for arg in fact.args if is_null(arg)}, key=repr
+        )
+        for null in block_nulls:
+            target = instance.restrict(lambda fact: null not in fact.args)
+            mapping = _block_homomorphism(block_facts, target, {})
+            if mapping is not None:
+                return instance.map_values(mapping)
+    return None
+
+
+def core(instance: Instance) -> Instance:
+    """Return the core of *instance*.
+
+        >>> from repro.logic.parser import parse_instance
+        >>> core(parse_instance("R(a, _x), R(a, b)"))
+        Instance{R(a, b)}
+
+    The result contains the same constants as the input and a subset of its
+    nulls; it is homomorphically equivalent to the input and no proper
+    subinstance of it is.
+    """
+    current = instance
+    while True:
+        folded = _try_eliminate(current)
+        if folded is None:
+            return current
+        current = folded
+
+
+def is_core(instance: Instance) -> bool:
+    """Return True if *instance* equals its own core (no null is eliminable)."""
+    return _try_eliminate(instance) is None
+
+
+__all__ = ["core", "is_core"]

@@ -1,0 +1,118 @@
+"""Egd chase on source instances.
+
+Section 5 of the paper allows equality-generating dependencies over the
+source schema.  The *legal canonical instances* of Definition 5.4 are built
+by chasing the canonical source instance of a pattern with the source egds:
+whenever the body of an egd matches with ``left != right``, the two values
+are merged.
+
+Because canonical source instances are built from anonymous fresh constants,
+merging two constants is the intended behaviour there
+(``allow_constant_merge=True``).  On ordinary instances with rigid constants,
+the standard chase semantics raises :class:`EgdViolation` instead.
+Merging is implemented with a union-find over the active domain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import EgdViolation
+from repro.logic.egds import Egd
+from repro.logic.instances import Instance
+from repro.logic.values import is_null
+from repro.engine.matching import find_matches
+
+
+class UnionFind:
+    """Union-find over instance values with deterministic representatives.
+
+    Representatives are chosen so that constants win over nulls and the
+    repr-smallest value wins among equals, making chase results reproducible.
+    """
+
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, value):
+        parent = self._parent.get(value, value)
+        if parent == value:
+            return value
+        root = self.find(parent)
+        self._parent[value] = root
+        return root
+
+    def union(self, left, right) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return
+        winner, loser = self._pick(left_root, right_root)
+        self._parent[loser] = winner
+
+    @staticmethod
+    def _pick(left, right):
+        """Prefer constants over nulls, then repr order, as the representative."""
+        left_is_null, right_is_null = is_null(left), is_null(right)
+        if left_is_null != right_is_null:
+            return (right, left) if left_is_null else (left, right)
+        if repr(left) <= repr(right):
+            return left, right
+        return right, left
+
+    def as_mapping(self, domain: Iterable) -> dict:
+        """Return the value -> representative map restricted to *domain*."""
+        return {value: self.find(value) for value in domain}
+
+
+def chase_egds(
+    instance: Instance,
+    egds: Sequence[Egd],
+    *,
+    allow_constant_merge: bool = False,
+) -> tuple[Instance, dict]:
+    """Chase *instance* with *egds* to a fixpoint.
+
+    Returns ``(chased_instance, equalities)`` where *equalities* maps each
+    value of the original active domain to its representative.  Raises
+    :class:`EgdViolation` if two distinct constants would be merged and
+    *allow_constant_merge* is False.
+
+        >>> from repro.logic.parser import parse_egd, parse_instance
+        >>> egd = parse_egd("P(z, x) & P(z, y) -> x = y")
+        >>> I = parse_instance("P(a, b), P(a, c)")
+        >>> J, eq = chase_egds(I, [egd], allow_constant_merge=True)
+        >>> len(J)
+        1
+    """
+    union_find = UnionFind()
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        for egd in egds:
+            for assignment in find_matches(egd.body, current):
+                left = assignment[egd.left]
+                right = assignment[egd.right]
+                if left == right:
+                    continue
+                if not allow_constant_merge and not is_null(left) and not is_null(right):
+                    raise EgdViolation(left, right)
+                union_find.union(left, right)
+                changed = True
+        if changed:
+            mapping = union_find.as_mapping(current.active_domain())
+            current = current.map_values(mapping)
+    equalities = union_find.as_mapping(instance.active_domain())
+    return current, equalities
+
+
+def satisfies_egds(instance: Instance, egds: Sequence[Egd]) -> bool:
+    """Return True if *instance* satisfies every egd in *egds*."""
+    for egd in egds:
+        for assignment in find_matches(egd.body, instance):
+            if assignment[egd.left] != assignment[egd.right]:
+                return False
+    return True
+
+
+__all__ = ["UnionFind", "chase_egds", "satisfies_egds"]

@@ -1,0 +1,169 @@
+"""Gaifman graphs of facts and of nulls, f-blocks, and their metrics.
+
+Section 2 of the paper defines the *Gaifman graph of facts* of a target
+instance J: nodes are the facts of J, with an edge between two facts sharing
+a null.  Its connected components are the *fact blocks* (f-blocks) of J, and
+the *f-block size* of J is the maximum cardinality of an f-block.
+
+Section 4.2 additionally defines the *Gaifman graph of nulls*: nodes are the
+nulls of J, with an edge between two nulls occurring in the same fact, and
+the *path length* of an instance: the length of the longest simple path in
+the null graph.  These drive the separation tools (Theorems 4.12 and 4.16).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+import networkx as nx
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+
+
+def fact_graph(instance: Instance) -> nx.Graph:
+    """Return the Gaifman graph of facts of *instance* (nodes are facts)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(instance.facts)
+    by_null: dict = defaultdict(list)
+    for fact in instance:
+        for null in set(fact.nulls()):
+            by_null[null].append(fact)
+    for facts in by_null.values():
+        anchor = facts[0]
+        for other in facts[1:]:
+            graph.add_edge(anchor, other)
+    return graph
+
+
+def fact_blocks(instance: Instance) -> Iterator[frozenset[Atom]]:
+    """Yield the f-blocks of *instance* (connected components of the fact graph).
+
+    Facts without nulls form singleton blocks.
+    """
+    for component in nx.connected_components(fact_graph(instance)):
+        yield frozenset(component)
+
+
+def fact_block_of(instance: Instance, fact: Atom) -> frozenset[Atom]:
+    """Return the f-block containing *fact*."""
+    graph = fact_graph(instance)
+    return frozenset(nx.node_connected_component(graph, fact))
+
+
+def fact_block_size(instance: Instance) -> int:
+    """Return the f-block size of *instance*: the maximum f-block cardinality."""
+    if not len(instance):
+        return 0
+    return max(len(block) for block in fact_blocks(instance))
+
+
+def is_connected(instance: Instance) -> bool:
+    """Return True if the fact graph of *instance* is connected (Section 2)."""
+    graph = fact_graph(instance)
+    if graph.number_of_nodes() == 0:
+        return True
+    return nx.is_connected(graph)
+
+
+def fblock_degree(instance: Instance) -> int:
+    """Return the maximum degree over all f-blocks of the fact graph.
+
+    Section 4.2: a mapping has bounded f-degree on a class of instances if the
+    degree of every f-block of the core of the chase stays below a constant.
+    The degree of a fact is the number of fact-graph edges incident to it.
+    Note that :func:`fact_graph` uses a star per null to witness connectivity,
+    so for degree purposes we use the *complete* sharing graph instead.
+    """
+    graph = full_fact_graph(instance)
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for __, degree in graph.degree())
+
+
+def full_fact_graph(instance: Instance) -> nx.Graph:
+    """Return the fact graph with an edge for *every* pair of facts sharing a null.
+
+    :func:`fact_graph` adds only a star per null (sufficient for connectivity
+    and hence f-blocks); this variant materializes all edges and is the graph
+    whose degree Section 4.2 refers to.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(instance.facts)
+    by_null: dict = defaultdict(list)
+    for fact in instance:
+        for null in set(fact.nulls()):
+            by_null[null].append(fact)
+    for facts in by_null.values():
+        for i, left in enumerate(facts):
+            for right in facts[i + 1:]:
+                graph.add_edge(left, right)
+    return graph
+
+
+def null_graph(instance: Instance) -> nx.Graph:
+    """Return the Gaifman graph of nulls of *instance* (nodes are nulls)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(instance.nulls())
+    for fact in instance:
+        nulls = sorted(set(fact.nulls()), key=repr)
+        for i, left in enumerate(nulls):
+            for right in nulls[i + 1:]:
+                graph.add_edge(left, right)
+    return graph
+
+
+def longest_simple_path(graph: nx.Graph, cutoff: int | None = None) -> int:
+    """Return the length (edge count) of the longest simple path in *graph*.
+
+    Exact branch-and-bound DFS; exponential in the worst case, adequate for
+    the instance sizes produced by the paper's constructions.  If *cutoff* is
+    given, the search stops early once a path of length >= cutoff is found
+    and returns that length.
+    """
+    best = 0
+    nodes = list(graph.nodes)
+
+    adjacency = {node: set(graph.adj[node]) for node in nodes}
+
+    def dfs(node, visited: set, length: int) -> int:
+        nonlocal best
+        if length > best:
+            best = length
+        if cutoff is not None and best >= cutoff:
+            return best
+        for neighbor in adjacency[node]:
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            dfs(neighbor, visited, length + 1)
+            visited.discard(neighbor)
+            if cutoff is not None and best >= cutoff:
+                return best
+        return best
+
+    for start in nodes:
+        dfs(start, {start}, 0)
+        if cutoff is not None and best >= cutoff:
+            break
+    return best
+
+
+def null_path_length(instance: Instance, cutoff: int | None = None) -> int:
+    """Return the path length of *instance*: longest simple path in its null graph."""
+    return longest_simple_path(null_graph(instance), cutoff=cutoff)
+
+
+__all__ = [
+    "fact_graph",
+    "full_fact_graph",
+    "fact_blocks",
+    "fact_block_of",
+    "fact_block_size",
+    "is_connected",
+    "fblock_degree",
+    "null_graph",
+    "longest_simple_path",
+    "null_path_length",
+]

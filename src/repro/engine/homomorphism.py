@@ -1,0 +1,158 @@
+"""Homomorphisms between target instances.
+
+A homomorphism ``h : J1 -> J2`` maps values to values such that h is the
+identity on constants and every fact of J1 is mapped to a fact of J2
+(Section 2 of the paper).  Only nulls need to be assigned, so the search
+decomposes along the f-blocks of J1: nulls in different f-blocks never
+interact, and ground facts of J1 must simply occur in J2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import is_null
+
+
+def _order_block(facts: list[Atom], fixed_nulls: set) -> list[Atom]:
+    """Order facts so that consecutive facts share nulls with earlier ones."""
+    remaining = list(facts)
+    ordered: list[Atom] = []
+    known: set = set(fixed_nulls)
+    while remaining:
+        best_index = 0
+        best_score = (-1, 0)
+        for index, fact in enumerate(remaining):
+            nulls = set(fact.nulls())
+            score = (len(nulls & known), -len(nulls - known))
+            if score > best_score:
+                best_score = score
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        known |= set(chosen.nulls())
+    return ordered
+
+
+def _match_fact(query: Atom, target: Atom, mapping: dict) -> dict | None:
+    """Unify *query* (with nulls as unknowns) against *target* under *mapping*."""
+    if query.relation != target.relation or query.arity != target.arity:
+        return None
+    new_bindings: dict = {}
+    for arg, value in zip(query.args, target.args):
+        if is_null(arg):
+            existing = mapping.get(arg, new_bindings.get(arg))
+            if existing is None:
+                new_bindings[arg] = value
+            elif existing != value:
+                return None
+        elif arg != value:
+            return None
+    return new_bindings
+
+
+def _candidates(query: Atom, target: Instance, mapping: dict) -> list[Atom]:
+    best: list[Atom] | None = None
+    for pos, arg in enumerate(query.args):
+        value = mapping.get(arg) if is_null(arg) else arg
+        if value is None:
+            continue
+        candidates = target.facts_with(query.relation, pos, value)
+        if best is None or len(candidates) < len(best):
+            best = candidates
+            if not best:
+                return []
+    if best is not None:
+        return best
+    return target.facts_of(query.relation)
+
+
+def _block_homomorphism(
+    facts: list[Atom], target: Instance, fixed: Mapping
+) -> dict | None:
+    """Find a mapping of the nulls of *facts* sending every fact into *target*."""
+    fixed_nulls = {n for n in fixed if is_null(n)}
+    ordered = _order_block(facts, fixed_nulls)
+    mapping: dict = dict(fixed)
+
+    def search(index: int) -> dict | None:
+        if index == len(ordered):
+            return dict(mapping)
+        query = ordered[index]
+        for candidate in _candidates(query, target, mapping):
+            new_bindings = _match_fact(query, candidate, mapping)
+            if new_bindings is None:
+                continue
+            mapping.update(new_bindings)
+            result = search(index + 1)
+            if result is not None:
+                return result
+            for null in new_bindings:
+                del mapping[null]
+        return None
+
+    return search(0)
+
+
+def find_homomorphism(
+    source: Instance, target: Instance, fixed: Mapping | None = None
+) -> dict | None:
+    """Find a homomorphism from *source* to *target*, or return None.
+
+    The returned dict maps every null of *source* to a value of *target*
+    (constants are implicitly fixed and not included).  *fixed* pre-binds
+    some nulls, which is how the core computation searches for folding
+    endomorphisms.
+
+        >>> from repro.logic.parser import parse_instance
+        >>> J1 = parse_instance("R(a, _x)")
+        >>> J2 = parse_instance("R(a, b)")
+        >>> find_homomorphism(J1, J2) is not None
+        True
+        >>> find_homomorphism(J2, J1) is None   # R(a, b) does not occur in J1
+        True
+    """
+    from repro.engine.gaifman import fact_blocks
+
+    fixed = dict(fixed) if fixed else {}
+    result: dict = dict(fixed)
+    for block in fact_blocks(source):
+        block_facts = list(block)
+        if all(not any(is_null(a) for a in f.args) for f in block_facts):
+            # Ground facts must occur verbatim in the target.
+            if any(f not in target.facts for f in block_facts):
+                return None
+            continue
+        mapping = _block_homomorphism(block_facts, target, fixed)
+        if mapping is None:
+            return None
+        result.update(mapping)
+    return result
+
+
+def has_homomorphism(source: Instance, target: Instance) -> bool:
+    """Return True if ``source -> target`` (a homomorphism exists)."""
+    return find_homomorphism(source, target) is not None
+
+
+def homomorphically_equivalent(left: Instance, right: Instance) -> bool:
+    """Return True if homomorphisms exist in both directions (``J1 <-> J2``)."""
+    return has_homomorphism(left, right) and has_homomorphism(right, left)
+
+
+def is_homomorphism(mapping: Mapping, source: Instance, target: Instance) -> bool:
+    """Verify that *mapping* is a homomorphism from *source* to *target*."""
+    for key in mapping:
+        if not is_null(key):
+            return False
+    return all(fact.rename_values(dict(mapping)) in target.facts for fact in source)
+
+
+__all__ = [
+    "find_homomorphism",
+    "has_homomorphism",
+    "homomorphically_equivalent",
+    "is_homomorphism",
+]

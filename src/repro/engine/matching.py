@@ -1,0 +1,117 @@
+"""Conjunctive-query matching: find all assignments satisfying a conjunction of atoms.
+
+This is the workhorse used by every chase variant and by model checking.  It
+is a backtracking join over the instance's per-relation and per-position
+indexes, with a greedy "most bound variables first" atom ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Variable
+
+
+def _order_atoms(atoms: Sequence[Atom], bound: set[Variable]) -> list[Atom]:
+    """Greedily order atoms so that each one shares variables with earlier ones."""
+    remaining = list(atoms)
+    ordered: list[Atom] = []
+    known = set(bound)
+    while remaining:
+        best_index = 0
+        best_score = (-1, 0)
+        for index, atom in enumerate(remaining):
+            atom_vars = atom.variable_set()
+            score = (len(atom_vars & known), -len(atom_vars - known))
+            if score > best_score:
+                best_score = score
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        known |= chosen.variable_set()
+    return ordered
+
+
+def _candidate_facts(atom: Atom, instance: Instance, assignment: dict) -> list[Atom]:
+    """Return the candidate facts for *atom*, seeded by the most selective bound position."""
+    best: list[Atom] | None = None
+    for pos, arg in enumerate(atom.args):
+        value = assignment.get(arg) if isinstance(arg, Variable) else arg
+        if value is None:
+            continue
+        candidates = instance.facts_with(atom.relation, pos, value)
+        if best is None or len(candidates) < len(best):
+            best = candidates
+            if not best:
+                return []
+    if best is not None:
+        return best
+    return instance.facts_of(atom.relation)
+
+
+def _match_atom(atom: Atom, fact: Atom, assignment: dict) -> dict | None:
+    """Try to unify *atom* against *fact* under *assignment*; return extended bindings."""
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    new_bindings: dict = {}
+    for arg, value in zip(atom.args, fact.args):
+        if isinstance(arg, Variable):
+            existing = assignment.get(arg, new_bindings.get(arg))
+            if existing is None:
+                new_bindings[arg] = value
+            elif existing != value:
+                return None
+        elif arg != value:
+            return None
+    return new_bindings
+
+
+def find_matches(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping | None = None,
+) -> Iterator[dict]:
+    """Yield every assignment of the variables of *atoms* satisfied in *instance*.
+
+    *partial* pre-binds some variables (the "input assignment" of a nested-tgd
+    triggering, Section 3).  Each yielded dict extends *partial* and binds all
+    variables occurring in *atoms*.  Assignments are yielded once each; the
+    iteration order is deterministic for a given instance.
+
+        >>> from repro.logic.parser import parse_atom, parse_instance
+        >>> inst = parse_instance("S(a,b), S(b,c)")
+        >>> sorted(m[Variable("x")].name for m in find_matches([parse_atom("S(x,y)")], inst))
+        ['a', 'b']
+    """
+    base: dict = dict(partial) if partial else {}
+    ordered = _order_atoms(atoms, set(base))
+
+    def search(index: int, assignment: dict) -> Iterator[dict]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        atom = ordered[index]
+        for fact in _candidate_facts(atom, instance, assignment):
+            new_bindings = _match_atom(atom, fact, assignment)
+            if new_bindings is None:
+                continue
+            assignment.update(new_bindings)
+            yield from search(index + 1, assignment)
+            for var in new_bindings:
+                del assignment[var]
+
+    yield from search(0, base)
+
+
+def has_match(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping | None = None,
+) -> bool:
+    """Return True if *atoms* has at least one match in *instance*."""
+    return next(find_matches(atoms, instance, partial), None) is not None
+
+
+__all__ = ["find_matches", "has_match"]

@@ -1,0 +1,106 @@
+"""Naive reference implementations of matching and homomorphism search.
+
+These are deliberately simple, obviously-correct versions of the engine's
+two performance-critical primitives:
+
+- :func:`find_matches_naive` -- CQ matching without atom reordering and
+  without the per-position index (scans every fact of each relation);
+- :func:`find_homomorphism_naive` -- homomorphism search without f-block
+  decomposition and without candidate seeding (backtracking over the raw
+  fact list).
+
+They serve two purposes: as *oracles* for differential property tests
+(``tests/test_differential.py`` checks that the optimized engine agrees with
+them on random inputs), and as the baselines of the ablation benchmark
+``benchmarks/bench_ablation_engine.py`` that quantifies what the indexes and
+the block decomposition buy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Variable, is_null
+
+
+def find_matches_naive(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Mapping | None = None,
+) -> Iterator[dict]:
+    """All satisfying assignments, by brute-force backtracking in given order."""
+    atoms = list(atoms)
+    base: dict = dict(partial) if partial else {}
+
+    def search(index: int, assignment: dict) -> Iterator[dict]:
+        if index == len(atoms):
+            yield dict(assignment)
+            return
+        atom = atoms[index]
+        for fact in instance.facts_of(atom.relation):
+            new_bindings: dict = {}
+            ok = True
+            for arg, value in zip(atom.args, fact.args):
+                if isinstance(arg, Variable):
+                    bound = assignment.get(arg, new_bindings.get(arg))
+                    if bound is None:
+                        new_bindings[arg] = value
+                    elif bound != value:
+                        ok = False
+                        break
+                elif arg != value:
+                    ok = False
+                    break
+            if not ok or atom.arity != fact.arity:
+                continue
+            assignment.update(new_bindings)
+            yield from search(index + 1, assignment)
+            for var in new_bindings:
+                del assignment[var]
+
+    yield from search(0, base)
+
+
+def find_homomorphism_naive(
+    source: Instance, target: Instance, fixed: Mapping | None = None
+) -> dict | None:
+    """Homomorphism search without block decomposition or index seeding."""
+    facts = sorted(source.facts, key=repr)
+    mapping: dict = dict(fixed) if fixed else {}
+
+    def search(index: int) -> dict | None:
+        if index == len(facts):
+            return dict(mapping)
+        fact = facts[index]
+        for candidate in target.facts_of(fact.relation):
+            if fact.arity != candidate.arity:
+                continue
+            new_bindings: dict = {}
+            ok = True
+            for arg, value in zip(fact.args, candidate.args):
+                if is_null(arg):
+                    bound = mapping.get(arg, new_bindings.get(arg))
+                    if bound is None:
+                        new_bindings[arg] = value
+                    elif bound != value:
+                        ok = False
+                        break
+                elif arg != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping.update(new_bindings)
+            result = search(index + 1)
+            if result is not None:
+                return result
+            for null in new_bindings:
+                del mapping[null]
+        return None
+
+    return search(0)
+
+
+__all__ = ["find_matches_naive", "find_homomorphism_naive"]

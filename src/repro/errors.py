@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch library failures with a single ``except`` clause while still
+distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation symbol was used inconsistently with its declared arity or schema."""
+
+
+class DependencyError(ReproError):
+    """A dependency (tgd, nested tgd, SO tgd, or egd) violates a well-formedness rule.
+
+    Examples: a universally quantified variable that does not occur in any body
+    atom (safety), a source atom in the conclusion of an s-t tgd, or a nested
+    term in a dependency declared plain.
+    """
+
+
+class ParseError(ReproError):
+    """The textual syntax of a dependency or instance could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class ChaseError(ReproError):
+    """The chase could not be carried out."""
+
+
+class EgdViolation(ChaseError):
+    """An egd chase step attempted to equate two distinct rigid constants."""
+
+    def __init__(self, left: object, right: object):
+        self.left = left
+        self.right = right
+        super().__init__(f"egd chase would equate distinct constants {left!r} and {right!r}")
+
+
+class ResourceLimitExceeded(ReproError):
+    """A decision procedure exceeded a user-supplied resource limit.
+
+    The pattern machinery of the paper is non-elementary in the nesting depth
+    of the input dependencies (Sections 3 and 6 of the paper).  Rather than
+    silently truncating an enumeration - which would make an answer unsound -
+    procedures raise this exception when a limit is hit.
+    """
+
+    def __init__(self, what: str, limit: int):
+        self.what = what
+        self.limit = limit
+        super().__init__(f"resource limit exceeded: more than {limit} {what}")
+
+
+class UndecidedError(ReproError):
+    """A semi-decision procedure could not reach a verdict within its budget."""

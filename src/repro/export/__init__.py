@@ -1,0 +1,14 @@
+"""Exporters: compiling schema mappings to executable SQL.
+
+The paper's introduction recalls the Clio argument for nested GLAV mappings:
+"since they are specified in first-order logic, nested GLAV mappings give
+rise to transformations that, like those arising from GLAV mappings, can be
+implemented using SQL queries".  :mod:`repro.export.sql` reproduces that
+claim executably: it compiles a nested GLAV mapping to ``INSERT ... SELECT``
+statements (Skolem terms become string-concatenation expressions) and can run
+them on an in-memory SQLite database, producing exactly the oblivious chase.
+"""
+
+from repro.export.sql import compile_mapping_to_sql, execute_exchange, schema_ddl
+
+__all__ = ["compile_mapping_to_sql", "execute_exchange", "schema_ddl"]

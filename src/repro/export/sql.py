@@ -1,0 +1,213 @@
+"""Compile nested GLAV mappings to SQL and execute them (Clio-style).
+
+Every nested tgd flattens (via Skolemization, Section 2 of the paper) into
+clauses ``body_atoms -> head_atom`` whose head arguments are variables or
+Skolem terms.  Each clause compiles to one statement::
+
+    INSERT INTO T
+    SELECT DISTINCT a0.c1, 'f_y(' || a0.c0 || ',' || a1.c1 || ')'
+    FROM S AS a0, S AS a1
+    WHERE a0.c0 = a1.c0
+
+- body atoms become table aliases; repeated variables become join/selection
+  predicates;
+- Skolem terms become string-concatenation expressions, so the generated
+  labeled nulls are exactly the ground Skolem terms of the oblivious chase;
+- all columns are TEXT (``c0, c1, ...``).
+
+:func:`execute_exchange` loads a source instance into an in-memory SQLite
+database (Python's stdlib ``sqlite3``), runs the compiled statements, reads
+the target tables back, and returns an :class:`Instance` whose facts equal
+``chase(I, M)`` up to the textual rendering of nulls -- verified by the test
+suite against the chase engine.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Sequence
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.nested import nested_tgds_from
+from repro.logic.schema import Schema
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Constant, Null, Variable
+
+
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _check_identifier(name: str) -> str:
+    if not _IDENTIFIER.match(name):
+        raise DependencyError(f"{name!r} is not usable as an SQL identifier")
+    return name
+
+
+def schema_ddl(schema: Schema) -> list[str]:
+    """CREATE TABLE statements for a schema (all columns TEXT).
+
+        >>> schema_ddl(Schema([("S", 2)]))
+        ['CREATE TABLE S (c0 TEXT, c1 TEXT)']
+    """
+    statements = []
+    for relation in schema:
+        _check_identifier(relation.name)
+        columns = ", ".join(f"c{i} TEXT" for i in range(relation.arity))
+        statements.append(f"CREATE TABLE {relation.name} ({columns})")
+    return statements
+
+
+def _sql_literal(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+class _ClauseCompiler:
+    """Compile one flattened clause (body atoms -> one head atom) to SQL."""
+
+    def __init__(self, body: Sequence[Atom]):
+        self.aliases: list[tuple[str, Atom]] = [
+            (f"a{i}", atom) for i, atom in enumerate(body)
+        ]
+        self.variable_columns: dict[Variable, str] = {}
+        self.conditions: list[str] = []
+        for alias, atom in self.aliases:
+            _check_identifier(atom.relation)
+            for position, arg in enumerate(atom.args):
+                column = f"{alias}.c{position}"
+                if not isinstance(arg, Variable):
+                    raise DependencyError(f"non-variable body argument {arg!r}")
+                if arg in self.variable_columns:
+                    self.conditions.append(f"{column} = {self.variable_columns[arg]}")
+                else:
+                    self.variable_columns[arg] = column
+
+    def expression(self, term) -> str:
+        """The SQL expression computing a head argument."""
+        if isinstance(term, Variable):
+            try:
+                return self.variable_columns[term]
+            except KeyError:
+                raise DependencyError(f"head variable {term!r} unbound in the body")
+        if isinstance(term, FuncTerm):
+            pieces = [_sql_literal(f"{term.function}(")]
+            for index, arg in enumerate(term.args):
+                if index:
+                    pieces.append(_sql_literal(","))
+                pieces.append(self.expression(arg))
+            pieces.append(_sql_literal(")"))
+            return " || ".join(pieces)
+        raise DependencyError(f"cannot compile head term {term!r}")
+
+    def insert_statement(self, head_atom: Atom) -> str:
+        _check_identifier(head_atom.relation)
+        select_list = ", ".join(self.expression(arg) for arg in head_atom.args)
+        from_clause = ", ".join(f"{atom.relation} AS {alias}" for alias, atom in self.aliases)
+        statement = (
+            f"INSERT INTO {head_atom.relation} "
+            f"SELECT DISTINCT {select_list} FROM {from_clause}"
+        )
+        if self.conditions:
+            statement += " WHERE " + " AND ".join(self.conditions)
+        return statement
+
+
+def compile_mapping_to_sql(dependencies) -> list[str]:
+    """Compile a nested GLAV mapping to a list of INSERT ... SELECT statements.
+
+        >>> from repro.logic.parser import parse_tgd
+        >>> compile_mapping_to_sql([parse_tgd("S(x,y) -> R(y,x)")])
+        ['INSERT INTO R SELECT DISTINCT a0.c1, a0.c0 FROM S AS a0']
+    """
+    statements: list[str] = []
+    for index, tgd in enumerate(nested_tgds_from(dependencies)):
+        so = tgd.skolemize(function_prefix=f"d{index}_")
+        for clause in so.clauses:
+            compiler = _ClauseCompiler(clause.body)
+            for head_atom in clause.head:
+                statements.append(compiler.insert_statement(head_atom))
+    return statements
+
+
+def _render_value(value) -> str:
+    """Render an instance value exactly as the SQL expressions build it."""
+    if isinstance(value, Constant):
+        return str(value.name)
+    if isinstance(value, FuncTerm):
+        inner = ",".join(_render_value(arg) for arg in value.args)
+        return f"{value.function}({inner})"
+    if isinstance(value, Null):
+        return f"_{value.name}"
+    raise DependencyError(f"cannot render value {value!r}")
+
+
+def render_instance_values(instance: Instance) -> Instance:
+    """Rewrite an instance's values into the SQL textual rendering.
+
+    Ground Skolem-term nulls become :class:`Null` values labeled with the
+    rendered text, so a chase result becomes directly comparable with
+    :func:`execute_exchange`'s output.
+    """
+    def convert(value):
+        if isinstance(value, Constant):
+            return value
+        return Null(_render_value(value))
+
+    return Instance(
+        Atom(fact.relation, tuple(convert(arg) for arg in fact.args))
+        for fact in instance
+    )
+
+
+def execute_exchange(source: Instance, dependencies) -> Instance:
+    """Run the compiled SQL on SQLite and return the produced target instance.
+
+    The result equals ``chase(source, dependencies)`` after
+    :func:`render_instance_values` (tested property).  Values read back are
+    constants when they match a source constant and labeled nulls otherwise
+    (Skolem strings contain parentheses, which constants never do).
+    """
+    mapping_tgds = nested_tgds_from(dependencies)
+    source_schema = Schema()
+    target_schema = Schema()
+    for tgd in mapping_tgds:
+        source_schema = source_schema.union(tgd.source_schema())
+        target_schema = target_schema.union(tgd.target_schema())
+    source_schema = source_schema.union(source.schema())
+
+    connection = sqlite3.connect(":memory:")
+    try:
+        cursor = connection.cursor()
+        for statement in schema_ddl(source_schema) + schema_ddl(target_schema):
+            cursor.execute(statement)
+        for fact in source:
+            placeholders = ", ".join("?" for __ in fact.args)
+            values = [_render_value(arg) for arg in fact.args]
+            cursor.execute(
+                f"INSERT INTO {_check_identifier(fact.relation)} VALUES ({placeholders})",
+                values,
+            )
+        for statement in compile_mapping_to_sql(mapping_tgds):
+            cursor.execute(statement)
+
+        facts: list[Atom] = []
+        for relation in target_schema:
+            cursor.execute(f"SELECT DISTINCT * FROM {relation.name}")
+            for row in cursor.fetchall():
+                args = tuple(
+                    Null(text) if "(" in text else Constant(text) for text in row
+                )
+                facts.append(Atom(relation.name, args))
+        return Instance(facts)
+    finally:
+        connection.close()
+
+
+__all__ = [
+    "schema_ddl",
+    "compile_mapping_to_sql",
+    "render_instance_values",
+    "execute_exchange",
+]

@@ -1,0 +1,64 @@
+"""Logical substrate: values, terms, schemas, atoms, instances, and dependencies.
+
+This subpackage contains everything from Section 2 of the paper ("Preliminaries"):
+
+- :mod:`repro.logic.values` -- constants, labeled nulls and first-order variables;
+- :mod:`repro.logic.terms` -- function (Skolem) terms over variables or values;
+- :mod:`repro.logic.schema` -- relation symbols and schemas;
+- :mod:`repro.logic.atoms` -- relational atoms and conjunctions;
+- :mod:`repro.logic.instances` -- finite relational instances with indexes;
+- :mod:`repro.logic.substitution` -- variable assignments and their application;
+- :mod:`repro.logic.tgds` -- source-to-target tgds (GLAV constraints);
+- :mod:`repro.logic.nested` -- nested tgds and their parts;
+- :mod:`repro.logic.sotgd` -- (plain) second-order tgds;
+- :mod:`repro.logic.egds` -- equality-generating dependencies and keys;
+- :mod:`repro.logic.parser` -- a text syntax for all of the above;
+- :mod:`repro.logic.printer` -- pretty-printers (inverse of the parser).
+"""
+
+from repro.logic.values import Constant, Null, Variable, is_null, is_value
+from repro.logic.terms import FuncTerm, is_ground
+from repro.logic.schema import RelationSymbol, Schema
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.substitution import Substitution
+from repro.logic.tgds import STTgd
+from repro.logic.nested import NestedTgd, Part
+from repro.logic.sotgd import SOTgd, SOClause
+from repro.logic.egds import Egd, KeyDependency
+from repro.logic.parser import (
+    parse_atom,
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+
+__all__ = [
+    "Constant",
+    "Null",
+    "Variable",
+    "FuncTerm",
+    "RelationSymbol",
+    "Schema",
+    "Atom",
+    "Instance",
+    "Substitution",
+    "STTgd",
+    "NestedTgd",
+    "Part",
+    "SOTgd",
+    "SOClause",
+    "Egd",
+    "KeyDependency",
+    "is_null",
+    "is_value",
+    "is_ground",
+    "parse_atom",
+    "parse_egd",
+    "parse_instance",
+    "parse_nested_tgd",
+    "parse_so_tgd",
+    "parse_tgd",
+]

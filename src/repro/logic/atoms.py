@@ -1,0 +1,79 @@
+"""Relational atoms.
+
+An atom ``R(t1, ..., tn)`` pairs a relation name with a tuple of arguments.
+In a dependency, arguments are variables, constants, or (for SO tgds) function
+terms; in an instance, arguments are values (constants, nulls, ground terms),
+in which case the atom is a *fact*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.logic.terms import FuncTerm, is_ground, substitute_term, term_variables
+from repro.logic.values import Constant, Null, Variable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(*args)``; immutable and hashable."""
+
+    relation: str
+    args: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.relation}({inner})"
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom in left-to-right order (with repetition)."""
+        for arg in self.args:
+            yield from term_variables(arg)
+
+    def variable_set(self) -> frozenset[Variable]:
+        """Return the set of variables occurring in the atom."""
+        return frozenset(self.variables())
+
+    def nulls(self) -> Iterator:
+        """Yield the null values of a fact (labeled nulls and ground function terms)."""
+        for arg in self.args:
+            if isinstance(arg, (Null, FuncTerm)):
+                yield arg
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants of the atom (top-level arguments only)."""
+        for arg in self.args:
+            if isinstance(arg, Constant):
+                yield arg
+
+    def is_fact(self) -> bool:
+        """Return True if every argument is a value (no variables anywhere)."""
+        return all(not isinstance(a, Variable) and is_ground(a) for a in self.args)
+
+    def substitute(self, assignment: dict) -> "Atom":
+        """Apply a Variable -> value/term assignment to all arguments."""
+        return Atom(self.relation, tuple(substitute_term(a, assignment) for a in self.args))
+
+    def rename_values(self, renaming: dict) -> "Atom":
+        """Replace top-level argument values according to *renaming* (value -> value)."""
+        return Atom(self.relation, tuple(renaming.get(a, a) for a in self.args))
+
+
+def atoms_variables(atoms) -> frozenset[Variable]:
+    """Return the set of variables occurring in an iterable of atoms."""
+    result: set[Variable] = set()
+    for atom in atoms:
+        result.update(atom.variables())
+    return frozenset(result)
+
+
+__all__ = ["Atom", "atoms_variables"]

@@ -1,0 +1,186 @@
+"""A fluent programmatic construction API for dependencies.
+
+The text parser is convenient for literals; this builder is convenient when
+dependencies are constructed by code (generators, reductions, tests):
+
+    >>> from repro.logic.builder import Rel, variables
+    >>> x, y, z = variables("x y z")
+    >>> S, R = Rel("S"), Rel("R")
+    >>> tgd = make_tgd([S(x, y)], [R(x, z)])
+    >>> tgd.existential_variables
+    (?z,)
+
+Nested tgds are built from :func:`part` trees:
+
+    >>> sigma = make_nested(
+    ...     part([S(x, y)], exists=[z], head=[R(z, y)],
+    ...          children=[part([S(x, var("w"))], head=[R(z, var("w"))])]))
+    >>> sigma.part_count
+    2
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.nested import NestedTgd, Part
+from repro.logic.sotgd import SOClause, SOTgd
+from repro.logic.terms import FuncTerm
+from repro.logic.tgds import STTgd
+from repro.logic.values import Variable
+
+
+def var(name: str) -> Variable:
+    """A single variable."""
+    return Variable(name)
+
+
+def variables(names: str) -> tuple[Variable, ...]:
+    """Variables from a space-separated name list: ``variables("x y z")``."""
+    return tuple(Variable(name) for name in names.split())
+
+
+class Rel:
+    """A relation-name handle: calling it builds an atom.
+
+        >>> Rel("S")(Variable("x"), Variable("y"))
+        S(?x, ?y)
+    """
+
+    def __init__(self, name: str):
+        if not name or not name[0].isupper():
+            raise DependencyError(
+                f"relation names start with an upper-case letter, got {name!r}"
+            )
+        self.name = name
+
+    def __call__(self, *args) -> Atom:
+        return Atom(self.name, tuple(args))
+
+    def __repr__(self) -> str:
+        return f"Rel({self.name!r})"
+
+
+class Fun:
+    """A function-symbol handle for SO tgd terms: calling it builds a term.
+
+        >>> Fun("f")(Variable("x"))
+        f(?x)
+    """
+
+    def __init__(self, name: str):
+        if not name or not (name[0].islower() or name[0] == "_"):
+            raise DependencyError(
+                f"function names start with a lower-case letter, got {name!r}"
+            )
+        self.name = name
+
+    def __call__(self, *args) -> FuncTerm:
+        return FuncTerm(self.name, tuple(args))
+
+    def __repr__(self) -> str:
+        return f"Fun({self.name!r})"
+
+
+def make_tgd(body: Iterable[Atom], head: Iterable[Atom], name: str | None = None) -> STTgd:
+    """Build an s-t tgd; existential variables are inferred from the head."""
+    return STTgd(body=tuple(body), head=tuple(head), name=name)
+
+
+def part(
+    body: Iterable[Atom],
+    head: Iterable[Atom] = (),
+    exists: Iterable[Variable] = (),
+    children: Iterable[Part] = (),
+    scope: Iterable[Variable] = (),
+) -> Part:
+    """Build one nested-tgd part.
+
+    Universal variables are inferred: the body variables not listed in
+    *scope* (the variables bound by enclosing parts).  When building a tree
+    bottom-up, pass each part's inherited variables via *scope*; when in
+    doubt, the enclosing :func:`make_nested` re-infers scoping from the tree
+    structure, so *scope* only matters for variables deliberately shared with
+    an ancestor.
+    """
+    body = tuple(body)
+    scope_set = set(scope)
+    seen: dict[Variable, None] = {}
+    for atom in body:
+        for variable in atom.variables():
+            if variable not in scope_set:
+                seen.setdefault(variable, None)
+    return Part(
+        universal_vars=tuple(seen),
+        body=body,
+        exist_vars=tuple(exists),
+        head=tuple(head),
+        children=tuple(children),
+    )
+
+
+def make_nested(root: Part, name: str | None = None) -> NestedTgd:
+    """Build a nested tgd from a part tree, re-inferring per-part scoping.
+
+    Variables bound by an ancestor part are removed from each descendant's
+    universal list (so :func:`part` can be used without threading *scope*).
+    """
+
+    def rescope(node: Part, bound: frozenset[Variable]) -> Part:
+        universal = tuple(v for v in node.universal_vars if v not in bound)
+        new_bound = bound | set(universal) | set(node.exist_vars)
+        return Part(
+            universal_vars=universal,
+            body=node.body,
+            exist_vars=node.exist_vars,
+            head=node.head,
+            children=tuple(rescope(child, new_bound) for child in node.children),
+        )
+
+    return NestedTgd(rescope(root, frozenset()), name=name)
+
+
+def make_so_tgd(
+    clauses: Sequence[tuple],
+    name: str | None = None,
+) -> SOTgd:
+    """Build an SO tgd from ``(body, head)`` or ``(body, equalities, head)`` tuples.
+
+        >>> x, y = variables("x y")
+        >>> S, R, f = Rel("S"), Rel("R"), Fun("f")
+        >>> so = make_so_tgd([([S(x, y)], [R(f(x), f(y))])])
+        >>> so.is_plain()
+        True
+    """
+    built: list[SOClause] = []
+    functions: set[str] = set()
+    for item in clauses:
+        if len(item) == 2:
+            body, head = item
+            equalities: tuple = ()
+        elif len(item) == 3:
+            body, equalities, head = item
+        else:
+            raise DependencyError(
+                "each clause is (body, head) or (body, equalities, head)"
+            )
+        clause = SOClause(
+            body=tuple(body), equalities=tuple(equalities), head=tuple(head)
+        )
+        built.append(clause)
+        functions |= clause.function_symbols()
+    return SOTgd(functions=tuple(sorted(functions)), clauses=tuple(built), name=name)
+
+
+__all__ = [
+    "var",
+    "variables",
+    "Rel",
+    "Fun",
+    "make_tgd",
+    "part",
+    "make_nested",
+    "make_so_tgd",
+]

@@ -1,0 +1,213 @@
+"""Finite relational instances.
+
+An instance is a finite set of facts (Section 2).  :class:`Instance` stores
+the facts in a frozen set and maintains two indexes used throughout the
+engine:
+
+- a per-relation index (``facts_of``), used by conjunctive-query matching and
+  the chase;
+- a per-(relation, position, value) index (``facts_with``), used to seed
+  backtracking joins.
+
+Instances are immutable: all "modifying" operations return new instances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.logic.atoms import Atom
+from repro.logic.schema import Schema, infer_schema
+from repro.logic.values import Constant, is_null
+
+
+class Instance:
+    """An immutable finite set of facts with lookup indexes."""
+
+    __slots__ = ("_facts", "_by_relation", "_by_position", "_nulls", "_constants", "_hash")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._facts: frozenset[Atom] = frozenset(facts)
+        by_relation: dict[str, list[Atom]] = defaultdict(list)
+        by_position: dict[tuple, list[Atom]] = defaultdict(list)
+        nulls: set = set()
+        constants: set = set()
+        for fact in self._facts:
+            by_relation[fact.relation].append(fact)
+            for pos, value in enumerate(fact.args):
+                by_position[(fact.relation, pos, value)].append(fact)
+                if isinstance(value, Constant):
+                    constants.add(value)
+                else:
+                    nulls.add(value)
+        self._by_relation = dict(by_relation)
+        self._by_position = dict(by_position)
+        self._nulls = frozenset(nulls)
+        self._constants = frozenset(constants)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def facts(self) -> frozenset[Atom]:
+        return self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._facts)
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = sorted(self._facts, key=repr)
+        if len(shown) <= 8:
+            inner = ", ".join(repr(f) for f in shown)
+        else:
+            inner = ", ".join(repr(f) for f in shown[:8]) + f", ... ({len(shown)} facts)"
+        return f"Instance{{{inner}}}"
+
+    def __le__(self, other: "Instance") -> bool:
+        """Subinstance test: every fact of self is a fact of *other*."""
+        return self._facts <= other._facts
+
+    # ------------------------------------------------------------------ lookups
+
+    def relations(self) -> frozenset[str]:
+        """Return the names of relations with at least one fact."""
+        return frozenset(self._by_relation)
+
+    def facts_of(self, relation: str) -> list[Atom]:
+        """Return the facts of *relation* (empty list if none)."""
+        return self._by_relation.get(relation, [])
+
+    def facts_with(self, relation: str, position: int, value) -> list[Atom]:
+        """Return the facts of *relation* whose argument at *position* is *value*."""
+        return self._by_position.get((relation, position, value), [])
+
+    def active_domain(self) -> frozenset:
+        """Return all values occurring in some fact."""
+        return self._constants | self._nulls
+
+    def constants(self) -> frozenset[Constant]:
+        """Return the constants occurring in some fact."""
+        return self._constants
+
+    def nulls(self) -> frozenset:
+        """Return the nulls (labeled nulls and ground Skolem terms) occurring in some fact."""
+        return self._nulls
+
+    def schema(self) -> Schema:
+        """Return the schema inferred from the facts present."""
+        return infer_schema(self._facts)
+
+    def is_ground(self) -> bool:
+        """Return True if the instance contains no nulls."""
+        return not self._nulls
+
+    # ------------------------------------------------------------- construction
+
+    def union(self, other: "Instance | Iterable[Atom]") -> "Instance":
+        """Return the union of this instance with *other*."""
+        other_facts = other.facts if isinstance(other, Instance) else frozenset(other)
+        return Instance(self._facts | other_facts)
+
+    def difference(self, other: "Instance | Iterable[Atom]") -> "Instance":
+        """Return this instance minus the facts of *other*."""
+        other_facts = other.facts if isinstance(other, Instance) else frozenset(other)
+        return Instance(self._facts - other_facts)
+
+    def restrict(self, predicate: Callable[[Atom], bool]) -> "Instance":
+        """Return the subinstance of facts satisfying *predicate*."""
+        return Instance(f for f in self._facts if predicate(f))
+
+    def restrict_to_relations(self, names: Iterable[str]) -> "Instance":
+        """Return the subinstance over the given relation names."""
+        names = set(names)
+        return Instance(f for f in self._facts if f.relation in names)
+
+    def map_values(self, mapping: Mapping) -> "Instance":
+        """Apply a value -> value map to all facts (identity outside the map's domain).
+
+        This is how a homomorphism ``h`` is applied to an instance: the result
+        is ``h(J)``.
+        """
+        return Instance(f.rename_values(dict(mapping)) for f in self._facts)
+
+    # -------------------------------------------------------------- comparisons
+
+    def isomorphic(self, other: "Instance", *, rename_constants: bool = False) -> bool:
+        """Decide whether this instance is isomorphic to *other*.
+
+        With ``rename_constants=False`` (the default), the bijection must be
+        the identity on constants and only renames nulls.  With
+        ``rename_constants=True``, constants may be renamed to constants as
+        well -- this is the "unique up to renaming of constants" notion used
+        for canonical instances of patterns (Definition 3.7).
+        """
+        if len(self) != len(other):
+            return False
+        if sorted((f.relation, f.arity) for f in self) != sorted(
+            (f.relation, f.arity) for f in other
+        ):
+            return False
+        if not rename_constants and self._constants != other._constants:
+            return False
+
+        self_vals = sorted(self.active_domain(), key=repr)
+        if not rename_constants:
+            self_vals = [v for v in self_vals if is_null(v)]
+
+        other_nulls = sorted(other.nulls(), key=repr)
+        other_consts = sorted(other.constants(), key=repr)
+
+        def candidates(value) -> list:
+            if is_null(value):
+                return other_nulls
+            if rename_constants:
+                return other_consts
+            return [value]
+
+        other_facts = other.facts
+
+        def extend(index: int, mapping: dict, used: set) -> bool:
+            if index == len(self_vals):
+                image = {f.rename_values(mapping) for f in self._facts}
+                return image == other_facts
+            value = self_vals[index]
+            for cand in candidates(value):
+                if cand in used:
+                    continue
+                mapping[value] = cand
+                used.add(cand)
+                if extend(index + 1, mapping, used):
+                    return True
+                used.discard(cand)
+                del mapping[value]
+            return False
+
+        return extend(0, {}, set())
+
+
+def union_all(instances: Iterable[Instance]) -> Instance:
+    """Return the union of all given instances."""
+    facts: set[Atom] = set()
+    for inst in instances:
+        facts.update(inst.facts)
+    return Instance(facts)
+
+
+__all__ = ["Instance", "union_all"]

@@ -1,0 +1,108 @@
+"""Schemas and relation symbols.
+
+A schema is a finite sequence of relation symbols, each with a fixed arity
+(Section 2 of the paper).  Source and target schemas of a schema mapping must
+have no relation symbols in common.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name!r} has negative arity {self.arity}")
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A finite sequence of relation symbols with distinct names.
+
+    Construct from :class:`RelationSymbol` objects or ``(name, arity)`` pairs::
+
+        >>> s = Schema([("S", 2), ("Q", 1)])
+        >>> s.arity("S")
+        2
+        >>> "Q" in s
+        True
+    """
+
+    def __init__(self, relations: Iterable[RelationSymbol | tuple[str, int]] = ()):
+        self._relations: dict[str, RelationSymbol] = {}
+        for rel in relations:
+            if isinstance(rel, tuple):
+                rel = RelationSymbol(*rel)
+            if rel.name in self._relations:
+                existing = self._relations[rel.name]
+                if existing.arity != rel.arity:
+                    raise SchemaError(
+                        f"relation {rel.name!r} declared with arities "
+                        f"{existing.arity} and {rel.arity}"
+                    )
+                continue
+            self._relations[rel.name] = rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(r) for r in self)
+        return f"Schema({inner})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def arity(self, name: str) -> int:
+        """Return the arity of the relation *name*; raise SchemaError if unknown."""
+        try:
+            return self._relations[name].arity
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def symbol(self, name: str) -> RelationSymbol:
+        """Return the :class:`RelationSymbol` named *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def disjoint_from(self, other: "Schema") -> bool:
+        """Return True if this schema shares no relation names with *other*."""
+        return not set(self.names) & set(other.names)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Return the union schema; arities of shared names must agree."""
+        return Schema(list(self) + list(other))
+
+
+def infer_schema(atoms) -> Schema:
+    """Infer a schema from an iterable of atoms (name and arity per relation)."""
+    return Schema((atom.relation, len(atom.args)) for atom in atoms)
+
+
+__all__ = ["RelationSymbol", "Schema", "infer_schema"]

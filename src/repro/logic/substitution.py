@@ -1,0 +1,76 @@
+"""Variable assignments (substitutions) and their application.
+
+A :class:`Substitution` maps variables to values or terms.  It is a thin
+immutable wrapper over a dict with convenience operations used by the
+matching engine and the chase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import substitute_term
+from repro.logic.values import Variable
+
+
+class Substitution(Mapping):
+    """An immutable mapping from :class:`Variable` to values/terms."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping | Iterable[tuple] = ()):
+        self._map: dict = dict(mapping)
+
+    def __getitem__(self, var: Variable):
+        return self._map[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(self._map.items(), key=repr))
+        return f"Substitution({{{inner}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._map == other._map
+        if isinstance(other, Mapping):
+            return self._map == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def extend(self, more: Mapping | Iterable[tuple]) -> "Substitution":
+        """Return a new substitution with additional bindings (later wins)."""
+        merged = dict(self._map)
+        merged.update(dict(more))
+        return Substitution(merged)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return the restriction of this substitution to the given variables."""
+        keep = set(variables)
+        return Substitution({v: x for v, x in self._map.items() if v in keep})
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to all arguments of *atom*."""
+        return atom.substitute(self._map)
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """Apply the substitution to each atom in *atoms*."""
+        return tuple(atom.substitute(self._map) for atom in atoms)
+
+    def apply_term(self, term):
+        """Apply the substitution to a term."""
+        return substitute_term(term, self._map)
+
+    def as_dict(self) -> dict:
+        """Return a mutable copy of the underlying dict."""
+        return dict(self._map)
+
+
+__all__ = ["Substitution"]

@@ -1,0 +1,94 @@
+"""Constants, labeled nulls, and first-order variables.
+
+Following Section 2 of the paper, the active domain of a source instance
+consists of *constants* only, while target instances may additionally contain
+*(labeled) nulls*.  Dependencies are written with *variables*.
+
+A fourth kind of domain element, the ground Skolem term (:class:`FuncTerm`
+from :mod:`repro.logic.terms` with value arguments only), also acts as a null:
+the chase instantiates existential variables with Skolem terms and "Skolem
+terms are considered as null labels" (Section 3).  The predicate
+:func:`is_null` therefore treats everything that is not a :class:`Constant`
+as a null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A rigid constant.  Homomorphisms are the identity on constants."""
+
+    name: object
+
+    def __repr__(self) -> str:
+        return f"{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labeled null, i.e. an existential placeholder in a target instance."""
+
+    name: object
+
+    def __repr__(self) -> str:
+        return f"_{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A first-order variable occurring in a dependency (never in an instance)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def is_value(obj: Any) -> bool:
+    """Return True if *obj* may appear in an instance (constant, null, or ground term)."""
+    from repro.logic.terms import FuncTerm, is_ground
+
+    if isinstance(obj, (Constant, Null)):
+        return True
+    return isinstance(obj, FuncTerm) and is_ground(obj)
+
+
+def is_null(obj: Any) -> bool:
+    """Return True if *obj* acts as a null (anything in an instance that is not a constant).
+
+    Both :class:`Null` objects and ground Skolem terms qualify; homomorphisms
+    may move them, whereas constants are fixed.
+    """
+    from repro.logic.terms import FuncTerm
+
+    return isinstance(obj, (Null, FuncTerm))
+
+
+class FreshValueFactory:
+    """Deterministic factory for fresh constants and nulls.
+
+    Every construction in the library that needs "fresh" domain elements
+    (canonical instances of patterns, chase steps, workload generators) draws
+    them from a factory so that runs are reproducible and independent
+    constructions never collide by accident.
+    """
+
+    def __init__(self, constant_prefix: str = "a", null_prefix: str = "n"):
+        self._constant_prefix = constant_prefix
+        self._null_prefix = null_prefix
+        self._constant_counter = 0
+        self._null_counter = 0
+
+    def constant(self) -> Constant:
+        """Return a fresh constant, distinct from all previously returned ones."""
+        self._constant_counter += 1
+        return Constant(f"{self._constant_prefix}{self._constant_counter}")
+
+    def null(self) -> Null:
+        """Return a fresh labeled null, distinct from all previously returned ones."""
+        self._null_counter += 1
+        return Null(f"{self._null_prefix}{self._null_counter}")

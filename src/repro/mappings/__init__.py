@@ -1,0 +1,5 @@
+"""Schema mappings: the user-facing facade over dependencies and the engine."""
+
+from repro.mappings.mapping import SchemaMapping
+
+__all__ = ["SchemaMapping"]

@@ -1,0 +1,151 @@
+"""The :class:`SchemaMapping` facade.
+
+A schema mapping is a triple ``M = (S, T, Sigma)`` of a source schema, a
+target schema and a set of constraints (Section 2 of the paper); this library
+additionally allows a set of egds on the source schema (Section 5).  The
+class bundles the chase, solution checking, universal solutions, and core
+solutions behind one object, inferring schemas from the dependencies when
+they are not given explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import DependencyError, SchemaError
+from repro.logic.egds import Egd, KeyDependency
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.schema import Schema
+from repro.logic.sotgd import SOTgd
+from repro.logic.tgds import STTgd
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.egd_chase import satisfies_egds
+from repro.engine.homomorphism import has_homomorphism
+from repro.engine.model_check import satisfies
+
+
+def _normalize_egds(egds) -> tuple[Egd, ...]:
+    result: list[Egd] = []
+    for item in egds:
+        if isinstance(item, KeyDependency):
+            result.extend(item.egds)
+        elif isinstance(item, Egd):
+            result.append(item)
+        else:
+            raise DependencyError(f"expected an egd or key dependency, got {item!r}")
+    return tuple(result)
+
+
+class SchemaMapping:
+    """A schema mapping specified by s-t tgds, nested tgds, and/or SO tgds.
+
+        >>> from repro.logic.parser import parse_instance, parse_nested_tgd
+        >>> M = SchemaMapping([parse_nested_tgd(
+        ...     "S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")])
+        >>> J = M.chase(parse_instance("S(a,b), S(a,c)"))
+        >>> len(J)
+        4
+    """
+
+    def __init__(
+        self,
+        dependencies: Iterable,
+        source_egds: Iterable = (),
+        source_schema: Schema | None = None,
+        target_schema: Schema | None = None,
+        name: str | None = None,
+    ):
+        self.name = name
+        self.dependencies: tuple = tuple(dependencies)
+        if not self.dependencies:
+            raise DependencyError("a schema mapping needs at least one dependency")
+        for dep in self.dependencies:
+            if not isinstance(dep, (STTgd, NestedTgd, SOTgd)):
+                raise DependencyError(f"unsupported dependency {dep!r}")
+        self.source_egds: tuple[Egd, ...] = _normalize_egds(source_egds)
+        self.source_schema = source_schema or self._infer_source_schema()
+        self.target_schema = target_schema or self._infer_target_schema()
+        if not self.source_schema.disjoint_from(self.target_schema):
+            raise SchemaError("source and target schemas must be disjoint")
+
+    def _infer_source_schema(self) -> Schema:
+        schema = Schema()
+        for dep in self.dependencies:
+            schema = schema.union(dep.source_schema())
+        for egd in self.source_egds:
+            from repro.logic.schema import infer_schema
+
+            schema = schema.union(infer_schema(egd.body))
+        return schema
+
+    def _infer_target_schema(self) -> Schema:
+        schema = Schema()
+        for dep in self.dependencies:
+            schema = schema.union(dep.target_schema())
+        return schema
+
+    # ------------------------------------------------------------- properties
+
+    def is_glav(self) -> bool:
+        """True if every dependency is (syntactically) an s-t tgd."""
+        return all(
+            isinstance(d, STTgd) or (isinstance(d, NestedTgd) and d.is_flat())
+            for d in self.dependencies
+        )
+
+    def is_nested_glav(self) -> bool:
+        """True if every dependency is an s-t tgd or a nested tgd."""
+        return all(isinstance(d, (STTgd, NestedTgd)) for d in self.dependencies)
+
+    def nested_dependencies(self) -> tuple[NestedTgd, ...]:
+        """The dependencies, each converted to a nested tgd (fails for SO tgds)."""
+        from repro.logic.nested import nested_tgds_from
+
+        return tuple(nested_tgds_from(self.dependencies))
+
+    # --------------------------------------------------------------- semantics
+
+    def source_satisfies_egds(self, source: Instance) -> bool:
+        """Check the source instance against the mapping's source egds."""
+        return satisfies_egds(source, self.source_egds)
+
+    def is_solution(self, source: Instance, target: Instance) -> bool:
+        """Return True if ``(source, target) |= Sigma`` (egds included)."""
+        if not self.source_satisfies_egds(source):
+            return False
+        return satisfies(source, target, self.dependencies)
+
+    def chase(self, source: Instance) -> Instance:
+        """Return the canonical universal solution ``chase(I, M)``."""
+        return chase(source, self.dependencies)
+
+    def universal_solution(self, source: Instance) -> Instance:
+        """Alias for :meth:`chase` (the chase yields a universal solution)."""
+        return self.chase(source)
+
+    def core_solution(self, source: Instance) -> Instance:
+        """Return ``core(chase(I, M))``.
+
+        For nested GLAV mappings (and plain SO tgds in general) this is the
+        smallest universal solution (Section 4.1 of the paper).
+        """
+        return core(self.chase(source))
+
+    def is_universal_solution(self, source: Instance, target: Instance) -> bool:
+        """Check that *target* is a solution that maps into the chase and back."""
+        if not self.is_solution(source, target):
+            return False
+        canonical = self.chase(source)
+        return has_homomorphism(target, canonical) and has_homomorphism(canonical, target)
+
+    def __repr__(self) -> str:
+        label = self.name or "SchemaMapping"
+        return (
+            f"<{label}: {len(self.dependencies)} dependencies, "
+            f"{len(self.source_egds)} source egds>"
+        )
+
+
+__all__ = ["SchemaMapping"]

@@ -1,0 +1,29 @@
+"""Conjunctive queries and certain answers over schema mappings.
+
+Schema mappings are used for data integration by answering queries over the
+target schema with *certain answers*: the tuples present in **every**
+solution.  For unions of conjunctive queries and mappings that admit
+universal solutions -- all formalisms in this library -- the certain answers
+are obtained by evaluating the query over any universal solution (e.g. the
+chase) and keeping the null-free answer tuples (Fagin-Kolaitis-Miller-Popa,
+reference [5] of the paper).
+"""
+
+from repro.queries.cq import ConjunctiveQuery, parse_query
+from repro.queries.certain import certain_answers, evaluate, naive_evaluation
+from repro.queries.containment import (
+    equivalent_queries,
+    is_contained_in,
+    minimize_query,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "parse_query",
+    "evaluate",
+    "naive_evaluation",
+    "certain_answers",
+    "is_contained_in",
+    "equivalent_queries",
+    "minimize_query",
+]

@@ -1,0 +1,107 @@
+"""Containment and equivalence of conjunctive queries (Chandra-Merlin).
+
+``q1`` is contained in ``q2`` when every instance gives ``q1(I) ⊆ q2(I)``.
+By the classical theorem this holds iff there is a *containment mapping*
+(a homomorphism) from ``q2`` to ``q1``: body atoms of ``q2`` map into body
+atoms of ``q1`` and head variables map to the corresponding head variables.
+
+This is the query-side analogue of the paper's mapping-side reasoning: the
+canonical ("frozen") instance of a query plays the role the canonical
+instances of patterns play in IMPLIES, and minimization by cores mirrors the
+core analysis of Section 4.
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Constant, Null, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.engine.core_instance import core
+from repro.engine.matching import find_matches
+
+
+def freeze(query: ConjunctiveQuery) -> tuple[Instance, tuple]:
+    """The canonical instance of a query: head variables frozen to constants,
+    existential variables to nulls.  Returns ``(instance, frozen head tuple)``.
+    """
+    assignment: dict[Variable, object] = {}
+    for var in query.head:
+        assignment[var] = Constant(("q", var.name))
+    for var in query.existential_variables():
+        assignment[var] = Null(("q", var.name))
+    facts = [atom.substitute(assignment) for atom in query.body]
+    head = tuple(assignment[var] for var in query.head)
+    return Instance(facts), head
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``q1 ⊆ q2`` via a containment mapping from *q2* into *q1*.
+
+        >>> from repro.queries.cq import parse_query
+        >>> path2 = parse_query("q(x, z) :- R(x, y) & R(y, z)")
+        >>> anything = parse_query("q(x, z) :- R(x, u) & R(v, z)")
+        >>> is_contained_in(path2, anything)
+        True
+        >>> is_contained_in(anything, path2)
+        False
+    """
+    if q1.arity != q2.arity:
+        return False
+    frozen, frozen_head = freeze(q1)
+    partial = dict(zip(q2.head, frozen_head))
+    # q2's head variables must land on q1's frozen head, consistently
+    if len(partial) != len(set(q2.head)):
+        # repeated head variables in q2: all occurrences must agree
+        partial = {}
+        for var, value in zip(q2.head, frozen_head):
+            if var in partial and partial[var] != value:
+                return False
+            partial[var] = value
+    return next(find_matches(q2.body, frozen, partial=partial), None) is not None
+
+
+def equivalent_queries(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide CQ equivalence: containment both ways."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of a conjunctive query: drop redundant body atoms.
+
+    Freezes the query, computes the instance core keeping head constants
+    fixed, and reads the query back; the result is the unique (up to
+    renaming) minimal equivalent query.
+
+        >>> from repro.queries.cq import parse_query
+        >>> q = parse_query("q(x) :- R(x, y) & R(x, z)")
+        >>> len(minimize_query(q).body)
+        1
+    """
+    frozen, frozen_head = freeze(query)
+    minimal = core(frozen)
+
+    back: dict[object, Variable] = {}
+    counter = [0]
+
+    def variable_for(value) -> Variable:
+        if value not in back:
+            if isinstance(value, Constant) and isinstance(value.name, tuple):
+                back[value] = Variable(value.name[1])
+            elif isinstance(value, Null) and isinstance(value.name, tuple):
+                back[value] = Variable(value.name[1])
+            else:
+                counter[0] += 1
+                back[value] = Variable(f"m{counter[0]}")
+        return back[value]
+
+    body = tuple(
+        Atom(fact.relation, tuple(variable_for(arg) for arg in fact.args))
+        for fact in sorted(minimal.facts, key=repr)
+    )
+    head = tuple(variable_for(value) for value in frozen_head)
+    result = ConjunctiveQuery(head=head, body=body, name=query.name)
+    return result
+
+
+__all__ = ["freeze", "is_contained_in", "equivalent_queries", "minimize_query"]

@@ -1,0 +1,110 @@
+"""Conjunctive queries.
+
+A conjunctive query ``q(x1, ..., xn) :- A1, ..., Am`` has a head of
+*distinguished* variables and a body of atoms; non-distinguished body
+variables are existentially quantified.  Evaluation over an instance returns
+the set of assignments of the head variables (as tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DependencyError, ParseError
+from repro.logic.atoms import Atom, atoms_variables
+from repro.logic.instances import Instance
+from repro.logic.values import Variable
+from repro.engine.matching import find_matches
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with distinguished (head) variables.
+
+        >>> q = parse_query("q(x) :- R(x, y)")
+        >>> q.head
+        (?x,)
+    """
+
+    head: tuple[Variable, ...]
+    body: tuple[Atom, ...]
+    name: str = field(default="q", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise DependencyError("a conjunctive query needs at least one body atom")
+        body_vars = atoms_variables(self.body)
+        for var in self.head:
+            if var not in body_vars:
+                raise DependencyError(
+                    f"distinguished variable {var!r} does not occur in the body (unsafe)"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """The non-distinguished body variables."""
+        return atoms_variables(self.body) - frozenset(self.head)
+
+    def evaluate(self, instance: Instance) -> set[tuple]:
+        """Return the set of answer tuples over *instance* (nulls included)."""
+        answers: set[tuple] = set()
+        for match in find_matches(self.body, instance):
+            answers.add(tuple(match[var] for var in self.head))
+        return answers
+
+    def answer_tuples(self, instance: Instance) -> Iterator[tuple]:
+        """Yield answer tuples lazily (possibly with duplicates removed)."""
+        yield from self.evaluate(instance)
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = " & ".join(
+            f"{a.relation}({', '.join(arg.name for arg in a.args)})" for a in self.body
+        )
+        return f"{self.name}({head}) :- {body}"
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse a conjunctive query in ``q(x, y) :- R(x, z) & S(z, y)`` syntax.
+
+        >>> parse_query("q(x, y) :- R(x, z) & S(z, y)").arity
+        2
+    """
+    if ":-" not in text:
+        raise ParseError("a conjunctive query needs a ':-' separator", None, text)
+    head_text, body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    if "(" not in head_text or not head_text.endswith(")"):
+        raise ParseError("malformed query head", None, text)
+    qname, args_text = head_text.split("(", 1)
+    qname = qname.strip() or "q"
+    args_text = args_text[:-1].strip()
+    head_vars: list[Variable] = []
+    if args_text:
+        for piece in args_text.split(","):
+            piece = piece.strip()
+            if not piece or not (piece[0].islower() or piece[0] == "_"):
+                raise ParseError(f"bad head variable {piece!r}", None, text)
+            head_vars.append(Variable(piece))
+
+    from repro.logic.parser import _parse_atom_conjunction, _Tokens
+
+    tokens = _Tokens(body_text.strip())
+    body = _parse_atom_conjunction(tokens)
+    if not tokens.at_end():
+        raise ParseError("trailing input after query body", tokens.position(), text)
+    return ConjunctiveQuery(
+        head=tuple(head_vars), body=tuple(body), name=name or qname
+    )
+
+
+__all__ = ["ConjunctiveQuery", "parse_query"]

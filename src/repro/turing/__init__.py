@@ -1,0 +1,35 @@
+"""The Turing-machine reduction behind Theorems 5.1 and 5.2.
+
+Section 5 of the paper proves that, in the presence of a single source key
+dependency, it is undecidable whether a plain SO tgd is equivalent to a GLAV
+mapping (Theorem 5.1) or to a nested GLAV mapping (Theorem 5.2).  The proof
+constructs, from a Turing machine M, a plain SO tgd that "simulates" M: the
+source instance carries a successor relation and an alleged run of M, and the
+SO tgd materializes the triangular enumeration of Figure 8 in the target --
+one ``N``-chain fact per locally correct configuration cell.  The enumeration
+(and hence the origin-connected f-block) is bounded iff M halts.
+
+- :mod:`repro.turing.machine` -- a deterministic Turing machine simulator;
+- :mod:`repro.turing.encoding` -- encoding a run into a source instance;
+- :mod:`repro.turing.reduction` -- the plain SO tgd + key dependency gadget
+  and the f-block measurement that exhibits the paper's dichotomy.
+"""
+
+from repro.turing.machine import TuringMachine, Transition, run_machine
+from repro.turing.encoding import encode_run, run_source_instance
+from repro.turing.reduction import (
+    TuringReduction,
+    build_reduction,
+    enumeration_chain_length,
+)
+
+__all__ = [
+    "TuringMachine",
+    "Transition",
+    "run_machine",
+    "encode_run",
+    "run_source_instance",
+    "TuringReduction",
+    "build_reduction",
+    "enumeration_chain_length",
+]

@@ -1,0 +1,115 @@
+"""Encoding a Turing machine run into a source instance (Theorem 5.1).
+
+The reduction of Theorem 5.1 represents "a run of a Turing machine (state and
+tape configurations) together with a successor relation in the source
+instance".  We use the following source schema, parameterized by the machine:
+
+- ``S(x, y)``      -- the successor relation (y = x + 1);
+- ``Z(x)``         -- the initial element ("zero");
+- ``Sym_s(t, p)``  -- at time t, tape cell p holds symbol s (one relation per
+  tape symbol);
+- ``Head_q(t, p)`` -- at time t, the head is at cell p in state q (one
+  relation per state);
+- ``NoHead(t, p)`` -- at time t, the head is *not* at cell p (the complement,
+  materialized so that local-correctness checks are conjunctive queries).
+
+Only the triangular part of the (time x tape) matrix is represented: at time
+t, cells 0 .. t (Figure 8: "a Turing machine can in, e.g., 4 steps in time at
+most reach the 4th tape cell").
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Constant
+
+from repro.turing.machine import RunResult, TuringMachine, run_machine
+
+
+def symbol_relation(symbol: str) -> str:
+    """The relation name encoding tape symbol *symbol* (must parse as a relation)."""
+    return f"Sym_{_safe(symbol)}"
+
+
+def head_relation(state: str) -> str:
+    """The relation name encoding head presence in *state*."""
+    return f"Head_{_safe(state)}"
+
+
+NO_HEAD_RELATION = "NoHead"
+SUCCESSOR_RELATION = "S"
+ZERO_RELATION = "Z"
+
+
+def _safe(token: str) -> str:
+    """Map arbitrary symbols to identifier-safe fragments."""
+    replacements = {"_": "blank", " ": "sp"}
+    if token in replacements:
+        return replacements[token]
+    return "".join(ch if ch.isalnum() else f"c{ord(ch)}" for ch in token)
+
+
+def _time_constant(t: int) -> Constant:
+    return Constant(f"e{t}")
+
+
+def encode_run(result: RunResult, length: int | None = None) -> Instance:
+    """Encode the configurations of a bounded run as a source instance.
+
+    *length* is the length of the successor relation (defaults to the number
+    of steps actually run).  Each configuration at time t contributes the
+    triangular slice of cells ``0 .. min(t, length)``; a halted machine's
+    final configuration is *not* repeated, so the encoded run simply stops --
+    which is exactly the "missing information" situation the enumeration of
+    Figure 8 detects by terminating.
+    """
+    machine = result.machine
+    steps = result.steps
+    if length is None:
+        length = steps
+    facts: list[Atom] = [Atom(ZERO_RELATION, (_time_constant(0),))]
+    for i in range(length):
+        facts.append(Atom(SUCCESSOR_RELATION, (_time_constant(i), _time_constant(i + 1))))
+
+    for config in result.configurations:
+        t = config.time
+        if t > length:
+            break
+        for p in range(min(t, length) + 1):
+            time_c, pos_c = _time_constant(t), _time_constant(p)
+            facts.append(Atom(symbol_relation(config.symbol(p, machine.blank)),
+                              (time_c, pos_c)))
+            if config.head == p:
+                facts.append(Atom(head_relation(config.state), (time_c, pos_c)))
+            else:
+                facts.append(Atom(NO_HEAD_RELATION, (time_c, pos_c)))
+    return Instance(facts)
+
+
+def run_source_instance(
+    machine: TuringMachine,
+    input_word: str,
+    max_steps: int,
+    length: int | None = None,
+) -> Instance:
+    """Simulate *machine* and encode the run; convenience over :func:`encode_run`.
+
+        >>> from repro.turing.machine import halting_machine
+        >>> inst = run_source_instance(halting_machine(2), "", max_steps=10)
+        >>> "S" in inst.relations()
+        True
+    """
+    result = run_machine(machine, input_word, max_steps)
+    return encode_run(result, length=length)
+
+
+__all__ = [
+    "SUCCESSOR_RELATION",
+    "ZERO_RELATION",
+    "NO_HEAD_RELATION",
+    "symbol_relation",
+    "head_relation",
+    "encode_run",
+    "run_source_instance",
+]

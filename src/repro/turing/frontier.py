@@ -1,0 +1,94 @@
+"""The undecidability frontier, operationally (Theorems 5.1 and 5.2).
+
+The reduction ties the halting problem to f-block boundedness: an algorithm
+deciding whether the gadget SO tgd (with its key dependency) has bounded
+f-block size would decide halting.  :func:`halting_via_boundedness` runs this
+connection forward as a *semi-decision* procedure: it grows the successor
+relation and watches the origin-connected f-block; a plateau sustained for
+``patience`` consecutive sizes reports HALTS (with the halt-time bound), and
+reaching the budget with monotone growth reports the budget-bounded verdict
+LOOPS_UP_TO.  Exactly as undecidability demands, no finite budget can turn
+the latter into a proof -- which the docstring of the verdict records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.engine.chase import chase_so_tgd
+from repro.turing.encoding import run_source_instance
+from repro.turing.machine import TuringMachine
+from repro.turing.reduction import TuringReduction, build_reduction, enumeration_chain_length
+
+
+class Verdict(Enum):
+    """Outcome of the boundedness probe."""
+
+    HALTS = "halts"
+    LOOPS_UP_TO_BUDGET = "loops-up-to-budget"
+
+
+@dataclass
+class FrontierReport:
+    """The probe's trace: chain lengths per successor length, and the verdict.
+
+    ``HALTS`` is a genuine proof (the enumeration provably cannot restart
+    once the represented run ends).  ``LOOPS_UP_TO_BUDGET`` is *not* a proof
+    of looping -- no finite budget can provide one; that gap is precisely the
+    undecidability of Theorem 5.1.
+    """
+
+    machine: TuringMachine
+    reduction: TuringReduction
+    lengths: dict[int, int]
+    verdict: Verdict
+    plateau_value: int | None = None
+
+
+def halting_via_boundedness(
+    machine: TuringMachine,
+    input_word: str = "",
+    budget: int = 20,
+    patience: int = 3,
+    start: int = 2,
+) -> FrontierReport:
+    """Probe halting through the f-block size of the Theorem 5.1 gadget.
+
+        >>> from repro.turing.machine import halting_machine, looping_machine
+        >>> halting_via_boundedness(halting_machine(2)).verdict
+        <Verdict.HALTS: 'halts'>
+        >>> halting_via_boundedness(looping_machine(), budget=10).verdict
+        <Verdict.LOOPS_UP_TO_BUDGET: 'loops-up-to-budget'>
+    """
+    reduction = build_reduction(machine)
+    lengths: dict[int, int] = {}
+    plateau_run = 0
+    previous: int | None = None
+    for n in range(start, start + budget):
+        source = run_source_instance(machine, input_word, max_steps=n, length=n)
+        target = chase_so_tgd(source, reduction.so_tgd)
+        chain = enumeration_chain_length(reduction, target)
+        lengths[n] = chain
+        if previous is not None and chain == previous:
+            plateau_run += 1
+            if plateau_run >= patience:
+                return FrontierReport(
+                    machine=machine,
+                    reduction=reduction,
+                    lengths=lengths,
+                    verdict=Verdict.HALTS,
+                    plateau_value=chain,
+                )
+        else:
+            plateau_run = 0
+        previous = chain
+    return FrontierReport(
+        machine=machine,
+        reduction=reduction,
+        lengths=lengths,
+        verdict=Verdict.LOOPS_UP_TO_BUDGET,
+    )
+
+
+__all__ = ["Verdict", "FrontierReport", "halting_via_boundedness"]

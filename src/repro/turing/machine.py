@@ -1,0 +1,280 @@
+"""A deterministic single-tape Turing machine simulator.
+
+The machine model matches the reduction of Theorem 5.1: a right-infinite
+tape, a single head starting at cell 0, and a transition function
+``delta(state, symbol) -> (state', symbol', direction)``.  In ``t`` steps the
+head reaches at most cell ``t``, which is why the paper's enumeration only
+needs the triangular part of the (time x tape) configuration matrix
+(Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+LEFT = "L"
+RIGHT = "R"
+STAY = "N"
+
+
+class TuringMachineError(ReproError):
+    """Ill-formed Turing machine or invalid simulation request."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One entry of the transition table."""
+
+    state: str
+    read: str
+    next_state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT, STAY):
+            raise TuringMachineError(f"invalid move {self.move!r} (use 'L', 'R' or 'N')")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration: time step, state, head position, and tape prefix.
+
+    ``tape`` holds cells ``0 .. time`` (the triangular representation: in
+    ``t`` steps the head cannot have passed cell ``t``).
+    """
+
+    time: int
+    state: str
+    head: int
+    tape: tuple[str, ...]
+
+    def symbol(self, position: int, blank: str) -> str:
+        if 0 <= position < len(self.tape):
+            return self.tape[position]
+        return blank
+
+
+class TuringMachine:
+    """A deterministic Turing machine.
+
+        >>> bouncer = TuringMachine(
+        ...     states=["q0", "halt"], blank="_",
+        ...     transitions=[Transition("q0", "_", "halt", "_", "N")],
+        ...     initial_state="q0", halting_states=["halt"])
+        >>> result = run_machine(bouncer, "", max_steps=5)
+        >>> result.halted
+        True
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        blank: str,
+        transitions: Iterable[Transition],
+        initial_state: str,
+        halting_states: Iterable[str],
+    ):
+        self.states = tuple(states)
+        self.blank = blank
+        self.initial_state = initial_state
+        self.halting_states = frozenset(halting_states)
+        self.transitions: dict[tuple[str, str], Transition] = {}
+        for transition in transitions:
+            key = (transition.state, transition.read)
+            if key in self.transitions:
+                raise TuringMachineError(f"nondeterministic transition for {key}")
+            self.transitions[key] = transition
+        if initial_state not in self.states:
+            raise TuringMachineError(f"initial state {initial_state!r} not declared")
+        for halting in self.halting_states:
+            if halting not in self.states:
+                raise TuringMachineError(f"halting state {halting!r} not declared")
+
+    def alphabet(self) -> tuple[str, ...]:
+        """The tape symbols mentioned by the transition table, plus the blank."""
+        symbols = {self.blank}
+        for transition in self.transitions.values():
+            symbols.add(transition.read)
+            symbols.add(transition.write)
+        return tuple(sorted(symbols))
+
+    def step(self, config: Configuration) -> Configuration | None:
+        """Perform one step; return None if the machine has halted or is stuck."""
+        if config.state in self.halting_states:
+            return None
+        symbol = config.symbol(config.head, self.blank)
+        transition = self.transitions.get((config.state, symbol))
+        if transition is None:
+            return None
+        new_time = config.time + 1
+        tape = list(config.tape) + [self.blank] * (new_time + 1 - len(config.tape))
+        tape[config.head] = transition.write
+        head = config.head
+        if transition.move == RIGHT:
+            head += 1
+        elif transition.move == LEFT:
+            head = max(0, head - 1)
+        return Configuration(
+            time=new_time, state=transition.next_state, head=head, tape=tuple(tape)
+        )
+
+    def initial_configuration(self, input_word: str) -> Configuration:
+        tape = tuple(input_word) if input_word else (self.blank,)
+        return Configuration(time=0, state=self.initial_state, head=0, tape=tape)
+
+
+@dataclass
+class RunResult:
+    """The outcome of a bounded simulation."""
+
+    machine: TuringMachine
+    configurations: list[Configuration]
+    halted: bool
+
+    @property
+    def steps(self) -> int:
+        return len(self.configurations) - 1
+
+    @property
+    def final(self) -> Configuration:
+        return self.configurations[-1]
+
+
+def run_machine(machine: TuringMachine, input_word: str, max_steps: int) -> RunResult:
+    """Simulate *machine* on *input_word* for at most *max_steps* steps."""
+    configurations = [machine.initial_configuration(input_word)]
+    for __ in range(max_steps):
+        next_config = machine.step(configurations[-1])
+        if next_config is None:
+            return RunResult(machine, configurations, halted=True)
+        configurations.append(next_config)
+    halted = machine.step(configurations[-1]) is None
+    return RunResult(machine, configurations, halted=halted)
+
+
+# ----------------------------------------------------------- stock machines
+
+
+def halting_machine(steps: int = 3) -> TuringMachine:
+    """A machine that writes ``steps`` marks and halts (bounded enumeration case)."""
+    states = [f"q{i}" for i in range(steps)] + ["halt"]
+    transitions = [
+        Transition(f"q{i}", "_", "halt" if i + 1 == steps else f"q{i + 1}", "1", RIGHT)
+        for i in range(steps)
+    ]
+    return TuringMachine(
+        states=states,
+        blank="_",
+        transitions=transitions,
+        initial_state="q0",
+        halting_states=["halt"],
+    )
+
+
+def looping_machine() -> TuringMachine:
+    """A machine that runs right forever (unbounded enumeration case)."""
+    return TuringMachine(
+        states=["q0"],
+        blank="_",
+        transitions=[Transition("q0", "_", "q0", "1", RIGHT),
+                     Transition("q0", "1", "q0", "1", RIGHT)],
+        initial_state="q0",
+        halting_states=[],
+    )
+
+
+def bouncer_machine(width: int = 2) -> TuringMachine:
+    """A machine bouncing forever between cell 0 and cell *width*.
+
+    Exercises both head directions (the C2 *and* C3 arrival cases of the
+    reduction's local-correctness checks) while never halting.
+    """
+    states = (
+        [f"r{i}" for i in range(width)]       # moving right, i = position
+        + [f"l{i}" for i in range(1, width + 1)]  # moving left
+    )
+    transitions: list[Transition] = []
+    for i in range(width):
+        next_state = f"l{width}" if i + 1 == width else f"r{i + 1}"
+        for symbol in ("_", "1"):
+            transitions.append(Transition(f"r{i}", symbol, next_state, "1", RIGHT))
+    for i in range(width, 0, -1):
+        next_state = "r0" if i - 1 == 0 else f"l{i - 1}"
+        for symbol in ("_", "1"):
+            transitions.append(Transition(f"l{i}", symbol, next_state, "1", LEFT))
+    return TuringMachine(
+        states=states,
+        blank="_",
+        transitions=transitions,
+        initial_state="r0",
+        halting_states=[],
+    )
+
+
+def write_and_return_machine(width: int = 2) -> TuringMachine:
+    """A halting machine that walks right *width* cells, then returns and halts.
+
+    A halting machine with LEFT moves, for the bounded direction of the
+    reduction with non-trivial head dynamics.
+    """
+    states = (
+        [f"r{i}" for i in range(width)]
+        + [f"l{i}" for i in range(1, width + 1)]
+        + ["halt"]
+    )
+    transitions: list[Transition] = []
+    for i in range(width):
+        next_state = f"l{width}" if i + 1 == width else f"r{i + 1}"
+        transitions.append(Transition(f"r{i}", "_", next_state, "1", RIGHT))
+    for i in range(width, 0, -1):
+        next_state = "halt" if i - 1 == 0 else f"l{i - 1}"
+        for symbol in ("_", "1"):
+            transitions.append(Transition(f"l{i}", symbol, next_state, symbol, LEFT))
+    return TuringMachine(
+        states=states,
+        blank="_",
+        transitions=transitions,
+        initial_state="r0",
+        halting_states=["halt"],
+    )
+
+
+def unary_doubler_machine() -> TuringMachine:
+    """A machine that scans a unary input word and halts at its end.
+
+    Halting time depends on the input word: with input ``1^k`` it halts
+    after k + 1 steps.  Used to test input-dependent bounded enumerations.
+    """
+    return TuringMachine(
+        states=["scan", "halt"],
+        blank="_",
+        transitions=[
+            Transition("scan", "1", "scan", "1", RIGHT),
+            Transition("scan", "_", "halt", "_", STAY),
+        ],
+        initial_state="scan",
+        halting_states=["halt"],
+    )
+
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "STAY",
+    "TuringMachineError",
+    "Transition",
+    "Configuration",
+    "TuringMachine",
+    "RunResult",
+    "run_machine",
+    "halting_machine",
+    "looping_machine",
+    "bouncer_machine",
+    "write_and_return_machine",
+    "unary_doubler_machine",
+]

@@ -1,0 +1,263 @@
+"""The plain SO tgd gadget of Theorem 5.1, and the Figure 8 enumeration.
+
+Given a Turing machine M, :func:`build_reduction` constructs a plain SO tgd
+(plus the single source key dependency "each element of ``S`` has a unique
+predecessor") that materializes the triangular enumeration of M's
+configurations shown in Figure 8 of the paper.  The two clause schemas are
+exactly the paper's displayed SO tgds:
+
+    check_good[x, y] & S(y, y')             -> N(f(x, y'), f(x, y))     (<- step)
+    check_good[x', x'] & S(x, x') & Z(y)    -> N(f(x, y), f(x', x'))    (\\ step)
+
+where ``check_good[x, y]`` is the local-correctness test of the configuration
+cell (time x, tape y), which we concretize from the machine's transition
+table as a family of conjunctive queries (one SO tgd clause per local case).
+The paper leaves ``check`` abstract ("a complex definition that does not give
+major insights"); our concretization covers symbol persistence, head writes,
+and head arrivals, which is complete on the intended run encodings of
+:mod:`repro.turing.encoding` (see the substitution notes in DESIGN.md: the
+full guard/trap machinery for adversarial sources is beyond the proof
+sketch).
+
+The paper's dichotomy is then observable:
+
+- if M halts in h steps, the enumeration stops after row h, so the f-block
+  connected to the origin null ``f(e0, e0)`` has size O(h^2) *independent of
+  the successor-relation length n* -- bounded f-block size;
+- if M loops, the enumeration keeps growing with n -- unbounded f-block size,
+  yet with f-degree at most 4, which by Theorem 4.12 also rules out
+  equivalence to any nested GLAV mapping (Theorem 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd
+from repro.logic.instances import Instance
+from repro.logic.sotgd import SOClause, SOTgd
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Constant, Variable
+from repro.engine.gaifman import fact_block_of, fact_block_size
+
+from repro.turing.encoding import (
+    NO_HEAD_RELATION,
+    SUCCESSOR_RELATION,
+    ZERO_RELATION,
+    head_relation,
+    symbol_relation,
+)
+from repro.turing.machine import LEFT, RIGHT, STAY, TuringMachine
+
+ENUMERATION_RELATION = "N"
+ENUMERATION_FUNCTION = "f"
+
+_X0 = Variable("x0")
+_X = Variable("x")
+_XP = Variable("xp")
+_Y = Variable("y")
+_YM1 = Variable("ym1")
+_YP1 = Variable("yp1")
+_YNEXT = Variable("ynext")
+_Z = Variable("z")
+
+
+def _s(a: Variable, b: Variable) -> Atom:
+    return Atom(SUCCESSOR_RELATION, (a, b))
+
+
+def _sym(symbol: str, t: Variable, p: Variable) -> Atom:
+    return Atom(symbol_relation(symbol), (t, p))
+
+
+def _head(state: str, t: Variable, p: Variable) -> Atom:
+    return Atom(head_relation(state), (t, p))
+
+
+def _nohead(t: Variable, p: Variable) -> Atom:
+    return Atom(NO_HEAD_RELATION, (t, p))
+
+
+def _check_variants(machine: TuringMachine) -> Iterator[list[Atom]]:
+    """Yield the conjunctive local-correctness cases ``check_good[x, y]``.
+
+    Each variant is a list of body atoms over the variables ``x0`` (previous
+    time), ``x`` (current time), ``y`` (current cell) and, where needed, the
+    cell neighbours ``ym1``/``yp1``.  Time-0 cells are accepted as given
+    (variant with ``Z(x)``): the initial configuration is the input.
+    """
+    transitions = list(machine.transitions.values())
+    alphabet = machine.alphabet()
+
+    # Time 0: the represented initial configuration is taken at face value.
+    for symbol in alphabet:
+        yield [Atom(ZERO_RELATION, (_X,)), _sym(symbol, _X, _Y)]
+
+    for symbol in alphabet:
+        # C1 -- persistence, no head before or now.
+        yield [
+            _s(_X0, _X),
+            _nohead(_X0, _Y), _sym(symbol, _X0, _Y),
+            _sym(symbol, _X, _Y), _nohead(_X, _Y),
+        ]
+        for tr in transitions:
+            next_state = tr.next_state
+            if tr.move == RIGHT:
+                # C2 -- persistence with the head arriving from the left.
+                yield [
+                    _s(_X0, _X), _s(_YM1, _Y),
+                    _nohead(_X0, _Y), _sym(symbol, _X0, _Y),
+                    _head(tr.state, _X0, _YM1), _sym(tr.read, _X0, _YM1),
+                    _sym(symbol, _X, _Y), _head(next_state, _X, _Y),
+                ]
+            elif tr.move == LEFT:
+                # C3 -- persistence with the head arriving from the right.
+                yield [
+                    _s(_X0, _X), _s(_Y, _YP1),
+                    _nohead(_X0, _Y), _sym(symbol, _X0, _Y),
+                    _head(tr.state, _X0, _YP1), _sym(tr.read, _X0, _YP1),
+                    _sym(symbol, _X, _Y), _head(next_state, _X, _Y),
+                ]
+
+    for tr in transitions:
+        # C4 -- the head was here: it writes and leaves (or stays).
+        status = (
+            _head(tr.next_state, _X, _Y) if tr.move == STAY else _nohead(_X, _Y)
+        )
+        yield [
+            _s(_X0, _X),
+            _head(tr.state, _X0, _Y), _sym(tr.read, _X0, _Y),
+            _sym(tr.write, _X, _Y), status,
+        ]
+
+
+def _diagonal_variants(machine: TuringMachine) -> Iterator[list[Atom]]:
+    """Local-correctness cases ``check_good[x', x']`` for a fresh diagonal cell.
+
+    The cell (x', x') does not exist at time x (the triangle has cells
+    0 .. x at time x), so its content is the *initial* tape content at
+    position x' -- which the triangle does not represent, so the checks
+    accept any symbol there (blank for machines started on an empty tape,
+    the input symbol otherwise; exact on the intended encodings of
+    :mod:`repro.turing.encoding`).  The head is on the fresh diagonal iff it
+    raced in from the previous diagonal cell (x, x).  All variants are over
+    ``x`` (previous time) and ``xp`` (current time = current cell).
+    """
+    alphabet = machine.alphabet()
+    for symbol in alphabet:
+        for tr in machine.transitions.values():
+            if tr.move == RIGHT:
+                # The head arrives on the fresh diagonal cell.
+                yield [
+                    _s(_X, _XP),
+                    _head(tr.state, _X, _X), _sym(tr.read, _X, _X),
+                    _sym(symbol, _XP, _XP), _head(tr.next_state, _XP, _XP),
+                ]
+        # No head on the previous diagonal: the fresh cell is headless.
+        yield [
+            _s(_X, _XP),
+            _nohead(_X, _X),
+            _sym(symbol, _XP, _XP), _nohead(_XP, _XP),
+        ]
+        for tr in machine.transitions.values():
+            if tr.move != RIGHT:
+                # Head on the previous diagonal but it does not move right.
+                yield [
+                    _s(_X, _XP),
+                    _head(tr.state, _X, _X), _sym(tr.read, _X, _X),
+                    _sym(symbol, _XP, _XP), _nohead(_XP, _XP),
+                ]
+
+
+@dataclass
+class TuringReduction:
+    """The constructed gadget: the plain SO tgd and the source key dependency."""
+
+    machine: TuringMachine
+    so_tgd: SOTgd
+    key_dependency: Egd
+
+    def origin_null(self) -> FuncTerm:
+        """The null at the origin of the enumeration (the square node of Figure 8)."""
+        zero = Constant("e0")
+        return FuncTerm(ENUMERATION_FUNCTION, (zero, zero))
+
+
+def build_reduction(machine: TuringMachine) -> TuringReduction:
+    """Construct the Theorem 5.1 gadget for *machine*.
+
+        >>> from repro.turing.machine import halting_machine
+        >>> reduction = build_reduction(halting_machine(2))
+        >>> reduction.so_tgd.is_plain()
+        True
+    """
+    clauses: list[SOClause] = []
+    f = ENUMERATION_FUNCTION
+
+    for variant in _check_variants(machine):
+        # <- step:  check_good[x, y] & S(y, ynext) -> N(f(x, ynext), f(x, y))
+        body = tuple(variant) + (_s(_Y, _YNEXT),)
+        head = (
+            Atom(
+                ENUMERATION_RELATION,
+                (FuncTerm(f, (_X, _YNEXT)), FuncTerm(f, (_X, _Y))),
+            ),
+        )
+        clauses.append(SOClause(body=body, equalities=(), head=head))
+
+    for variant in _diagonal_variants(machine):
+        # \\ step:  check_good[x', x'] & S(x, x') & Z(z) -> N(f(x, z), f(x', x'))
+        body = tuple(variant) + (Atom(ZERO_RELATION, (_Z,)),)
+        head = (
+            Atom(
+                ENUMERATION_RELATION,
+                (FuncTerm(f, (_X, _Z)), FuncTerm(f, (_XP, _XP))),
+            ),
+        )
+        clauses.append(SOClause(body=body, equalities=(), head=head))
+
+    so_tgd = SOTgd(functions=(f,), clauses=tuple(clauses), name="turing_reduction")
+
+    # The single key dependency: each element has a unique predecessor in S.
+    key = Egd(
+        body=(
+            Atom(SUCCESSOR_RELATION, (Variable("p1"), Variable("q"))),
+            Atom(SUCCESSOR_RELATION, (Variable("p2"), Variable("q"))),
+        ),
+        left=Variable("p1"),
+        right=Variable("p2"),
+        name="unique_predecessor",
+    )
+    return TuringReduction(machine=machine, so_tgd=so_tgd, key_dependency=key)
+
+
+def enumeration_chain_length(reduction: TuringReduction, target: Instance) -> int:
+    """The size of the f-block connected to the origin null in *target*.
+
+    This is the quantity the paper's construction controls: parts of the
+    enumeration not connected to the origin collapse in the core (via the
+    guard/trap gadgets the proof sketch alludes to), so the origin-connected
+    block is what decides bounded versus unbounded f-block size.
+    """
+    origin = reduction.origin_null()
+    for fact in target:
+        if origin in fact.args:
+            return len(fact_block_of(target, fact))
+    return 0
+
+
+def enumeration_fblock_size(target: Instance) -> int:
+    """The global f-block size of the chased enumeration target."""
+    return fact_block_size(target)
+
+
+__all__ = [
+    "ENUMERATION_RELATION",
+    "ENUMERATION_FUNCTION",
+    "TuringReduction",
+    "build_reduction",
+    "enumeration_chain_length",
+    "enumeration_fblock_size",
+]

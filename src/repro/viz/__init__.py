@@ -1,0 +1,28 @@
+"""Rendering helpers: text trees and Graphviz DOT export.
+
+These produce the paper's figures as inspectable artifacts:
+
+- :func:`render_pattern` / :func:`render_chase_tree` -- indented text trees
+  in the style of Figures 1-4;
+- :func:`fact_graph_dot` / :func:`null_graph_dot` -- the Gaifman graphs of
+  Figures 6 and 7 as DOT;
+- :func:`pattern_dot` / :func:`chase_forest_dot` -- tree diagrams as DOT.
+"""
+
+from repro.viz.text import render_chase_tree, render_part, render_pattern
+from repro.viz.dot import (
+    chase_forest_dot,
+    fact_graph_dot,
+    null_graph_dot,
+    pattern_dot,
+)
+
+__all__ = [
+    "render_pattern",
+    "render_part",
+    "render_chase_tree",
+    "fact_graph_dot",
+    "null_graph_dot",
+    "pattern_dot",
+    "chase_forest_dot",
+]

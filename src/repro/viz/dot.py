@@ -1,0 +1,99 @@
+"""Graphviz DOT export for instances, patterns, and chase forests.
+
+The DOT strings render the paper's figure styles:
+
+- :func:`fact_graph_dot` -- Gaifman graph of facts (top of Figures 6/7);
+- :func:`null_graph_dot` -- Gaifman graph of nulls (bottom of Figures 6/7);
+- :func:`pattern_dot` -- a pattern tree (Figures 1, 3, 4);
+- :func:`chase_forest_dot` -- a chase forest with assignments.
+
+Output is plain text; no Graphviz installation is required to produce it.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import Pattern
+from repro.logic.instances import Instance
+from repro.logic.printer import format_atom
+from repro.engine.gaifman import full_fact_graph, null_graph
+from repro.engine.nested_chase import ChaseForest
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def fact_graph_dot(instance: Instance, name: str = "fact_graph") -> str:
+    """The Gaifman graph of facts as an undirected DOT graph."""
+    graph = full_fact_graph(instance)
+    lines = [f"graph {name} {{", "  node [shape=box];"]
+    index = {fact: f"f{i}" for i, fact in enumerate(sorted(graph.nodes, key=repr))}
+    for fact, node_id in index.items():
+        lines.append(f"  {node_id} [label={_quote(format_atom(fact))}];")
+    for left, right in sorted(graph.edges, key=repr):
+        lines.append(f"  {index[left]} -- {index[right]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def null_graph_dot(instance: Instance, name: str = "null_graph") -> str:
+    """The Gaifman graph of nulls as an undirected DOT graph."""
+    graph = null_graph(instance)
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    index = {null: f"n{i}" for i, null in enumerate(sorted(graph.nodes, key=repr))}
+    for null, node_id in index.items():
+        lines.append(f"  {node_id} [label={_quote(repr(null))}];")
+    for left, right in sorted(graph.edges, key=repr):
+        lines.append(f"  {index[left]} -- {index[right]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_dot(pattern: Pattern, name: str = "pattern") -> str:
+    """A pattern tree as a directed DOT graph (edges parent -> child)."""
+    lines = [f"digraph {name} {{", "  node [shape=circle];"]
+    counter = [0]
+
+    def visit(node: Pattern) -> str:
+        node_id = f"p{counter[0]}"
+        counter[0] += 1
+        lines.append(f"  {node_id} [label={_quote(f'sigma_{node.part_id}')}];")
+        for child in node.children:
+            child_id = visit(child)
+            lines.append(f"  {node_id} -> {child_id};")
+        return node_id
+
+    visit(pattern)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chase_forest_dot(forest: ChaseForest, name: str = "chase_forest") -> str:
+    """A chase forest as a directed DOT graph with triggering labels."""
+    lines = [f"digraph {name} {{", "  node [shape=box];"]
+    counter = [0]
+
+    def visit(triggering) -> str:
+        node_id = f"t{counter[0]}"
+        counter[0] += 1
+        assignment = ", ".join(
+            f"{var.name}={value!r}"
+            for var, value in sorted(
+                triggering.assignment.items(), key=lambda kv: kv[0].name
+            )
+        )
+        label = f"sigma_{triggering.part_id}\\n{assignment}"
+        lines.append(f"  {node_id} [label={_quote(label)}];")
+        for child in triggering.children:
+            child_id = visit(child)
+            lines.append(f"  {node_id} -> {child_id};")
+        return node_id
+
+    for tree in forest.trees:
+        visit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["fact_graph_dot", "null_graph_dot", "pattern_dot", "chase_forest_dot"]

@@ -1,0 +1,75 @@
+"""Text renderings of patterns, parts, and chase trees.
+
+The output style follows the paper's figures: one node per line, indentation
+for nesting, part identifiers as labels, and (for chase trees) the variable
+assignment of each triggering.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import Pattern
+from repro.logic.nested import NestedTgd
+from repro.logic.printer import format_atom, format_conjunction
+from repro.engine.nested_chase import ChaseTree, Triggering
+
+
+def render_part(tgd: NestedTgd, pid: int) -> str:
+    """One-line description of a part: ``sigma_i: body -> head``."""
+    part = tgd.part(pid)
+    body = format_conjunction(part.body)
+    head = format_conjunction(part.head) if part.head else "T"
+    exists = ""
+    if part.exist_vars:
+        exists = "exists " + ", ".join(v.name for v in part.exist_vars) + " . "
+    return f"sigma_{pid}: {body} -> {exists}{head}"
+
+
+def render_pattern(pattern: Pattern, tgd: NestedTgd | None = None, indent: str = "  ") -> str:
+    """Render a pattern as an indented tree (Figure 1 style).
+
+        >>> from repro.core.patterns import Pattern
+        >>> print(render_pattern(Pattern(1, (Pattern(2),))))
+        sigma_1
+          sigma_2
+    """
+    lines: list[str] = []
+
+    def visit(node: Pattern, depth: int) -> None:
+        label = f"sigma_{node.part_id}"
+        if tgd is not None:
+            label = render_part(tgd, node.part_id)
+        lines.append(indent * depth + label)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(pattern, 0)
+    return "\n".join(lines)
+
+
+def render_triggering(triggering: Triggering, indent: str = "  ", depth: int = 0) -> str:
+    """Render a triggering with its assignment and produced facts."""
+    assignment = ", ".join(
+        f"{var.name}={value!r}"
+        for var, value in sorted(triggering.assignment.items(), key=lambda kv: kv[0].name)
+    )
+    facts = ", ".join(format_atom(f) for f in triggering.facts) or "-"
+    lines = [indent * depth + f"sigma_{triggering.part_id} [{assignment}] => {facts}"]
+    for child in triggering.children:
+        lines.append(render_triggering(child, indent, depth + 1))
+    return "\n".join(lines)
+
+
+def render_chase_tree(tree: ChaseTree, indent: str = "  ") -> str:
+    """Render a chase tree: the triggerings with assignments and facts.
+
+        >>> from repro.engine.nested_chase import chase_nested
+        >>> from repro.logic.parser import parse_instance, parse_nested_tgd
+        >>> tgd = parse_nested_tgd("S(x,y) -> R(x,y)")
+        >>> forest = chase_nested(parse_instance("S(a,b)"), tgd)
+        >>> print(render_chase_tree(forest.trees[0]))
+        sigma_1 [x=a, y=b] => R(a, b)
+    """
+    return render_triggering(tree.root, indent)
+
+
+__all__ = ["render_part", "render_pattern", "render_triggering", "render_chase_tree"]

@@ -1,0 +1,41 @@
+"""Workload generators: the source-instance families used in Section 4 and 5."""
+
+from repro.workloads.generators import (
+    clique_instance,
+    cycle_instance,
+    grid_instance,
+    path_instance,
+    random_instance,
+    singleton,
+    successor_instance,
+)
+from repro.workloads.families import (
+    CYCLE_FAMILY,
+    InstanceFamily,
+    STAR_FAMILY,
+    SUCCESSOR_FAMILY,
+    SUCCESSOR_Q_FAMILY,
+    TREE_FAMILY,
+    binary_tree_instance,
+    star_instance,
+    successor_with_singleton,
+)
+
+__all__ = [
+    "successor_instance",
+    "cycle_instance",
+    "path_instance",
+    "clique_instance",
+    "grid_instance",
+    "random_instance",
+    "singleton",
+    "InstanceFamily",
+    "SUCCESSOR_FAMILY",
+    "CYCLE_FAMILY",
+    "SUCCESSOR_Q_FAMILY",
+    "STAR_FAMILY",
+    "TREE_FAMILY",
+    "successor_with_singleton",
+    "star_instance",
+    "binary_tree_instance",
+]

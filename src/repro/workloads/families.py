@@ -1,0 +1,102 @@
+"""Instance families: "classes of source instances" as first-class objects.
+
+Section 4.2 of the paper relativizes f-block size and f-degree to a class
+``C`` of source instances.  An :class:`InstanceFamily` is such a class,
+presented as a generator indexed by a size parameter, which is what the
+separation tools of :mod:`repro.core.separation` consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.logic.instances import Instance
+from repro.workloads.generators import cycle_instance, successor_instance
+
+
+class InstanceFamily:
+    """A named, size-indexed family of source instances.
+
+        >>> SUCCESSOR_FAMILY(3).facts_of("S")[0].relation
+        'S'
+    """
+
+    def __init__(self, name: str, generator: Callable[[int], Instance]):
+        self.name = name
+        self._generator = generator
+
+    def __call__(self, size: int) -> Instance:
+        return self._generator(size)
+
+    def instances(self, sizes) -> Iterator[tuple[int, Instance]]:
+        """Yield ``(size, instance)`` pairs for the given sizes."""
+        for size in sizes:
+            yield size, self._generator(size)
+
+    def __repr__(self) -> str:
+        return f"InstanceFamily({self.name!r})"
+
+
+SUCCESSOR_FAMILY = InstanceFamily("successor", lambda n: successor_instance(n))
+"""Successor relations ``S`` of growing length (Proposition 4.13)."""
+
+CYCLE_FAMILY = InstanceFamily("odd-cycle", lambda n: cycle_instance(2 * n + 3))
+"""Directed cycles of odd length (Example 4.8)."""
+
+
+def successor_with_singleton(n: int, singleton_relation: str = "Q") -> Instance:
+    """Successor relation of length *n* plus a singleton ``Q(q)`` (Examples 4.14/4.15)."""
+    from repro.logic.atoms import Atom
+    from repro.logic.values import Constant
+
+    base = successor_instance(n)
+    return base.union([Atom(singleton_relation, (Constant("q"),))])
+
+
+SUCCESSOR_Q_FAMILY = InstanceFamily("successor+Q", successor_with_singleton)
+"""Successor relation plus a singleton ``Q`` (Examples 4.14 and 4.15)."""
+
+
+def star_instance(n: int, relation: str = "S") -> Instance:
+    """A star: ``S(hub, v0), ..., S(hub, v{n-1})`` -- maximal fan-out sources."""
+    from repro.logic.atoms import Atom
+    from repro.logic.values import Constant
+
+    hub = Constant("hub")
+    return Instance(
+        Atom(relation, (hub, Constant(f"v{i}"))) for i in range(n)
+    )
+
+
+STAR_FAMILY = InstanceFamily("star", star_instance)
+"""Stars of growing fan-out: worst case for nested-tgd inner triggerings."""
+
+
+def binary_tree_instance(depth: int, relation: str = "S") -> Instance:
+    """A complete binary tree of the given depth as an edge relation."""
+    from repro.logic.atoms import Atom
+    from repro.logic.values import Constant
+
+    facts = []
+    for index in range(1, 2 ** depth):
+        parent = Constant(f"t{index}")
+        facts.append(Atom(relation, (parent, Constant(f"t{2 * index}"))))
+        facts.append(Atom(relation, (parent, Constant(f"t{2 * index + 1}"))))
+    return Instance(facts)
+
+
+TREE_FAMILY = InstanceFamily("binary-tree", binary_tree_instance)
+"""Complete binary trees: branching sources with logarithmic diameter."""
+
+
+__all__ = [
+    "InstanceFamily",
+    "SUCCESSOR_FAMILY",
+    "CYCLE_FAMILY",
+    "SUCCESSOR_Q_FAMILY",
+    "STAR_FAMILY",
+    "TREE_FAMILY",
+    "successor_with_singleton",
+    "star_instance",
+    "binary_tree_instance",
+]

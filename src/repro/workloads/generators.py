@@ -1,0 +1,130 @@
+"""Generators for the source instances used throughout the paper.
+
+- :func:`successor_instance` -- ``S`` a successor relation (with optional
+  ``Z`` zero marker and ``Q`` singleton), the class of instances behind
+  Proposition 4.13, Examples 4.14/4.15, and Theorem 5.1;
+- :func:`cycle_instance` -- the directed cycle ``I_n`` of Example 4.8;
+- :func:`random_instance` -- seeded random instances for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.schema import Schema
+from repro.logic.values import Constant
+
+
+def _element(index: int, prefix: str) -> Constant:
+    return Constant(f"{prefix}{index}")
+
+
+def successor_instance(
+    length: int,
+    relation: str = "S",
+    prefix: str = "e",
+    zero_relation: str | None = None,
+    extras: Iterable[Atom] = (),
+) -> Instance:
+    """A successor relation of the given length: ``S(e0,e1), ..., S(e{n-1},e{n})``.
+
+    With *zero_relation* set (e.g. ``"Z"``), a fact marking the initial
+    element is added, as in the Theorem 5.1 construction.
+
+        >>> len(successor_instance(3))
+        3
+    """
+    facts = [
+        Atom(relation, (_element(i, prefix), _element(i + 1, prefix)))
+        for i in range(length)
+    ]
+    if zero_relation is not None:
+        facts.append(Atom(zero_relation, (_element(0, prefix),)))
+    facts.extend(extras)
+    return Instance(facts)
+
+
+def cycle_instance(length: int, relation: str = "S", prefix: str = "c") -> Instance:
+    """The directed cycle ``I_n = {S(1,2), S(2,3), ..., S(n,1)}`` of Example 4.8."""
+    if length < 1:
+        return Instance()
+    return Instance(
+        Atom(relation, (_element(i, prefix), _element((i + 1) % length, prefix)))
+        for i in range(length)
+    )
+
+
+def path_instance(length: int, relation: str = "S", prefix: str = "p") -> Instance:
+    """A directed path with *length* edges (alias of successor without zero)."""
+    return successor_instance(length, relation=relation, prefix=prefix)
+
+
+def clique_instance(size: int, relation: str = "E", prefix: str = "v") -> Instance:
+    """The complete directed graph (without self-loops) on *size* elements."""
+    elements = [_element(i, prefix) for i in range(size)]
+    return Instance(
+        Atom(relation, (a, b)) for a in elements for b in elements if a != b
+    )
+
+
+def grid_instance(
+    rows: int, columns: int, horizontal: str = "H", vertical: str = "V", prefix: str = "g"
+) -> Instance:
+    """A grid with horizontal and vertical successor relations."""
+
+    def node(r: int, c: int) -> Constant:
+        return Constant(f"{prefix}{r}_{c}")
+
+    facts: list[Atom] = []
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                facts.append(Atom(horizontal, (node(r, c), node(r, c + 1))))
+            if r + 1 < rows:
+                facts.append(Atom(vertical, (node(r, c), node(r + 1, c))))
+    return Instance(facts)
+
+
+def singleton(relation: str, *names: str) -> Instance:
+    """A single fact ``relation(names...)`` with the given constant names."""
+    return Instance([Atom(relation, tuple(Constant(n) for n in names))])
+
+
+def random_instance(
+    schema: Schema | Sequence[tuple[str, int]],
+    fact_count: int,
+    domain_size: int,
+    seed: int = 0,
+    prefix: str = "r",
+) -> Instance:
+    """A seeded random instance over *schema* with at most *fact_count* facts.
+
+    Facts are drawn uniformly (relation, then argument tuple) with
+    replacement, so the result may have fewer than *fact_count* distinct
+    facts.  Deterministic for a given seed.
+    """
+    if not isinstance(schema, Schema):
+        schema = Schema(schema)
+    rng = random.Random(seed)
+    relations = list(schema)
+    domain = [_element(i, prefix) for i in range(domain_size)]
+    facts: list[Atom] = []
+    for __ in range(fact_count):
+        rel = rng.choice(relations)
+        args = tuple(rng.choice(domain) for __ in range(rel.arity))
+        facts.append(Atom(rel.name, args))
+    return Instance(facts)
+
+
+__all__ = [
+    "successor_instance",
+    "cycle_instance",
+    "path_instance",
+    "clique_instance",
+    "grid_instance",
+    "singleton",
+    "random_instance",
+]

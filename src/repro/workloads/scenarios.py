@@ -1,0 +1,125 @@
+"""Named end-to-end data-exchange scenarios.
+
+Reusable (mapping, source-generator) bundles for examples, benchmarks, and
+integration tests: the Clio-style shop, the hospital integration, and a
+university registry.  Each scenario carries a nested mapping, its naive flat
+translation, and a scalable source generator -- the three ingredients every
+"nested vs flat" comparison in this repository needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+from repro.logic.tgds import STTgd
+from repro.logic.values import Constant
+
+
+@dataclass
+class ExchangeScenario:
+    """A named scenario: nested mapping, flat translation, source generator."""
+
+    name: str
+    nested: NestedTgd
+    flat: list[STTgd]
+    generate: Callable[[int], Instance]
+
+    def source(self, size: int) -> Instance:
+        """A source instance of the given size parameter."""
+        return self.generate(size)
+
+
+def _shop_source(customers: int) -> Instance:
+    facts = []
+    for c in range(customers):
+        cid, name = Constant(f"c{c}"), Constant(f"name{c}")
+        facts.append(Atom("Customer", (cid, name)))
+        for o in range(2 + c % 2):
+            facts.append(Atom("Ord", (cid, Constant(f"item{c}_{o}"))))
+    return Instance(facts)
+
+
+SHOP = ExchangeScenario(
+    name="shop",
+    nested=parse_nested_tgd(
+        "Customer(c, n) -> exists y . "
+        "(Account(y, n) & (Ord(c, i) -> Purchase(y, i)))",
+        name="shop_nested",
+    ),
+    flat=[
+        parse_tgd("Customer(c, n) -> exists y . Account(y, n)"),
+        parse_tgd(
+            "Customer(c, n) & Ord(c, i) -> exists y . (Account(y, n) & Purchase(y, i))"
+        ),
+    ],
+    generate=_shop_source,
+)
+"""Customers and orders into accounts and purchases (the Clio motivation)."""
+
+
+def _hospital_source(patients: int) -> Instance:
+    wards = ["cardiology", "oncology", "neurology"]
+    facts = []
+    for p in range(patients):
+        pid = Constant(f"p{p}")
+        facts.append(Atom("Admitted", (pid, Constant(wards[p % len(wards)]))))
+        for t in range(1 + p % 3):
+            facts.append(Atom("Lab", (pid, Constant(f"test{p}_{t}"))))
+    return Instance(facts)
+
+
+HOSPITAL = ExchangeScenario(
+    name="hospital",
+    nested=parse_nested_tgd(
+        "Admitted(p, w) -> exists c . (Cse(c, w) & (Lab(p, t) -> Finding(c, t)))",
+        name="hospital_nested",
+    ),
+    flat=[
+        parse_tgd("Admitted(p, w) -> exists c . Cse(c, w)"),
+        parse_tgd(
+            "Admitted(p, w) & Lab(p, t) -> exists c . (Cse(c, w) & Finding(c, t))"
+        ),
+    ],
+    generate=_hospital_source,
+)
+"""Admissions and lab results into cases and findings."""
+
+
+def _university_source(students: int) -> Instance:
+    courses = ["db", "os", "ai", "pl"]
+    facts = []
+    for s in range(students):
+        sid = Constant(f"s{s}")
+        facts.append(Atom("Registered", (sid, Constant(f"dept{s % 2}"))))
+        for c in range(1 + s % 2):
+            facts.append(Atom("Takes", (sid, Constant(courses[(s + c) % len(courses)]))))
+    return Instance(facts)
+
+
+UNIVERSITY = ExchangeScenario(
+    name="university",
+    nested=parse_nested_tgd(
+        "Registered(s, d) -> exists r . "
+        "(Record(r, d) & (Takes(s, co) -> Grade(r, co)))",
+        name="university_nested",
+    ),
+    flat=[
+        parse_tgd("Registered(s, d) -> exists r . Record(r, d)"),
+        parse_tgd(
+            "Registered(s, d) & Takes(s, co) -> exists r . (Record(r, d) & Grade(r, co))"
+        ),
+    ],
+    generate=_university_source,
+)
+"""Registrations and course enrollment into records and grades."""
+
+
+ALL_SCENARIOS = [SHOP, HOSPITAL, UNIVERSITY]
+
+
+__all__ = ["ExchangeScenario", "SHOP", "HOSPITAL", "UNIVERSITY", "ALL_SCENARIOS"]

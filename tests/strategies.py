@@ -1,0 +1,84 @@
+"""Hypothesis strategies for randomly generated nested tgds.
+
+The generator builds well-formed part trees directly (respecting the
+grammar's scoping rules: universal variables occur in their own part's body,
+bodies use only universal variables in scope, heads may also use existential
+variables in scope), so every generated tgd passes NestedTgd validation by
+construction.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.logic.atoms import Atom
+from repro.logic.nested import NestedTgd, Part
+from repro.logic.values import Variable
+
+
+SOURCE_RELATIONS = [("S", 2), ("T", 2), ("Q", 1)]
+TARGET_RELATIONS = [("R", 2), ("P", 1), ("U", 3)]
+
+
+@st.composite
+def nested_tgds(draw, max_depth: int = 3, max_children: int = 2):
+    """Generate a random well-formed :class:`NestedTgd`."""
+    counter = {"var": 0}
+
+    def fresh(prefix: str) -> Variable:
+        counter["var"] += 1
+        return Variable(f"{prefix}{counter['var']}")
+
+    def build_part(depth: int, universal_scope: tuple, exist_scope: tuple) -> Part:
+        own_universal = tuple(
+            fresh("x") for __ in range(draw(st.integers(1, 2)))
+        )
+        body_scope = universal_scope + own_universal
+        body_atoms = []
+        # each own universal variable must occur in the part's own body
+        remaining = list(own_universal)
+        while remaining or not body_atoms:
+            name, arity = draw(st.sampled_from(SOURCE_RELATIONS))
+            args = []
+            for __ in range(arity):
+                if remaining:
+                    args.append(remaining.pop())
+                else:
+                    args.append(draw(st.sampled_from(list(body_scope))))
+            body_atoms.append(Atom(name, tuple(args)))
+
+        own_exist = tuple(fresh("y") for __ in range(draw(st.integers(0, 1))))
+        head_scope = body_scope + exist_scope + own_exist
+        head_atoms = []
+        for __ in range(draw(st.integers(0, 2))):
+            name, arity = draw(st.sampled_from(TARGET_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(list(head_scope))) for __ in range(arity)
+            )
+            head_atoms.append(Atom(name, args))
+
+        children = []
+        if depth < max_depth:
+            for __ in range(draw(st.integers(0, max_children))):
+                children.append(
+                    build_part(depth + 1, body_scope, exist_scope + own_exist)
+                )
+        if not head_atoms and not children:
+            # avoid completely vacuous conclusions: add one head atom
+            name, arity = draw(st.sampled_from(TARGET_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(list(head_scope))) for __ in range(arity)
+            )
+            head_atoms.append(Atom(name, args))
+        return Part(
+            universal_vars=own_universal,
+            body=tuple(body_atoms),
+            exist_vars=own_exist,
+            head=tuple(head_atoms),
+            children=tuple(children),
+        )
+
+    return NestedTgd(build_part(1, (), ()))
+
+
+__all__ = ["nested_tgds", "SOURCE_RELATIONS", "TARGET_RELATIONS"]

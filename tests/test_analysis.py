@@ -1,0 +1,79 @@
+"""Tests for the structural-property verifiers."""
+
+from repro.analysis import (
+    check_admits_universal_solutions,
+    check_closed_under_target_homomorphisms,
+    check_core_is_universal,
+)
+from repro.logic.parser import parse_instance, parse_so_tgd, parse_tgd
+
+
+SOURCES = [
+    parse_instance("S(a,b)"),
+    parse_instance("S(a,b), S(b,c)"),
+    parse_instance(""),
+]
+
+EMP_SOURCES = [parse_instance("Emp(a)")]
+
+
+class TestUniversality:
+    def test_glav_admits_universal_solutions(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        candidates = [parse_instance("R(a,a)"), parse_instance("R(a,c), R(b,c)")]
+        report = check_admits_universal_solutions([tgd], SOURCES, candidates)
+        assert report.holds
+        assert report.checked == len(SOURCES)
+
+    def test_nested_admits_universal_solutions(self, intro_nested):
+        candidates = [
+            parse_instance("R(e,b), R(e,c)"),
+            parse_instance("R(e,b)"),
+        ]
+        assert check_admits_universal_solutions([intro_nested], SOURCES, candidates)
+
+
+class TestTargetHomClosure:
+    def test_plain_so_tgd_closed(self, so_tgd_413):
+        candidates = [
+            parse_instance("R(u,v), R(v,w)"),
+            parse_instance("R(a,a)"),
+            parse_instance("R(u,v)"),
+        ]
+        report = check_closed_under_target_homomorphisms(
+            [so_tgd_413], SOURCES[:2], candidates
+        )
+        assert report.holds
+
+    def test_equality_so_tgd_refuted(self):
+        """The self-manager SO tgd is NOT closed under target homomorphisms:
+        Mgr(a, b) is a solution (choose f(a) = b != a), but its homomorphic
+        image Mgr(a, a) forces f(a) = a without providing SelfMgr(a)."""
+        so = parse_so_tgd("Emp(e) -> Mgr(e, f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)")
+        candidates = [
+            parse_instance("Mgr(a, _n)"),
+            parse_instance("Mgr(a, a)"),
+        ]
+        report = check_closed_under_target_homomorphisms(
+            [so], EMP_SOURCES, candidates
+        )
+        assert not report.holds
+        assert report.counterexample is not None
+
+    def test_report_is_boolean(self, so_tgd_413):
+        report = check_closed_under_target_homomorphisms([so_tgd_413], SOURCES[:1])
+        assert bool(report) is True
+
+
+class TestCoreUniversality:
+    def test_core_universal_for_nested(self, intro_nested):
+        assert check_core_is_universal([intro_nested], SOURCES)
+
+    def test_core_universal_for_plain_so(self, so_tgd_413, so_tgd_48):
+        assert check_core_is_universal([so_tgd_413], SOURCES)
+        assert check_core_is_universal([so_tgd_48], SOURCES)
+
+    def test_schema_mapping_accepted(self, intro_nested):
+        from repro.mappings import SchemaMapping
+
+        assert check_core_is_universal(SchemaMapping([intro_nested]), SOURCES[:2])

@@ -1,0 +1,76 @@
+"""Tests for atoms and facts."""
+
+from repro.logic.atoms import Atom, atoms_variables
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Constant, Null, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A, B = Constant("a"), Constant("b")
+N = Null("n")
+
+
+class TestAtomBasics:
+    def test_args_coerced_to_tuple(self):
+        assert Atom("S", [X, Y]).args == (X, Y)
+
+    def test_arity(self):
+        assert Atom("S", (X, Y)).arity == 2
+
+    def test_equality_and_hash(self):
+        assert Atom("S", (X,)) == Atom("S", (X,))
+        assert hash(Atom("S", (X,))) == hash(Atom("S", (X,)))
+        assert Atom("S", (X,)) != Atom("T", (X,))
+
+
+class TestVariableExtraction:
+    def test_variables_in_order(self):
+        atom = Atom("S", (X, Y, X))
+        assert list(atom.variables()) == [X, Y, X]
+
+    def test_variable_set(self):
+        assert Atom("S", (X, Y, X)).variable_set() == {X, Y}
+
+    def test_variables_inside_terms(self):
+        atom = Atom("R", (FuncTerm("f", (X,)), Y))
+        assert atom.variable_set() == {X, Y}
+
+    def test_atoms_variables_across_atoms(self):
+        assert atoms_variables([Atom("S", (X,)), Atom("T", (Y,))]) == {X, Y}
+
+
+class TestFactness:
+    def test_ground_atom_is_fact(self):
+        assert Atom("S", (A, N)).is_fact()
+
+    def test_atom_with_variable_is_not_fact(self):
+        assert not Atom("S", (A, X)).is_fact()
+
+    def test_ground_skolem_term_argument_is_fact(self):
+        assert Atom("S", (FuncTerm("f", (A,)),)).is_fact()
+
+    def test_nulls_extraction(self):
+        fact = Atom("S", (A, N, FuncTerm("f", (B,))))
+        assert set(fact.nulls()) == {N, FuncTerm("f", (B,))}
+
+    def test_constants_extraction(self):
+        fact = Atom("S", (A, N, B))
+        assert set(fact.constants()) == {A, B}
+
+
+class TestSubstitutionAndRenaming:
+    def test_substitute(self):
+        atom = Atom("S", (X, Y))
+        assert atom.substitute({X: A}) == Atom("S", (A, Y))
+
+    def test_substitute_into_term_argument(self):
+        atom = Atom("R", (FuncTerm("f", (X,)),))
+        assert atom.substitute({X: A}) == Atom("R", (FuncTerm("f", (A,)),))
+
+    def test_rename_values_top_level_only(self):
+        fact = Atom("S", (A, B))
+        assert fact.rename_values({A: B}) == Atom("S", (B, B))
+
+    def test_rename_values_identity_outside_map(self):
+        fact = Atom("S", (A, N))
+        assert fact.rename_values({}) == fact

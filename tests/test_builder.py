@@ -1,0 +1,105 @@
+"""Tests for the fluent builder API."""
+
+import pytest
+
+from repro.core.implication import equivalent
+from repro.errors import DependencyError
+from repro.logic.builder import (
+    Fun,
+    Rel,
+    make_nested,
+    make_so_tgd,
+    make_tgd,
+    part,
+    var,
+    variables,
+)
+from repro.logic.parser import parse_nested_tgd, parse_so_tgd, parse_tgd
+
+
+class TestBasics:
+    def test_variables_split(self):
+        x, y, z = variables("x y z")
+        assert x.name == "x" and z.name == "z"
+
+    def test_rel_builds_atoms(self):
+        x, y = variables("x y")
+        atom = Rel("S")(x, y)
+        assert atom.relation == "S" and atom.args == (x, y)
+
+    def test_rel_rejects_lowercase(self):
+        with pytest.raises(DependencyError):
+            Rel("s")
+
+    def test_fun_builds_terms(self):
+        x = var("x")
+        term = Fun("f")(x)
+        assert term.function == "f" and term.args == (x,)
+
+    def test_fun_rejects_uppercase(self):
+        with pytest.raises(DependencyError):
+            Fun("F")
+
+
+class TestTgdConstruction:
+    def test_make_tgd_matches_parser(self):
+        x, y, z = variables("x y z")
+        S, R = Rel("S"), Rel("R")
+        built = make_tgd([S(x, y)], [R(x, z)])
+        assert built == parse_tgd("S(x,y) -> R(x,z)")
+
+    def test_make_nested_matches_parser(self):
+        x1, x2, x3, y = variables("x1 x2 x3 y")
+        S, R = Rel("S"), Rel("R")
+        built = make_nested(
+            part(
+                [S(x1, x2)],
+                exists=[y],
+                head=[R(y, x2)],
+                children=[part([S(x1, x3)], head=[R(y, x3)])],
+            )
+        )
+        parsed = parse_nested_tgd(
+            "S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))"
+        )
+        assert built == parsed
+
+    def test_make_nested_rescopes_shared_variables(self):
+        """x1 in the child's body is bound by the root, not re-quantified."""
+        x1, x2 = variables("x1 x2")
+        S1, S2, T = Rel("S1"), Rel("S2"), Rel("T")
+        built = make_nested(
+            part([S1(x1)], children=[part([S2(x1, x2)], head=[T(x2)])])
+        )
+        assert built.part(1).universal_vars == (x1,)
+        assert built.part(2).universal_vars == (x2,)
+
+    def test_make_so_tgd_matches_parser(self):
+        x, y = variables("x y")
+        S, R, f = Rel("S"), Rel("R"), Fun("f")
+        built = make_so_tgd([([S(x, y)], [R(f(x), f(y))])])
+        assert built == parse_so_tgd("S(x,y) -> R(f(x), f(y))")
+
+    def test_make_so_tgd_with_equalities(self):
+        e = var("e")
+        Emp, Mgr, SelfMgr, f = Rel("Emp"), Rel("Mgr"), Rel("SelfMgr"), Fun("f")
+        built = make_so_tgd(
+            [
+                ([Emp(e)], [Mgr(e, f(e))]),
+                ([Emp(e)], [(e, f(e))], [SelfMgr(e)]),
+            ]
+        )
+        assert not built.is_plain()
+
+    def test_bad_clause_shape_rejected(self):
+        with pytest.raises(DependencyError):
+            make_so_tgd([([Rel("S")(var("x"))],)])
+
+
+class TestSemanticAgreement:
+    def test_built_and_parsed_are_logically_equivalent(self):
+        x, y, w = variables("x y w")
+        S, R, P = Rel("S"), Rel("R"), Rel("P")
+        built = make_tgd([S(x, y)], [R(x, w), P(w)])
+        parsed = parse_tgd("S(x,y) -> R(x,w) & P(w)")
+        assert equivalent([built], [parsed])

@@ -1,0 +1,114 @@
+"""Tests for canonical instances of patterns (Definitions 3.7 and 5.4)."""
+
+from repro.core.canonical import (
+    canonical_instances,
+    legal_canonical_instances,
+    rename_values_deep,
+)
+from repro.core.patterns import Pattern
+from repro.logic.parser import parse_instance
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Constant
+
+
+class TestCanonicalInstances:
+    def test_figure_2_shape(self, sigma_star):
+        """Figure 2: the canonical instances of the full 1-pattern p8."""
+        p8 = Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),))))
+        canon = canonical_instances(p8, sigma_star)
+        # source: S1(a1); S2(a2); S3(a1,a3); S3(a1,a4); S4(a4,a5)
+        assert sorted(f.relation for f in canon.source) == ["S1", "S2", "S3", "S3", "S4"]
+        # target: R2(f(a1),a2); R3(f(a1),a3); R3(f(a1),a4); R4(g(a1,a4,a5),a5)
+        assert sorted(f.relation for f in canon.target) == ["R2", "R3", "R3", "R4"]
+
+    def test_distinct_fresh_constants_per_node(self, intro_nested):
+        pattern = Pattern(1, (Pattern(2), Pattern(2)))
+        canon = canonical_instances(pattern, intro_nested)
+        # root binds x1,x2; each part-2 clone binds its own x3
+        assert len(canon.source.constants()) == 4
+
+    def test_example_310_canonical_instances(self, tau_310):
+        """I_{p''_2} = {S1(a1), S2(a2), S2(a2')}, J = {R(a2,f(a1)), R(a2',f(a1))}."""
+        pattern = Pattern(1, (Pattern(2), Pattern(2)))
+        canon = canonical_instances(pattern, tau_310)
+        assert sorted(f.relation for f in canon.source) == ["S1", "S2", "S2"]
+        assert len(canon.target) == 2
+        nulls = canon.target.nulls()
+        assert len(nulls) == 1  # both R facts share f(a1)
+
+    def test_skolem_nulls_shared_across_parts(self, sigma_star):
+        """y1 = f(x1) is the same null in R2 and R3 facts (correlation)."""
+        p = Pattern(1, (Pattern(2), Pattern(3)))
+        canon = canonical_instances(p, sigma_star)
+        r2_null = next(iter(canon.target.facts_of("R2")[0].nulls()))
+        r3_null = next(iter(canon.target.facts_of("R3")[0].nulls()))
+        assert r2_null == r3_null
+
+    def test_assignments_recorded_per_path(self, sigma_star):
+        p = Pattern(1, (Pattern(3, (Pattern(4),)),))
+        canon = canonical_instances(p, sigma_star)
+        assert set(canon.assignments) == {(), (0,), (0, 0)}
+        root_assignment = canon.assignments[()]
+        leaf_assignment = canon.assignments[(0, 0)]
+        for var, value in root_assignment.items():
+            assert leaf_assignment[var] == value
+
+    def test_unique_up_to_constant_renaming(self, intro_nested):
+        pattern = Pattern(1, (Pattern(2),))
+        first = canonical_instances(pattern, intro_nested)
+        second = canonical_instances(pattern, intro_nested)
+        assert first.source == second.source  # same default factory -> identical
+
+    def test_empty_head_pattern_gives_empty_target(self, sigma_star):
+        canon = canonical_instances(Pattern(1), sigma_star)
+        assert len(canon.target) == 0
+        assert len(canon.source) == 1
+
+
+class TestLegalCanonicalInstances:
+    def test_example_53(self, sigma_53, egd_53):
+        """Cloning part 2 and chasing with the egd merges the P1 values."""
+        pattern = Pattern(1, (Pattern(2), Pattern(2)))
+        plain = canonical_instances(pattern, sigma_53)
+        legal = legal_canonical_instances(pattern, sigma_53, [egd_53])
+        assert len(plain.source) == 5  # Q, 2x P1, 2x P2
+        assert len(legal.source) == 4  # the two P1 facts merged
+        # the merged constant appears in both target facts
+        p1_value = legal.source.facts_of("P1")[0].args[1]
+        for fact in legal.target:
+            assert p1_value in fact.args
+
+    def test_no_egds_is_plain_canonical(self, sigma_53):
+        pattern = Pattern(1, (Pattern(2),))
+        plain = canonical_instances(pattern, sigma_53)
+        legal = legal_canonical_instances(pattern, sigma_53, [])
+        assert plain.source == legal.source
+        assert plain.target == legal.target
+
+    def test_assignments_follow_equalities(self, sigma_53, egd_53):
+        pattern = Pattern(1, (Pattern(2), Pattern(2)))
+        legal = legal_canonical_instances(pattern, sigma_53, [egd_53])
+        x1_values = {
+            assignment[var]
+            for assignment in legal.assignments.values()
+            for var in assignment
+            if var.name == "x1"
+        }
+        assert len(x1_values) == 1
+
+
+class TestDeepRenaming:
+    def test_renames_inside_skolem_terms(self):
+        a, b = Constant("a"), Constant("b")
+        inst = parse_instance("")
+        from repro.logic.atoms import Atom
+        from repro.logic.instances import Instance
+
+        inst = Instance([Atom("R", (FuncTerm("f", (a,)), a))])
+        renamed = rename_values_deep(inst, {a: b})
+        fact = next(iter(renamed))
+        assert fact.args == (FuncTerm("f", (b,)), b)
+
+    def test_identity_outside_mapping(self):
+        inst = parse_instance("R(a, b)")
+        assert rename_values_deep(inst, {}) == inst

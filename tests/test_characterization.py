@@ -1,0 +1,74 @@
+"""Tests for the [17]-style structural characterization verifiers."""
+
+from repro.analysis.characterization import (
+    check_closed_under_union,
+    check_n_modular,
+    glav_modularity_bound,
+)
+from repro.engine.chase import chase
+from repro.logic.parser import parse_instance, parse_tgd
+
+
+class TestUnionClosure:
+    def test_glav_mapping_closed_under_union(self):
+        tgd = parse_tgd("S(x,y) -> R(x,y)")
+        pairs = [
+            (parse_instance("S(a,b)"), parse_instance("R(a,b)")),
+            (parse_instance("S(b,c)"), parse_instance("R(b,c)")),
+            (parse_instance("S(a,c)"), parse_instance("R(a,c), R(c,c)")),
+        ]
+        assert check_closed_under_union([tgd], pairs)
+
+    def test_nested_mapping_fails_union_closure(self, intro_nested):
+        """The shared existential breaks union closure: each source alone has
+        a one-null solution, but their union demands a single y serving both
+        x3 values, which the union of the individual solutions lacks."""
+        left_source = parse_instance("S(a,b)")
+        right_source = parse_instance("S(a,c)")
+        left_solution = parse_instance("R(b,b)")
+        right_solution = parse_instance("R(c,c)")
+        report = check_closed_under_union(
+            [intro_nested],
+            [(left_source, left_solution), (right_source, right_solution)],
+        )
+        assert not report.holds
+        assert report.counterexample is not None
+
+    def test_chase_pairs_always_union_closed_for_glav(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        sources = [parse_instance("S(a,b)"), parse_instance("S(b,c)")]
+        pairs = [(s, chase(s, [tgd])) for s in sources]
+        assert check_closed_under_union([tgd], pairs)
+
+
+class TestModularity:
+    def test_glav_is_modular_at_body_size(self):
+        tgd = parse_tgd("S(x,y) & S(y,z) -> R(x,z)")
+        bound = glav_modularity_bound([tgd])
+        assert bound == 2
+        pairs = [
+            (parse_instance("S(a,b), S(b,c)"), parse_instance("")),
+            (parse_instance("S(a,b), S(b,c), S(c,d)"), parse_instance("R(a,c)")),
+        ]
+        assert check_n_modular([tgd], pairs, n=bound)
+
+    def test_nested_tgd_defeats_small_modularity(self, intro_nested):
+        """A 3-fact source whose violation needs all three facts together:
+        every 2-fact sub-source is satisfied by the same target."""
+        source = parse_instance("S(a,b), S(a,c), S(a,d)")
+        # target where no single y covers b, c, d simultaneously, but any
+        # pair is covered (y=u covers b,c; y=v covers c,d; y=w covers b,d)
+        target = parse_instance(
+            "R(u,b), R(u,c), R(v,c), R(v,d), R(w,b), R(w,d)"
+        )
+        report = check_n_modular([intro_nested], [(source, target)], n=2)
+        assert not report.modular
+        assert report.counterexample is not None
+        # but modularity at n = 3 finds the witness (the full source)
+        assert check_n_modular([intro_nested], [(source, target)], n=3)
+
+    def test_solutions_are_ignored(self):
+        tgd = parse_tgd("S(x,y) -> R(x,y)")
+        pairs = [(parse_instance("S(a,b)"), parse_instance("R(a,b)"))]
+        report = check_n_modular([tgd], pairs, n=1)
+        assert report.modular and report.checked == 0

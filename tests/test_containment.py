@@ -1,0 +1,117 @@
+"""Tests for CQ containment, equivalence, and minimization (Chandra-Merlin)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.parser import parse_instance
+from repro.queries.containment import (
+    equivalent_queries,
+    freeze,
+    is_contained_in,
+    minimize_query,
+)
+from repro.queries.cq import parse_query
+
+
+class TestFreeze:
+    def test_head_becomes_constants(self):
+        q = parse_query("q(x) :- R(x, y)")
+        frozen, head = freeze(q)
+        assert len(head) == 1
+        assert len(frozen.constants()) == 1
+        assert len(frozen.nulls()) == 1
+
+
+class TestContainment:
+    def test_specialization_contained_in_generalization(self):
+        path = parse_query("q(x, z) :- R(x, y) & R(y, z)")
+        loose = parse_query("q(x, z) :- R(x, u) & R(v, z)")
+        assert is_contained_in(path, loose)
+        assert not is_contained_in(loose, path)
+
+    def test_self_containment(self):
+        q = parse_query("q(x, z) :- R(x, y) & R(y, z)")
+        assert is_contained_in(q, q)
+
+    def test_extra_condition_narrows(self):
+        narrow = parse_query("q(x) :- R(x, y) & P(y)")
+        wide = parse_query("q(x) :- R(x, y)")
+        assert is_contained_in(narrow, wide)
+        assert not is_contained_in(wide, narrow)
+
+    def test_different_arity_incomparable(self):
+        q1 = parse_query("q(x) :- R(x, y)")
+        q2 = parse_query("q(x, y) :- R(x, y)")
+        assert not is_contained_in(q1, q2)
+
+    def test_repeated_head_variables(self):
+        diag = parse_query("q(x, x) :- R(x, x)")
+        pair = parse_query("q(x, y) :- R(x, y)")
+        assert is_contained_in(diag, pair)
+        assert not is_contained_in(pair, diag)
+
+    def test_semantic_witness(self):
+        """Containment verdicts match actual evaluation on sample instances."""
+        narrow = parse_query("q(x) :- R(x, y) & P(y)")
+        wide = parse_query("q(x) :- R(x, y)")
+        for text in ["R(a,b), P(b)", "R(a,b)", "R(a,b), R(b,c), P(c)"]:
+            instance = parse_instance(text)
+            assert narrow.evaluate(instance) <= wide.evaluate(instance)
+
+
+class TestEquivalence:
+    def test_reordered_bodies(self):
+        q1 = parse_query("q(x) :- R(x, y) & P(y)")
+        q2 = parse_query("q(x) :- P(y) & R(x, y)")
+        assert equivalent_queries(q1, q2)
+
+    def test_redundant_atom_equivalent(self):
+        q1 = parse_query("q(x) :- R(x, y)")
+        q2 = parse_query("q(x) :- R(x, y) & R(x, z)")
+        assert equivalent_queries(q1, q2)
+
+    def test_inequivalent(self):
+        q1 = parse_query("q(x) :- R(x, y)")
+        q2 = parse_query("q(x) :- R(y, x)")
+        assert not equivalent_queries(q1, q2)
+
+
+class TestMinimization:
+    def test_redundant_atom_removed(self):
+        q = parse_query("q(x) :- R(x, y) & R(x, z)")
+        assert len(minimize_query(q).body) == 1
+
+    def test_minimized_query_equivalent(self):
+        q = parse_query("q(x) :- R(x, y) & R(x, z) & R(w, y)")
+        minimal = minimize_query(q)
+        assert equivalent_queries(q, minimal)
+
+    def test_core_query_untouched(self):
+        q = parse_query("q(x, z) :- R(x, y) & R(y, z)")
+        assert len(minimize_query(q).body) == 2
+
+    def test_head_variables_preserved(self):
+        q = parse_query("q(x, z) :- R(x, y) & R(y, z) & R(x, w)")
+        minimal = minimize_query(q)
+        assert [v.name for v in minimal.head] == ["x", "z"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        body_size=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_minimization_idempotent_on_random_queries(self, body_size, seed):
+        import random
+
+        rng = random.Random(seed)
+        variables = ["x", "y", "z", "w"]
+        body_atoms = " & ".join(
+            f"R({rng.choice(variables)}, {rng.choice(variables)})"
+            for __ in range(body_size)
+        )
+        q = parse_query(f"q(x) :- {body_atoms} & R(x, x)")
+        minimal = minimize_query(q)
+        assert equivalent_queries(q, minimal)
+        again = minimize_query(minimal)
+        assert len(again.body) == len(minimal.body)

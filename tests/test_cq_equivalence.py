@@ -1,0 +1,71 @@
+"""Tests for CQ-equivalence checking."""
+
+from repro.core.cq_equivalence import (
+    canonical_test_sources,
+    cq_equivalent,
+    cq_equivalent_on,
+    cq_refute,
+)
+from repro.logic.parser import parse_egd, parse_instance, parse_nested_tgd, parse_tgd
+
+
+class TestRefutation:
+    def test_different_heads_refuted(self):
+        a = [parse_tgd("S(x,y) -> R(x,y)")]
+        b = [parse_tgd("S(x,y) -> R(y,x)")]
+        witness = cq_refute(a, b, [parse_instance("S(a,b)")])
+        assert witness is not None
+
+    def test_null_renaming_not_refuted(self):
+        a = [parse_tgd("S(x,y) -> R(x,z)")]
+        b = [parse_tgd("S(x,y) -> R(x,w)")]
+        assert cq_refute(a, b, [parse_instance("S(a,b)"), parse_instance("S(a,a)")]) is None
+
+    def test_strictly_stronger_mapping_refuted(self, intro_nested):
+        flat = [parse_tgd("S(x1,x2) -> exists y . R(y, x2)")]
+        witness = cq_refute([intro_nested], flat, canonical_test_sources(
+            [intro_nested], flat))
+        assert witness is not None
+
+    def test_egd_filter_applied(self):
+        a = [parse_tgd("S(x,y) -> R2(y,y)")]
+        b = [parse_tgd("S(x,y) & S(x,z) -> R2(y,z)")]
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        bad = parse_instance("S(a,b), S(a,c)")  # violates the key: skipped
+        report = cq_equivalent_on(a, b, [bad], source_egds=[egd])
+        assert report.equivalent_on_batch
+        assert cq_refute(a, b, [bad]) is not None  # without the key it separates
+
+
+class TestVerification:
+    def test_logically_equivalent_mappings_cq_equivalent(self):
+        a = [parse_tgd("S(x,y) & T(y,z) -> R(x,z)")]
+        b = [parse_tgd("T(y,z) & S(x,y) -> R(x,z)")]
+        assert cq_equivalent(a, b)
+
+    def test_redundant_dependency_cq_equivalent(self):
+        strong = parse_tgd("S(x,y) -> R(x,y)")
+        weak = parse_tgd("S(x,y) -> R(x,z)")
+        assert cq_equivalent([strong], [strong, weak])
+
+    def test_nested_vs_constructed_glav(self):
+        nested = parse_nested_tgd("S1(x1) -> (S2(x2) -> exists y . T(x1, x2, y))")
+        from repro.core.glav_equivalence import to_glav
+
+        glav = to_glav([nested])
+        report = cq_equivalent([nested], glav)
+        assert report.equivalent_on_batch
+        assert report.checked > 0
+
+    def test_intro_nested_vs_unfolding_refuted(self, intro_nested):
+        unfolding = [
+            parse_tgd("S(x1,x2) & S(x1,x3) -> exists y . (R(y,x2) & R(y,x3))")
+        ]
+        report = cq_equivalent([intro_nested], unfolding, max_pattern_nodes=4)
+        assert not report.equivalent_on_batch
+        assert report.counterexample_source is not None
+
+    def test_counterexample_counts_reported(self):
+        a = [parse_tgd("S(x,y) -> R(x,y)")]
+        report = cq_equivalent(a, a)
+        assert report.checked >= 1

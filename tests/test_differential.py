@@ -1,0 +1,81 @@
+"""Differential property tests: the optimized engine vs naive oracles.
+
+The indexed, reordering CQ matcher and the block-decomposing homomorphism
+search must agree with the brute-force reference implementations of
+:mod:`repro.engine.naive` on random inputs.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.homomorphism import find_homomorphism, is_homomorphism
+from repro.engine.matching import find_matches
+from repro.engine.naive import find_homomorphism_naive, find_matches_naive
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Constant, Null, Variable
+
+
+CONSTANTS = [Constant(name) for name in "abc"]
+NULLS = [Null(f"n{i}") for i in range(3)]
+VARIABLES = [Variable(name) for name in "xyzw"]
+
+values = st.sampled_from(CONSTANTS + NULLS)
+facts = st.builds(
+    Atom, st.sampled_from(["R", "P"]), st.tuples(values, values)
+)
+instances = st.lists(facts, min_size=0, max_size=7).map(Instance)
+
+query_args = st.sampled_from(VARIABLES + CONSTANTS[:1])
+query_atoms = st.builds(
+    Atom, st.sampled_from(["R", "P"]), st.tuples(query_args, query_args)
+)
+queries = st.lists(query_atoms, min_size=1, max_size=3)
+
+
+def _canonical(matches) -> set:
+    return {frozenset((var, value) for var, value in m.items()) for m in matches}
+
+
+class TestMatchingAgreesWithNaive:
+    @settings(max_examples=80, deadline=None)
+    @given(query=queries, instance=instances)
+    def test_same_match_sets(self, query, instance):
+        fast = _canonical(find_matches(query, instance))
+        slow = _canonical(find_matches_naive(query, instance))
+        assert fast == slow
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=queries, instance=instances, value=values)
+    def test_same_match_sets_with_partial(self, query, instance, value):
+        partial = {VARIABLES[0]: value}
+        fast = _canonical(find_matches(query, instance, partial=partial))
+        slow = _canonical(find_matches_naive(query, instance, partial=partial))
+        assert fast == slow
+
+
+class TestHomomorphismAgreesWithNaive:
+    @settings(max_examples=80, deadline=None)
+    @given(source=instances, target=instances)
+    def test_same_existence_verdict(self, source, target):
+        fast = find_homomorphism(source, target)
+        slow = find_homomorphism_naive(source, target)
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert is_homomorphism(fast, source, target)
+            assert is_homomorphism(
+                {k: v for k, v in slow.items()}, source, target
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(source=instances, target=instances, index=st.integers(0, 2))
+    def test_same_verdict_with_fixed_binding(self, source, target, index):
+        null = NULLS[index]
+        if null not in source.nulls():
+            return
+        for candidate in sorted(target.active_domain(), key=repr)[:2]:
+            fast = find_homomorphism(source, target, fixed={null: candidate})
+            slow = find_homomorphism_naive(source, target, fixed={null: candidate})
+            assert (fast is None) == (slow is None)

@@ -1,0 +1,38 @@
+"""Run every docstring example in the package as a test.
+
+The library's docstrings carry runnable examples (deliverable (e)); this
+module keeps them honest without requiring ``--doctest-modules`` flags.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+MODULES = sorted(
+    name
+    for __, name, __ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+def test_doctests_exist_somewhere():
+    """At least a healthy number of modules carry runnable examples."""
+    with_examples = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        if any(t.examples for t in finder.find(module)):
+            with_examples += 1
+    assert with_examples >= 15

@@ -1,0 +1,119 @@
+"""Edge-case batch: less-traveled paths across modules."""
+
+import pytest
+
+from repro.core.canonical import legal_canonical_instances
+from repro.core.fblock_analysis import decide_bounded_fblock_size, fblock_threshold
+from repro.core.implication import implies
+from repro.core.patterns import Pattern
+from repro.engine.chase import chase
+from repro.engine.core_instance import core
+from repro.engine.gaifman import fact_block_size
+from repro.logic.parser import (
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+from repro.mappings.composition import compose
+
+
+class TestCascadingEgds:
+    def test_two_egds_cascade_in_legal_instances(self):
+        """Merging through one egd exposes a merge through the other."""
+        tgd = parse_nested_tgd(
+            "Q(z) -> exists y . (P(z, x1) & W(x1, x2) -> R(y, x2))"
+        )
+        egd_p = parse_egd("P(z, x) & P(z, xp) -> x = xp")
+        egd_w = parse_egd("W(x, u) & W(x, up) -> u = up")
+        pattern = Pattern(1, (Pattern(2), Pattern(2)))
+        canon = legal_canonical_instances(pattern, tgd, [egd_p, egd_w])
+        # P merge forces the W keys equal, which then merges the W values
+        assert len(canon.source.facts_of("P")) == 1
+        assert len(canon.source.facts_of("W")) == 1
+        assert len(canon.target) == 1
+
+
+class TestImplicationMixedLHS:
+    def test_plain_so_lhs_with_egds(self):
+        so = parse_so_tgd("S(x,y) -> R(f(y), y)")
+        target = parse_tgd("S(x,y) & S(x,z) -> exists u . (R(u, y) & R(u, z))")
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert not implies([so], target)
+        assert implies([so], target, source_egds=[egd])
+
+    def test_mixed_lhs_formalism(self, intro_nested, so_tgd_413):
+        weak = parse_tgd("S(x,y) -> exists u, v . R(u, v)")
+        assert implies([intro_nested, so_tgd_413], weak)
+
+
+class TestCompositionEdgeCases:
+    def test_second_mapping_multiple_tgds(self):
+        first = [parse_tgd("S(x,y) -> M(x,y)")]
+        second = [
+            parse_tgd("M(x,y) -> T(x)"),
+            parse_tgd("M(x,y) & M(y,z) -> U(x,z)"),
+        ]
+        composed = compose(first, second)
+        assert len(composed.clauses) == 2
+        head_relations = {c.head[0].relation for c in composed.clauses}
+        assert head_relations == {"T", "U"}
+
+    def test_repeated_variable_positions_in_body_atom(self):
+        first = [parse_tgd("S(x) -> exists y . M(x, y)")]
+        second = [parse_tgd("M(u, u) -> T(u)")]
+        composed = compose(first, second)
+        # u matched against (x, f(x)): equality x = f(x) required
+        [clause] = composed.clauses
+        assert len(clause.equalities) == 1
+
+    def test_multi_atom_heads_in_first_mapping(self):
+        first = [parse_tgd("S(x) -> M(x, w) & N(w)")]
+        second = [parse_tgd("M(x, y) & N(y) -> T(x)")]
+        composed = compose(first, second)
+        # both resolutions come from the same rule pair: one clause choice
+        # per (M-rule, N-rule) combination = 1 x 1
+        assert len(composed.clauses) == 1
+        from repro.engine.chase import chase_so_tgd
+        from repro.engine.homomorphism import homomorphically_equivalent
+        from repro.mappings.composition import compose_chase
+
+        source = parse_instance("S(a), S(b)")
+        assert homomorphically_equivalent(
+            chase_so_tgd(source, composed), compose_chase(source, first, second)
+        )
+
+
+class TestThresholdSoundness:
+    @pytest.mark.parametrize(
+        "text,sources",
+        [
+            ("S(x,y) -> R(x,z) & T(z,y)", ["S(a,b)", "S(a,b), S(b,c), S(c,a)"]),
+            ("S1(x1) -> (S2(x2) -> exists y . T(x1,x2,y))",
+             ["S1(a), S2(b)", "S1(a), S1(b), S2(c), S2(d)"]),
+        ],
+    )
+    def test_threshold_dominates_observed_fblocks(self, text, sources):
+        """For bounded mappings, the effective threshold really bounds the
+        f-block size of core(chase(I)) on concrete instances."""
+        try:
+            tgd = parse_nested_tgd(text)
+        except Exception:
+            tgd = parse_tgd(text)
+        verdict = decide_bounded_fblock_size([tgd])
+        assert verdict.bounded
+        bound = fblock_threshold([tgd])
+        for source_text in sources:
+            solution = core(chase(parse_instance(source_text), [tgd]))
+            assert fact_block_size(solution) <= bound
+
+
+class TestChaseOverNullSources:
+    def test_chase_treats_source_nulls_as_values(self):
+        """Two-step composition chases instances containing nulls."""
+        tgd = parse_tgd("M(x,y) -> T(y,x)")
+        source = parse_instance("M(a, _n1), M(_n1, b)")
+        result = chase(source, [tgd])
+        assert len(result) == 2
+        assert len(result.nulls()) == 1

@@ -1,0 +1,82 @@
+"""Tests for the egd chase on source instances."""
+
+import pytest
+
+from repro.engine.egd_chase import UnionFind, chase_egds, satisfies_egds
+from repro.errors import EgdViolation
+from repro.logic.egds import KeyDependency
+from repro.logic.parser import parse_egd, parse_instance
+from repro.logic.values import Constant, Null
+
+
+class TestUnionFind:
+    def test_find_self(self):
+        uf = UnionFind()
+        assert uf.find(Constant("a")) == Constant("a")
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union(Constant("a"), Constant("b"))
+        assert uf.find(Constant("a")) == uf.find(Constant("b"))
+
+    def test_constant_beats_null(self):
+        uf = UnionFind()
+        uf.union(Null("n"), Constant("a"))
+        assert uf.find(Null("n")) == Constant("a")
+
+    def test_transitive_merge(self):
+        uf = UnionFind()
+        uf.union(Constant("a"), Constant("b"))
+        uf.union(Constant("b"), Constant("c"))
+        assert uf.find(Constant("c")) == uf.find(Constant("a"))
+
+
+class TestEgdChase:
+    def test_functional_dependency_merges(self):
+        egd = parse_egd("P(z,x) & P(z,y) -> x = y")
+        chased, eq = chase_egds(
+            parse_instance("P(a,b), P(a,c)"), [egd], allow_constant_merge=True
+        )
+        assert len(chased) == 1
+        assert eq[Constant("b")] == eq[Constant("c")]
+
+    def test_rigid_constants_raise(self):
+        egd = parse_egd("P(z,x) & P(z,y) -> x = y")
+        with pytest.raises(EgdViolation):
+            chase_egds(parse_instance("P(a,b), P(a,c)"), [egd])
+
+    def test_satisfied_instance_unchanged(self):
+        egd = parse_egd("P(z,x) & P(z,y) -> x = y")
+        inst = parse_instance("P(a,b), P(c,d)")
+        chased, eq = chase_egds(inst, [egd])
+        assert chased == inst
+        assert all(k == v for k, v in eq.items())
+
+    def test_cascading_merges_reach_fixpoint(self):
+        egd = parse_egd("P(z,x) & P(z,y) -> x = y")
+        # merging b,c exposes a new violation through Q
+        inst = parse_instance("P(a,b), P(a,c), P(b,d), P(c,e)")
+        chased, __ = chase_egds(inst, [egd], allow_constant_merge=True)
+        assert satisfies_egds(chased, [egd])
+        # b=c forces d=e
+        assert len(chased) == 2
+
+    def test_key_dependency_chase(self):
+        key = KeyDependency("S", 2, key=[1])
+        chased, __ = chase_egds(
+            parse_instance("S(a,c), S(b,c)"), list(key), allow_constant_merge=True
+        )
+        assert len(chased) == 1
+
+
+class TestSatisfiesEgds:
+    def test_satisfied(self):
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert satisfies_egds(parse_instance("S(a,b), S(c,d)"), [egd])
+
+    def test_violated(self):
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert not satisfies_egds(parse_instance("S(a,b), S(a,c)"), [egd])
+
+    def test_empty_egd_list(self):
+        assert satisfies_egds(parse_instance("S(a,b)"), [])

@@ -1,0 +1,56 @@
+"""Tests for egds and key dependencies."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd, KeyDependency, key_dependency
+from repro.logic.parser import parse_egd
+from repro.logic.values import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestEgdValidation:
+    def test_parse_and_fields(self):
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert egd.left == Y and egd.right == Z
+        assert len(egd.body) == 2
+
+    def test_equality_variable_must_be_in_body(self):
+        with pytest.raises(DependencyError):
+            Egd(body=(Atom("S", (X,)),), left=X, right=Y)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            Egd(body=(), left=X, right=X)
+
+    def test_constants_rejected(self):
+        with pytest.raises(DependencyError):
+            Egd(body=(Atom("S", (Constant("a"), X)),), left=X, right=X)
+
+
+class TestKeyDependency:
+    def test_unique_predecessor_key(self):
+        """The single key of Theorem 5.1: S's second position determines the first."""
+        [egd] = key_dependency("S", 2, [1])
+        assert egd.left != egd.right
+        # the two body atoms agree on position 1
+        assert egd.body[0].args[1] == egd.body[1].args[1]
+        assert egd.body[0].args[0] != egd.body[1].args[0]
+
+    def test_one_egd_per_non_key_position(self):
+        egds = key_dependency("T", 4, [0, 1])
+        assert len(egds) == 2
+
+    def test_all_positions_key_gives_no_egds(self):
+        assert key_dependency("S", 2, [0, 1]) == []
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(DependencyError):
+            key_dependency("S", 2, [2])
+
+    def test_key_dependency_object_iterates_egds(self):
+        key = KeyDependency("S", 2, key=[1])
+        assert len(list(key)) == 1

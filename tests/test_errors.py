@@ -1,0 +1,94 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro.errors import (
+    ChaseError,
+    DependencyError,
+    EgdViolation,
+    ParseError,
+    ReproError,
+    ResourceLimitExceeded,
+    SchemaError,
+    UndecidedError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [SchemaError, DependencyError, ParseError, ChaseError,
+         ResourceLimitExceeded, UndecidedError],
+    )
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_egd_violation_is_a_chase_error(self):
+        assert issubclass(EgdViolation, ChaseError)
+
+    def test_single_except_catches_everything(self):
+        from repro.logic.parser import parse_tgd
+
+        with pytest.raises(ReproError):
+            parse_tgd("garbage ->")
+
+
+class TestErrorPayloads:
+    def test_parse_error_snippet(self):
+        error = ParseError("unexpected token", position=10, text="S(x, y) -> R(x %")
+        assert error.position == 10
+        assert "..." in str(error)
+
+    def test_parse_error_without_position(self):
+        error = ParseError("malformed")
+        assert error.position is None
+
+    def test_egd_violation_records_values(self):
+        from repro.logic.values import Constant
+
+        error = EgdViolation(Constant("a"), Constant("b"))
+        assert error.left == Constant("a")
+        assert "a" in str(error) and "b" in str(error)
+
+    def test_resource_limit_records_limit(self):
+        error = ResourceLimitExceeded("patterns", 100)
+        assert error.limit == 100
+        assert "patterns" in str(error)
+
+
+class TestErrorsSurfaceAtTheRightLayer:
+    def test_schema_error_on_bad_arity(self):
+        from repro.logic.schema import Schema
+
+        with pytest.raises(SchemaError):
+            Schema([("S", 1), ("S", 2)])
+
+    def test_dependency_error_on_unsafe_tgd(self):
+        from repro.logic.atoms import Atom
+        from repro.logic.tgds import STTgd
+        from repro.logic.values import Variable
+
+        with pytest.raises(DependencyError):
+            STTgd(body=(), head=(Atom("R", (Variable("x"),)),))
+
+    def test_egd_violation_from_chase(self):
+        from repro.engine.egd_chase import chase_egds
+        from repro.logic.parser import parse_egd, parse_instance
+
+        with pytest.raises(EgdViolation):
+            chase_egds(
+                parse_instance("S(a,b), S(a,c)"),
+                [parse_egd("S(x,y) & S(x,z) -> y = z")],
+            )
+
+    def test_resource_limit_from_pattern_enumeration(self, sigma_star):
+        from repro.core.patterns import enumerate_k_patterns
+
+        with pytest.raises(ResourceLimitExceeded):
+            enumerate_k_patterns(sigma_star, 3, max_patterns=10)
+
+    def test_undecided_from_to_glav(self, intro_nested):
+        from repro.core.glav_equivalence import to_glav
+
+        with pytest.raises(UndecidedError):
+            to_glav([intro_nested])

@@ -1,0 +1,74 @@
+"""Tests for the halting-via-boundedness probe and chase provenance."""
+
+from repro.engine.nested_chase import chase_nested
+from repro.logic.parser import parse_instance, parse_nested_tgd
+from repro.turing.frontier import Verdict, halting_via_boundedness
+from repro.turing.machine import (
+    bouncer_machine,
+    halting_machine,
+    looping_machine,
+    write_and_return_machine,
+)
+
+
+class TestFrontier:
+    def test_halting_machine_detected(self):
+        report = halting_via_boundedness(halting_machine(2))
+        assert report.verdict is Verdict.HALTS
+        assert report.plateau_value is not None and report.plateau_value > 0
+
+    def test_halting_with_left_moves_detected(self):
+        report = halting_via_boundedness(write_and_return_machine(2))
+        assert report.verdict is Verdict.HALTS
+
+    def test_looping_machine_exhausts_budget(self):
+        report = halting_via_boundedness(looping_machine(), budget=8)
+        assert report.verdict is Verdict.LOOPS_UP_TO_BUDGET
+        lengths = [report.lengths[n] for n in sorted(report.lengths)]
+        assert lengths == sorted(lengths)  # monotone growth
+        assert lengths[-1] > lengths[0]
+
+    def test_bouncer_exhausts_budget(self):
+        report = halting_via_boundedness(bouncer_machine(2), budget=8)
+        assert report.verdict is Verdict.LOOPS_UP_TO_BUDGET
+
+    def test_trace_recorded(self):
+        report = halting_via_boundedness(halting_machine(3), start=2, budget=15)
+        assert min(report.lengths) == 2
+        # the plateau value equals the chain length at large n
+        assert report.plateau_value == report.lengths[max(report.lengths)]
+
+    def test_slow_halting_needs_larger_budget(self):
+        """A machine halting after 10 steps plateaus only past n = 10."""
+        slow = halting_machine(10)
+        small = halting_via_boundedness(slow, budget=6)
+        big = halting_via_boundedness(slow, budget=20)
+        assert small.verdict is Verdict.LOOPS_UP_TO_BUDGET
+        assert big.verdict is Verdict.HALTS
+
+
+class TestProvenance:
+    def test_every_fact_has_a_producer(self, intro_nested):
+        forest = chase_nested(parse_instance("S(a,b), S(a,c)"), intro_nested)
+        provenance = forest.provenance()
+        assert set(provenance) == set(forest.instance.facts)
+
+    def test_shared_facts_have_multiple_producers(self, intro_nested):
+        # R(y, x2) from the root and R(y, x3) from the child coincide when
+        # x3 = x2: two triggerings produce the same fact
+        forest = chase_nested(parse_instance("S(a,b)"), intro_nested)
+        provenance = forest.provenance()
+        [fact] = list(forest.instance)
+        assert len(provenance[fact]) == 2
+        assert {t.part_id for t in provenance[fact]} == {1, 2}
+
+    def test_producer_parts_are_correct(self, sigma_star):
+        source = parse_instance("S1(a), S2(b), S3(a,c), S4(c,d)")
+        forest = chase_nested(source, sigma_star)
+        for fact, producers in forest.provenance().items():
+            for triggering in producers:
+                skolemized = sigma_star.skolemized_head(triggering.part_id)
+                instantiated = {
+                    atom.substitute(triggering.assignment) for atom in skolemized
+                }
+                assert fact in instantiated

@@ -1,0 +1,106 @@
+"""Tests for Gaifman graphs of facts and nulls and their metrics."""
+
+from repro.engine.gaifman import (
+    fact_block_of,
+    fact_block_size,
+    fact_blocks,
+    fact_graph,
+    fblock_degree,
+    full_fact_graph,
+    is_connected,
+    longest_simple_path,
+    null_graph,
+    null_path_length,
+)
+from repro.logic.parser import parse_atom, parse_instance
+
+
+class TestFactBlocks:
+    def test_ground_facts_are_singletons(self):
+        blocks = list(fact_blocks(parse_instance("R(a,b), R(b,c)")))
+        assert len(blocks) == 2
+        assert all(len(b) == 1 for b in blocks)
+
+    def test_shared_null_connects(self):
+        inst = parse_instance("R(a,_x), T(_x,b)")
+        assert fact_block_size(inst) == 2
+
+    def test_chain_of_nulls_is_one_block(self):
+        inst = parse_instance("R(_x,_y), R(_y,_z), R(_z,_w)")
+        blocks = list(fact_blocks(inst))
+        assert len(blocks) == 1
+
+    def test_block_of_specific_fact(self):
+        inst = parse_instance("R(a,_x), T(_x,b), Q(c)")
+        fact = parse_atom("Q(c)").substitute({})  # Q(c) parsed as variable atom
+        inst2 = parse_instance("R(a,_x), T(_x,b), Q(c)")
+        q_fact = next(f for f in inst2 if f.relation == "Q")
+        assert fact_block_of(inst2, q_fact) == frozenset([q_fact])
+
+    def test_empty_instance_block_size_zero(self):
+        assert fact_block_size(parse_instance("")) == 0
+
+    def test_connectivity(self):
+        assert is_connected(parse_instance("R(a,_x), T(_x,b)"))
+        assert not is_connected(parse_instance("R(a,_x), T(_y,b)"))
+
+
+class TestDegrees:
+    def test_star_has_high_degree(self):
+        inst = parse_instance("R(_c,a), R(_c,b), R(_c,d), R(_c,e)")
+        assert fblock_degree(inst) == 3
+
+    def test_chain_has_degree_two(self):
+        inst = parse_instance("R(_x,_y), R(_y,_z), R(_z,_w)")
+        assert fblock_degree(inst) == 2
+
+    def test_ground_instance_degree_zero(self):
+        assert fblock_degree(parse_instance("R(a,b)")) == 0
+
+    def test_full_fact_graph_has_all_pairs(self):
+        inst = parse_instance("R(_c,a), R(_c,b), R(_c,d)")
+        assert full_fact_graph(inst).number_of_edges() == 3
+        # the star representation used for connectivity has fewer edges
+        assert fact_graph(inst).number_of_edges() == 2
+
+
+class TestNullGraph:
+    def test_nodes_are_nulls(self):
+        inst = parse_instance("R(a,_x), R(_x,_y)")
+        graph = null_graph(inst)
+        assert graph.number_of_nodes() == 2
+
+    def test_cooccurrence_edges(self):
+        inst = parse_instance("R(_x,_y), R(_y,_z)")
+        graph = null_graph(inst)
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(*sorted(inst.nulls(), key=repr)[:2])
+
+    def test_path_length_of_chain(self):
+        inst = parse_instance("R(_a,_b), R(_b,_c), R(_c,_d)")
+        assert null_path_length(inst) == 3
+
+    def test_path_length_of_star(self):
+        # star: center _u with leaves -> longest simple path has 2 edges
+        inst = parse_instance("R(_u,_a), R(_u,_b), R(_u,_c)")
+        assert null_path_length(inst) == 2
+
+    def test_no_nulls_path_zero(self):
+        assert null_path_length(parse_instance("R(a,b)")) == 0
+
+
+class TestLongestSimplePath:
+    def test_cycle_path_length(self):
+        import networkx as nx
+
+        assert longest_simple_path(nx.cycle_graph(5)) == 4
+
+    def test_complete_graph(self):
+        import networkx as nx
+
+        assert longest_simple_path(nx.complete_graph(4)) == 3
+
+    def test_cutoff_stops_early(self):
+        import networkx as nx
+
+        assert longest_simple_path(nx.path_graph(10), cutoff=3) >= 3

@@ -1,0 +1,94 @@
+"""Hypothesis invariants for the Gaifman graph layer."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.gaifman import (
+    fact_block_size,
+    fact_blocks,
+    fact_graph,
+    fblock_degree,
+    full_fact_graph,
+    is_connected,
+    null_graph,
+    null_path_length,
+)
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.values import Constant, Null
+
+
+CONSTANTS = [Constant(c) for c in "ab"]
+NULLS = [Null(f"n{i}") for i in range(4)]
+
+values = st.sampled_from(CONSTANTS + NULLS)
+facts = st.builds(
+    Atom, st.sampled_from(["R", "P"]), st.tuples(values, values)
+)
+instances = st.lists(facts, min_size=0, max_size=8).map(Instance)
+
+
+class TestFactGraphInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_blocks_partition_facts(self, instance):
+        blocks = list(fact_blocks(instance))
+        union = set()
+        total = 0
+        for block in blocks:
+            total += len(block)
+            union |= set(block)
+        assert union == set(instance.facts)
+        assert total == len(instance)
+
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_block_size_bounds(self, instance):
+        size = fact_block_size(instance)
+        assert 0 <= size <= len(instance)
+        if len(instance):
+            assert size >= 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_star_and_full_graph_same_components(self, instance):
+        import networkx as nx
+
+        star = fact_graph(instance)
+        full = full_fact_graph(instance)
+        star_components = {frozenset(c) for c in nx.connected_components(star)}
+        full_components = {frozenset(c) for c in nx.connected_components(full)}
+        assert star_components == full_components
+
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_degree_bounded_by_block_size(self, instance):
+        assert fblock_degree(instance) <= max(fact_block_size(instance) - 1, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=instances)
+    def test_single_block_iff_connected(self, instance):
+        blocks = list(fact_blocks(instance))
+        assert is_connected(instance) == (len(blocks) <= 1)
+
+
+class TestNullGraphInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_nodes_are_exactly_the_nulls(self, instance):
+        graph = null_graph(instance)
+        assert set(graph.nodes) == set(instance.nulls())
+
+    @settings(max_examples=80, deadline=None)
+    @given(instance=instances)
+    def test_path_length_bounds(self, instance):
+        length = null_path_length(instance)
+        assert 0 <= length < max(len(instance.nulls()), 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=instances)
+    def test_path_length_monotone_under_union(self, instance):
+        extra = Instance([Atom("R", (NULLS[0], NULLS[1]))])
+        assert null_path_length(instance.union(extra)) >= null_path_length(instance)

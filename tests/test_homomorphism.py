@@ -1,0 +1,99 @@
+"""Tests for homomorphism search between target instances."""
+
+from repro.engine.homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    is_homomorphism,
+)
+from repro.logic.parser import parse_instance
+from repro.logic.values import Constant, Null
+
+
+class TestBasics:
+    def test_null_to_constant(self):
+        assert has_homomorphism(parse_instance("R(a,_x)"), parse_instance("R(a,b)"))
+
+    def test_constant_fixed(self):
+        assert not has_homomorphism(parse_instance("R(a,b)"), parse_instance("R(a,c)"))
+
+    def test_ground_facts_must_occur(self):
+        assert has_homomorphism(parse_instance("R(a,b)"), parse_instance("R(a,b), R(b,c)"))
+        assert not has_homomorphism(parse_instance("R(a,b)"), parse_instance("R(b,a)"))
+
+    def test_empty_source_always_maps(self):
+        assert find_homomorphism(parse_instance(""), parse_instance("R(a,b)")) == {}
+
+    def test_into_empty_target_fails(self):
+        assert not has_homomorphism(parse_instance("R(_x,_y)"), parse_instance(""))
+
+
+class TestConsistency:
+    def test_shared_null_must_map_consistently(self):
+        source = parse_instance("R(a,_x), T(_x,b)")
+        good = parse_instance("R(a,c), T(c,b)")
+        bad = parse_instance("R(a,c), T(d,b)")
+        assert has_homomorphism(source, good)
+        assert not has_homomorphism(source, bad)
+
+    def test_returned_mapping_is_a_homomorphism(self):
+        source = parse_instance("R(a,_x), R(_x,_y)")
+        target = parse_instance("R(a,b), R(b,c), R(c,a)")
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert is_homomorphism(mapping, source, target)
+
+    def test_nulls_can_merge(self):
+        source = parse_instance("R(_x,b), R(_y,b)")
+        target = parse_instance("R(c,b)")
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Null("x")] == mapping[Null("y")] == Constant("c")
+
+
+class TestGraphShapes:
+    def test_path_into_cycle(self):
+        path = parse_instance("R(_a,_b), R(_b,_c)")
+        cycle = parse_instance("R(_u,_v), R(_v,_u)")
+        assert has_homomorphism(path, cycle)
+
+    def test_odd_cycle_not_into_shorter_odd_cycle_undirected(self):
+        """Undirected C5 does not map into undirected C3's complement... rather:
+        the undirected 5-cycle has no homomorphism into an undirected edge,
+        but maps into the undirected triangle."""
+        c5 = parse_instance(
+            "R(_1,_2), R(_2,_1), R(_2,_3), R(_3,_2), R(_3,_4), R(_4,_3), "
+            "R(_4,_5), R(_5,_4), R(_5,_1), R(_1,_5)"
+        )
+        edge = parse_instance("R(_u,_v), R(_v,_u)")
+        triangle = parse_instance(
+            "R(_a,_b), R(_b,_a), R(_b,_c), R(_c,_b), R(_c,_a), R(_a,_c)"
+        )
+        assert not has_homomorphism(c5, edge)  # C5 is not 2-colorable
+        assert has_homomorphism(c5, triangle)  # C5 is 3-colorable
+
+    def test_fixed_binding_respected(self):
+        source = parse_instance("R(_x,_y)")
+        target = parse_instance("R(a,b), R(b,c)")
+        mapping = find_homomorphism(source, target, fixed={Null("x"): Constant("b")})
+        assert mapping is not None
+        assert mapping[Null("y")] == Constant("c")
+
+    def test_fixed_binding_can_make_it_fail(self):
+        source = parse_instance("R(_x,_y)")
+        target = parse_instance("R(a,b)")
+        assert find_homomorphism(source, target, fixed={Null("x"): Constant("b")}) is None
+
+
+class TestEquivalence:
+    def test_hom_equivalent_instances(self):
+        left = parse_instance("R(a,_x)")
+        right = parse_instance("R(a,_y), R(a,_z)")
+        assert homomorphically_equivalent(left, right)
+
+    def test_not_equivalent(self):
+        left = parse_instance("R(a,b)")
+        right = parse_instance("R(a,_x)")
+        assert has_homomorphism(right, left)
+        assert not has_homomorphism(left, right)
+        assert not homomorphically_equivalent(left, right)

@@ -1,0 +1,145 @@
+"""Tests for the decision procedure IMPLIES (Theorems 3.1, 5.7)."""
+
+import pytest
+
+from repro.core.implication import (
+    equivalent,
+    implication_bound,
+    implies,
+    implies_tgd,
+)
+from repro.errors import DependencyError
+from repro.logic.parser import parse_egd, parse_nested_tgd, parse_so_tgd, parse_tgd
+
+
+class TestExample310:
+    """The paper's worked Example 3.10."""
+
+    def test_tau_prime_does_not_imply_tau(self, tau_310, tau_prime_310):
+        result = implies_tgd([tau_prime_310], tau_310)
+        assert not result.holds
+        assert result.k == 2  # v=1, w=1
+
+    def test_tau_double_prime_implies_tau(self, tau_310, tau_dprime_310):
+        result = implies_tgd([tau_dprime_310], tau_310)
+        assert result.holds
+        assert result.k == 3  # v=1, w=2
+
+    def test_counterexample_is_genuine(self, tau_310, tau_prime_310):
+        """The failing pattern's canonical source witnesses non-implication."""
+        from repro.engine.chase import chase
+        from repro.engine.homomorphism import has_homomorphism
+
+        result = implies_tgd([tau_prime_310], tau_310)
+        I = result.counterexample_source
+        assert not has_homomorphism(chase(I, [tau_310]), chase(I, [tau_prime_310]))
+
+
+class TestBasicImplications:
+    def test_self_implication(self, intro_nested):
+        assert implies([intro_nested], intro_nested)
+
+    def test_stronger_implies_weaker(self):
+        strong = parse_tgd("S(x,y) -> R(x,y)")
+        weak = parse_tgd("S(x,y) -> R(x,z)")
+        assert implies([strong], weak)
+        assert not implies([weak], strong)
+
+    def test_conjunction_of_tgds(self):
+        sigma = [parse_tgd("S(x,y) -> P(x)"), parse_tgd("S(x,y) -> Q(y)")]
+        both = parse_tgd("S(x,y) -> P(x) & Q(y)")
+        assert implies(sigma, both)
+        assert implies([both], sigma)
+
+    def test_nested_implies_its_flat_parts(self, intro_nested):
+        flat1 = parse_tgd("S(x1,x2) -> exists y . R(y, x2)")
+        flat2 = parse_tgd("S(x1,x2) & S(x1,x3) -> exists y . (R(y,x2) & R(y,x3))")
+        assert implies([intro_nested], flat1)
+        assert implies([intro_nested], flat2)
+
+    def test_flat_parts_do_not_imply_nested(self, intro_nested):
+        """The intro nested tgd is strictly stronger than any of its finite
+        unfoldings (it is not GLAV-expressible)."""
+        flat2 = parse_tgd("S(x1,x2) & S(x1,x3) -> exists y . (R(y,x2) & R(y,x3))")
+        assert not implies([flat2], intro_nested)
+
+    def test_irrelevant_tgd_does_not_imply(self):
+        assert not implies([parse_tgd("T(x) -> R(x,x)")], parse_tgd("S(x) -> P(x)"))
+
+
+class TestEquivalence:
+    def test_reordered_body_equivalent(self):
+        left = parse_tgd("S(x,y) & T(y,z) -> R(x,z)")
+        right = parse_tgd("T(y,z) & S(x,y) -> R(x,z)")
+        assert equivalent([left], [right])
+
+    def test_redundant_atom_equivalent(self):
+        left = parse_tgd("S(x,y) -> R(x,y)")
+        right = parse_tgd("S(x,y) & S(x,yp) -> R(x,y)")
+        assert equivalent([left], [right])
+
+    def test_nested_vs_flattened_when_body_determined(self):
+        """Example 3.4's tgd is equivalent to its flattening because the
+        nested part's variables are all bound by the root."""
+        nested = parse_nested_tgd("S1(x1) -> (S2(x1) -> T2(x1))")
+        flat = parse_tgd("S1(x1) & S2(x1) -> T2(x1)")
+        assert equivalent([nested], [flat])
+
+    def test_example_415_so_vs_nested_oneway(self, so_tgd_415, nested_415):
+        """The plain SO tgd of Example 4.15 on the LHS implies its equivalent
+        nested tgd (full equivalence needs an SO tgd RHS, which is out of
+        scope for IMPLIES)."""
+        assert implies([so_tgd_415], nested_415)
+
+    def test_inequivalent(self, tau_310, tau_prime_310):
+        assert not equivalent([tau_310], [tau_prime_310])
+
+
+class TestSourceEgds:
+    def test_implication_gained_through_key(self):
+        """Sigma = S(x,y) -> R2(y,y) does not imply S(x,y) & S(x,z) -> R2(y,z)
+        in general, but does when S is functional (y = z forced)."""
+        sigma = parse_tgd("S(x,y) -> R2(y,y)")
+        target = parse_tgd("S(x,y) & S(x,z) -> R2(y,z)")
+        assert not implies([sigma], target)
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert implies([sigma], target, source_egds=[egd])
+
+    def test_example_53_with_egd(self, sigma_53, egd_53):
+        """With P1 functional, the nested tgd implies its 2-variable flattening
+        restricted to a single x1."""
+        flat = parse_tgd(
+            "Q(z) & P1(z,x1) & P2(z,x2) & P1(z,xq) & P2(z,xw) "
+            "-> exists y . (R(y,x1,x2) & R(y,xq,xw))"
+        )
+        assert implies([sigma_53], flat, source_egds=[egd_53])
+
+    def test_egds_do_not_weaken_holding_implications(self, tau_310, tau_dprime_310):
+        egd = parse_egd("S2(x) & S2(y) -> x = y")
+        assert implies([tau_dprime_310], tau_310, source_egds=[egd])
+
+
+class TestLHSFormalism:
+    def test_plain_so_tgd_on_lhs(self, so_tgd_413):
+        weak = parse_tgd("S(x,y) -> exists u, v . R(u, v)")
+        assert implies([so_tgd_413], weak)
+
+    def test_non_plain_so_tgd_rejected_on_lhs(self):
+        so = parse_so_tgd("S(x) -> R(f(g(x)))")
+        with pytest.raises(DependencyError):
+            implies([so], parse_tgd("S(x) -> R(u,u)"))
+
+    def test_so_tgd_rejected_on_rhs(self, so_tgd_413):
+        with pytest.raises(DependencyError):
+            implies_tgd([parse_tgd("S(x,y) -> R(x,y)")], so_tgd_413)
+
+
+class TestBound:
+    def test_bound_formula(self, tau_310, tau_prime_310, tau_dprime_310):
+        assert implication_bound([tau_prime_310.to_nested()], tau_310) == 2
+        assert implication_bound([tau_dprime_310.to_nested()], tau_310) == 3
+
+    def test_no_existentials_gives_k1(self):
+        lhs = parse_tgd("S(x,y) -> R(x,y)").to_nested()
+        rhs = parse_nested_tgd("S(x,y) -> R(x,y)")
+        assert implication_bound([lhs], rhs) == 1

@@ -1,0 +1,121 @@
+"""Tests for the Instance data structure and its indexes."""
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance, union_all
+from repro.logic.parser import parse_instance
+from repro.logic.values import Constant, Null
+
+
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+N1, N2 = Null("n1"), Null("n2")
+
+
+class TestBasics:
+    def test_len_and_iter(self):
+        inst = parse_instance("S(a,b), S(b,c)")
+        assert len(inst) == 2
+        assert all(f.relation == "S" for f in inst)
+
+    def test_duplicates_collapse(self):
+        inst = Instance([Atom("S", (A, B)), Atom("S", (A, B))])
+        assert len(inst) == 1
+
+    def test_containment(self):
+        inst = parse_instance("S(a,b)")
+        assert Atom("S", (A, B)) in inst
+        assert Atom("S", (B, A)) not in inst
+
+    def test_equality_and_hash(self):
+        assert parse_instance("S(a,b)") == parse_instance("S(a, b)")
+        assert hash(parse_instance("S(a,b)")) == hash(parse_instance("S(a,b)"))
+
+    def test_subinstance_order(self):
+        assert parse_instance("S(a,b)") <= parse_instance("S(a,b), S(b,c)")
+        assert not parse_instance("S(c,c)") <= parse_instance("S(a,b)")
+
+
+class TestIndexes:
+    def test_facts_of_relation(self):
+        inst = parse_instance("S(a,b), S(b,c), Q(a)")
+        assert len(inst.facts_of("S")) == 2
+        assert inst.facts_of("Missing") == []
+
+    def test_facts_with_position_value(self):
+        inst = parse_instance("S(a,b), S(a,c), S(b,c)")
+        assert len(inst.facts_with("S", 0, A)) == 2
+        assert len(inst.facts_with("S", 1, C)) == 2
+        assert inst.facts_with("S", 0, C) == []
+
+    def test_relations(self):
+        assert parse_instance("S(a,b), Q(a)").relations() == {"S", "Q"}
+
+
+class TestDomains:
+    def test_constants_and_nulls_split(self):
+        inst = Instance([Atom("R", (A, N1)), Atom("R", (B, N2))])
+        assert inst.constants() == {A, B}
+        assert inst.nulls() == {N1, N2}
+
+    def test_active_domain(self):
+        inst = Instance([Atom("R", (A, N1))])
+        assert inst.active_domain() == {A, N1}
+
+    def test_groundness(self):
+        assert parse_instance("S(a,b)").is_ground()
+        assert not parse_instance("S(a,_n)").is_ground()
+
+
+class TestConstruction:
+    def test_union(self):
+        left = parse_instance("S(a,b)")
+        right = parse_instance("S(b,c)")
+        assert len(left.union(right)) == 2
+
+    def test_union_all(self):
+        parts = [parse_instance("S(a,b)"), parse_instance("S(b,c)"), parse_instance("Q(a)")]
+        assert len(union_all(parts)) == 3
+
+    def test_difference(self):
+        inst = parse_instance("S(a,b), S(b,c)")
+        assert len(inst.difference(parse_instance("S(a,b)"))) == 1
+
+    def test_restrict_by_predicate(self):
+        inst = parse_instance("S(a,b), Q(a)")
+        assert inst.restrict(lambda f: f.relation == "Q") == parse_instance("Q(a)")
+
+    def test_restrict_to_relations(self):
+        inst = parse_instance("S(a,b), Q(a), R(b)")
+        assert inst.restrict_to_relations(["Q", "R"]).relations() == {"Q", "R"}
+
+    def test_map_values(self):
+        inst = Instance([Atom("R", (A, N1))])
+        mapped = inst.map_values({N1: B})
+        assert mapped == parse_instance("R(a,b)")
+
+
+class TestIsomorphism:
+    def test_null_renaming_isomorphism(self):
+        left = parse_instance("R(a,_x), R(_x,_y)")
+        right = parse_instance("R(a,_u), R(_u,_v)")
+        assert left.isomorphic(right)
+
+    def test_non_isomorphic_structures(self):
+        left = parse_instance("R(a,_x), R(_x,a)")
+        right = parse_instance("R(a,_u), R(_v,a)")
+        assert not left.isomorphic(right)
+
+    def test_constants_must_match_without_renaming(self):
+        assert not parse_instance("S(a,b)").isomorphic(parse_instance("S(c,d)"))
+
+    def test_constant_renaming_isomorphism(self):
+        left = parse_instance("S(a,b), S(b,a)")
+        right = parse_instance("S(c,d), S(d,c)")
+        assert left.isomorphic(right, rename_constants=True)
+
+    def test_constant_renaming_respects_structure(self):
+        left = parse_instance("S(a,a)")
+        right = parse_instance("S(c,d)")
+        assert not left.isomorphic(right, rename_constants=True)
+
+    def test_different_sizes_never_isomorphic(self):
+        assert not parse_instance("S(a,b)").isomorphic(parse_instance("S(a,b), S(b,a)"))

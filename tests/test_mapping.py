@@ -1,0 +1,77 @@
+"""Tests for the SchemaMapping facade."""
+
+import pytest
+
+from repro.errors import DependencyError, SchemaError
+from repro.logic.egds import KeyDependency
+from repro.logic.parser import parse_egd, parse_instance, parse_nested_tgd, parse_tgd
+from repro.mappings import SchemaMapping
+
+
+class TestConstruction:
+    def test_schemas_inferred(self, intro_nested):
+        mapping = SchemaMapping([intro_nested])
+        assert "S" in mapping.source_schema
+        assert "R" in mapping.target_schema
+
+    def test_empty_dependencies_rejected(self):
+        with pytest.raises(DependencyError):
+            SchemaMapping([])
+
+    def test_egds_normalized_from_key_dependency(self):
+        mapping = SchemaMapping(
+            [parse_tgd("S(x,y) -> R(x,y)")], source_egds=[KeyDependency("S", 2, key=[1])]
+        )
+        assert len(mapping.source_egds) == 1
+
+    def test_overlapping_schemas_rejected(self):
+        from repro.logic.schema import Schema
+
+        with pytest.raises(SchemaError):
+            SchemaMapping(
+                [parse_tgd("S(x,y) -> R(x,y)")],
+                source_schema=Schema([("S", 2), ("R", 2)]),
+                target_schema=Schema([("R", 2)]),
+            )
+
+    def test_classification(self, intro_nested, so_tgd_413):
+        assert SchemaMapping([parse_tgd("S(x) -> R(x)")]).is_glav()
+        nested = SchemaMapping([intro_nested])
+        assert not nested.is_glav() and nested.is_nested_glav()
+        so = SchemaMapping([so_tgd_413])
+        assert not so.is_nested_glav()
+
+
+class TestSemantics:
+    def test_is_solution(self):
+        mapping = SchemaMapping([parse_tgd("S(x,y) -> R(x,y)")])
+        source = parse_instance("S(a,b)")
+        assert mapping.is_solution(source, parse_instance("R(a,b)"))
+        assert not mapping.is_solution(source, parse_instance(""))
+
+    def test_egds_gate_solutions(self):
+        mapping = SchemaMapping(
+            [parse_tgd("S(x,y) -> R(x,y)")],
+            source_egds=[parse_egd("S(x,y) & S(x,z) -> y = z")],
+        )
+        bad_source = parse_instance("S(a,b), S(a,c)")
+        assert not mapping.is_solution(bad_source, parse_instance("R(a,b), R(a,c)"))
+
+    def test_chase_and_core_solution(self, intro_nested, small_source):
+        mapping = SchemaMapping([intro_nested])
+        J = mapping.chase(small_source)
+        C = mapping.core_solution(small_source)
+        assert C <= J
+        # for this source both y-blocks are isomorphic: core keeps one
+        assert len(C) == 2 and len(J) == 4
+
+    def test_universal_solution_check(self):
+        mapping = SchemaMapping([parse_tgd("S(x,y) -> R(x,z)")])
+        source = parse_instance("S(a,b)")
+        assert mapping.is_universal_solution(source, mapping.chase(source))
+        # a solution that is too specific is not universal
+        assert not mapping.is_universal_solution(source, parse_instance("R(a,a)"))
+
+    def test_nested_dependencies_conversion(self, intro_nested):
+        mapping = SchemaMapping([parse_tgd("S(x,y) -> P(x)"), intro_nested])
+        assert len(mapping.nested_dependencies()) == 2

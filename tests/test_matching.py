@@ -1,0 +1,81 @@
+"""Tests for conjunctive-query matching."""
+
+from repro.engine.matching import find_matches, has_match
+from repro.logic.parser import parse_atom, parse_instance
+from repro.logic.values import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+
+
+def atoms(*texts):
+    return [parse_atom(t) for t in texts]
+
+
+class TestSingleAtom:
+    def test_all_matches(self):
+        inst = parse_instance("S(a,b), S(b,c)")
+        matches = list(find_matches(atoms("S(x,y)"), inst))
+        assert len(matches) == 2
+        assert {m[X] for m in matches} == {A, B}
+
+    def test_repeated_variable(self):
+        inst = parse_instance("S(a,a), S(a,b)")
+        matches = list(find_matches(atoms("S(x,x)"), inst))
+        assert len(matches) == 1
+        assert matches[0][X] == A
+
+    def test_no_match(self):
+        assert not has_match(atoms("T(x)"), parse_instance("S(a,b)"))
+
+
+class TestJoins:
+    def test_chain_join(self):
+        inst = parse_instance("S(a,b), S(b,c), S(c,a)")
+        matches = list(find_matches(atoms("S(x,y)", "S(y,z)"), inst))
+        assert len(matches) == 3
+
+    def test_join_binds_consistently(self):
+        inst = parse_instance("S(a,b), T(b,c), T(a,c)")
+        matches = list(find_matches(atoms("S(x,y)", "T(y,z)"), inst))
+        assert len(matches) == 1
+        assert matches[0] == {X: A, Y: B, Z: C}
+
+    def test_cross_product_when_disconnected(self):
+        inst = parse_instance("S(a,b), Q(c)")
+        matches = list(find_matches(atoms("S(x,y)", "Q(z)"), inst))
+        assert len(matches) == 1
+
+    def test_triangle_query(self):
+        inst = parse_instance("E(a,b), E(b,c), E(c,a), E(a,c)")
+        matches = list(find_matches(atoms("E(x,y)", "E(y,z)", "E(z,x)"), inst))
+        # both orientations of the triangle through a,b,c? only a->b->c->a closes
+        assert {tuple(sorted(repr(v) for v in m.values())) for m in matches} == {
+            ("a", "b", "c")
+        }
+
+
+class TestPartialAssignments:
+    def test_partial_restricts_matches(self):
+        inst = parse_instance("S(a,b), S(b,c)")
+        matches = list(find_matches(atoms("S(x,y)"), inst, partial={X: B}))
+        assert len(matches) == 1
+        assert matches[0][Y] == C
+
+    def test_partial_preserved_in_result(self):
+        inst = parse_instance("S(a,b), Q(c)")
+        matches = list(find_matches(atoms("Q(z)"), inst, partial={X: A}))
+        assert matches[0][X] == A and matches[0][Z] == C
+
+    def test_unsatisfiable_partial(self):
+        inst = parse_instance("S(a,b)")
+        assert list(find_matches(atoms("S(x,y)"), inst, partial={X: C})) == []
+
+
+class TestDeterminism:
+    def test_same_matches_both_runs(self):
+        inst = parse_instance("S(a,b), S(b,c), S(c,a)")
+        first = list(find_matches(atoms("S(x,y)", "S(y,z)"), inst))
+        second = list(find_matches(atoms("S(x,y)", "S(y,z)"), inst))
+        assert first == second

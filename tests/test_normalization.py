@@ -1,0 +1,118 @@
+"""Tests for mapping optimization (redundancy removal, tgd normalization)."""
+
+import pytest
+
+from repro.core.implication import equivalent
+from repro.core.normalization import (
+    minimize_tgd_body,
+    normalize_tgd_head,
+    optimize,
+    remove_redundant_dependencies,
+)
+from repro.logic.parser import parse_egd, parse_nested_tgd, parse_tgd
+
+
+class TestRedundancyRemoval:
+    def test_weaker_dependency_dropped(self):
+        strong = parse_tgd("S(x,y) -> R(x,y)")
+        weak = parse_tgd("S(x,y) -> exists z . R(x,z)")
+        assert remove_redundant_dependencies([weak, strong]) == [strong]
+
+    def test_nested_subsumes_unfoldings(self, intro_nested):
+        unfolding = parse_tgd(
+            "S(x1,x2) & S(x1,x3) -> exists y . (R(y,x2) & R(y,x3))"
+        )
+        kept = remove_redundant_dependencies([intro_nested, unfolding])
+        assert kept == [intro_nested]
+
+    def test_independent_dependencies_kept(self):
+        left = parse_tgd("S(x,y) -> P(x)")
+        right = parse_tgd("S(x,y) -> Q(y)")
+        assert len(remove_redundant_dependencies([left, right])) == 2
+
+    def test_result_equivalent_to_input(self, intro_nested):
+        deps = [
+            intro_nested,
+            parse_tgd("S(x1,x2) -> exists y . R(y, x2)"),
+            parse_tgd("S(x,y) -> P(x)"),
+        ]
+        kept = remove_redundant_dependencies(deps)
+        assert equivalent(kept, deps)
+
+    def test_egd_relative_redundancy(self):
+        """The two-variable variant implies the base outright (instantiate
+        z := y), so one dependency always suffices; with the key egd the two
+        become fully equivalent and either representative works."""
+        base = parse_tgd("S(x,y) -> R2(y,y)")
+        variant = parse_tgd("S(x,y) & S(x,z) -> R2(y,z)")
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        kept = remove_redundant_dependencies([base, variant])
+        assert kept == [variant]  # base is the implied one
+        kept_egd = remove_redundant_dependencies([base, variant], source_egds=[egd])
+        assert len(kept_egd) == 1
+        assert equivalent(kept_egd, [base, variant], source_egds=[egd])
+
+
+class TestBodyMinimization:
+    def test_duplicate_atom_removed(self):
+        tgd = parse_tgd("S(x,y) & S(x,yp) -> R(x)")
+        assert len(minimize_tgd_body(tgd).body) == 1
+
+    def test_joined_atoms_kept(self):
+        tgd = parse_tgd("S(x,y) & T(y,z) -> R(x,z)")
+        assert len(minimize_tgd_body(tgd).body) == 2
+
+    def test_head_variables_stay_bound(self):
+        # the second atom is subsumed as a pattern but binds the head variable
+        tgd = parse_tgd("S(x,y) & S(y,z) -> R(z)")
+        minimized = minimize_tgd_body(tgd)
+        head_vars = minimized.head[0].variable_set()
+        body_vars = {v for a in minimized.body for v in a.variable_set()}
+        assert head_vars <= body_vars
+
+    def test_result_equivalent(self):
+        tgd = parse_tgd("S(x,y) & S(x,w) & S(x,y) -> R(x,y)")
+        assert equivalent([minimize_tgd_body(tgd)], [tgd])
+
+
+class TestHeadNormalization:
+    def test_redundant_existential_folds(self):
+        tgd = parse_tgd("S(x,y) -> R(x,y) & R(x,z)")
+        normalized = normalize_tgd_head(tgd)
+        assert len(normalized.head) == 1
+        assert equivalent([normalized], [tgd])
+
+    def test_parallel_existentials_fold(self):
+        tgd = parse_tgd("S(x) -> R(x,z) & R(x,w)")
+        normalized = normalize_tgd_head(tgd)
+        assert len(normalized.head) == 1
+
+    def test_meaningful_head_kept(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z) & T(z,y)")
+        normalized = normalize_tgd_head(tgd)
+        assert len(normalized.head) == 2
+        assert equivalent([normalized], [tgd])
+
+    def test_ground_head_untouched(self):
+        tgd = parse_tgd("S(x,y) -> R(x,y) & P(x)")
+        assert len(normalize_tgd_head(tgd).head) == 2
+
+
+class TestPipeline:
+    def test_optimize_mixed_mapping(self, intro_nested):
+        deps = [
+            parse_tgd("S(x,y) & S(x,yp) -> R(y, z) & R(y, w)"),
+            intro_nested,
+            parse_tgd("S(x1,x2) -> exists y . R(y, x2)"),
+        ]
+        optimized = optimize(deps)
+        assert equivalent(optimized, deps)
+        assert len(optimized) < len(deps)
+
+    def test_optimize_preserves_flat_semantics(self):
+        deps = [parse_tgd("S(x,y) & S(x,y) -> R(x,y) & R(x,w)")]
+        optimized = optimize(deps)
+        assert equivalent(optimized, deps)
+        [tgd] = optimized
+        assert len(tgd.body) == 1
+        assert len(tgd.head) == 1

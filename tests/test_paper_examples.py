@@ -1,0 +1,181 @@
+"""Integration tests: every figure and worked example of the paper.
+
+Each test regenerates the object a paper figure depicts, or re-derives the
+verdict a worked example states, using only the public API.  These are the
+same artifacts the benchmark harness reports on.
+"""
+
+from repro import (
+    Pattern,
+    canonical_instances,
+    chase,
+    decide_bounded_fblock_size,
+    enumerate_k_patterns,
+    equivalent,
+    fact_block_size,
+    fblock_profile,
+    implies,
+    implies_tgd,
+    nested_expressibility_report,
+    one_patterns,
+    parse_instance,
+    parse_so_tgd,
+    parse_tgd,
+)
+from repro.engine.core_instance import core
+from repro.workloads import cycle_instance
+from repro.workloads.families import SUCCESSOR_FAMILY, SUCCESSOR_Q_FAMILY
+
+
+class TestSection2:
+    def test_intro_nested_tgd_not_glav_expressible(self, intro_nested):
+        """Section 1/2: the running nested tgd is not logically equivalent to
+        any finite set of s-t tgds."""
+        assert not decide_bounded_fblock_size([intro_nested]).bounded
+
+    def test_skolemized_nested_tgd_is_plain_so_tgd(self, sigma_star):
+        """Section 2: every Skolemized nested tgd is a plain SO tgd."""
+        assert sigma_star.skolemize().is_plain()
+
+    def test_prop_413_so_tgd_not_nested_expressible(self, so_tgd_413):
+        """Section 1/4: S(x,y) -> R(f(x),f(y)) is not equivalent to any
+        finite set of nested tgds (via Proposition 4.13)."""
+        report = nested_expressibility_report([so_tgd_413], SUCCESSOR_FAMILY, [2, 4, 6, 8])
+        assert report.nested_expressible is False
+
+
+class TestFigure1:
+    def test_exactly_eight_one_patterns(self, sigma_star):
+        assert len(one_patterns(sigma_star)) == 8
+
+
+class TestFigures2And3:
+    def test_figure_2_canonical_instances_of_p8(self, sigma_star):
+        p8 = Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),))))
+        canon = canonical_instances(p8, sigma_star)
+        assert len(canon.source) == 5
+        assert len(canon.target) == 4
+        # y1 = f(a1) is shared by the R2 and both R3 facts
+        shared = [n for f in canon.target for n in f.nulls()]
+        most_common = max(set(shared), key=shared.count)
+        assert shared.count(most_common) == 3
+
+    def test_figure_3_cloned_pattern(self, sigma_star):
+        """Figure 3: one clone of sigma_2 and two clones of sigma_4 on p8."""
+        p8 = Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),))))
+        cloned = p8.with_extra_clone((0,))  # children sorted: [2], [3], [3 [4]]
+        path_to_sigma4_parent = next(
+            (i,) for i, child in enumerate(cloned.children) if child.children
+        )
+        cloned = cloned.with_clones(path_to_sigma4_parent + (0,), 2)
+        assert cloned.node_count == p8.node_count + 3
+        canon = canonical_instances(cloned, sigma_star)
+        # each extra node adds one source atom
+        assert len(canon.source) == 8
+
+
+class TestExample310AndFigure4:
+    def test_pattern_set_of_figure_4(self, tau_310):
+        patterns = enumerate_k_patterns(tau_310, 3)
+        assert patterns == [
+            Pattern(1),
+            Pattern(1, (Pattern(2),)),
+            Pattern(1, (Pattern(2), Pattern(2))),
+            Pattern(1, (Pattern(2), Pattern(2), Pattern(2))),
+        ]
+
+    def test_verdicts(self, tau_310, tau_prime_310, tau_dprime_310):
+        assert not implies([tau_prime_310], tau_310)
+        assert implies([tau_dprime_310], tau_310)
+
+    def test_k_values_match_paper(self, tau_310, tau_prime_310, tau_dprime_310):
+        assert implies_tgd([tau_prime_310], tau_310).k == 2
+        assert implies_tgd([tau_dprime_310], tau_310).k == 3
+
+
+class TestExample48AndFigure5:
+    def test_odd_cycle_core_is_undirected_cycle(self, so_tgd_48):
+        for n in (3, 5, 7):
+            solution = core(chase(cycle_instance(n), so_tgd_48))
+            assert len(solution) == 2 * n
+            assert fact_block_size(solution) == 2 * n
+
+    def test_anchor_via_triangle(self, so_tgd_48):
+        """The bounded-anchor counterexample: no subinstance of I_n works,
+        but I_3 (not a subinstance of I_n for n > 3) does."""
+        # a proper subinstance of the cycle (a path) collapses to one edge
+        path = parse_instance("S(c0,c1), S(c1,c2), S(c2,c3)")
+        assert len(core(chase(path, so_tgd_48))) == 2
+        # while the triangle I_3 gives a connected 6-fact core
+        triangle = core(chase(cycle_instance(3), so_tgd_48))
+        assert len(triangle) == 6
+
+
+class TestExamples414And415AndFigures6And7:
+    def test_figure_6_fact_graph_is_clique(self, so_tgd_414):
+        from repro.engine.gaifman import full_fact_graph
+
+        source = SUCCESSOR_Q_FAMILY(5)
+        solution = core(chase(source, so_tgd_414))
+        graph = full_fact_graph(solution)
+        n = graph.number_of_nodes()
+        assert graph.number_of_edges() == n * (n - 1) // 2  # complete graph
+
+    def test_figure_6_null_graph_has_long_path(self, so_tgd_414):
+        """The bottom of Figure 6: the null graph contains a growing simple path."""
+        profiles = fblock_profile([so_tgd_414], SUCCESSOR_Q_FAMILY, [3, 5])
+        assert profiles[1].path_length > profiles[0].path_length
+
+    def test_figure_7_null_graph_path_is_constant(self, so_tgd_415):
+        profiles = fblock_profile([so_tgd_415], SUCCESSOR_Q_FAMILY, [3, 5])
+        assert profiles[0].path_length == profiles[1].path_length == 2
+
+    def test_415_so_tgd_equivalent_to_nested_on_samples(
+        self, so_tgd_415, nested_415
+    ):
+        """Example 4.15 states the SO tgd is logically equivalent to the
+        nested tgd; we verify chase homomorphic equivalence on samples and
+        implication SO -> nested via IMPLIES."""
+        from repro.engine.homomorphism import homomorphically_equivalent
+
+        assert implies([so_tgd_415], nested_415)
+        for n in (1, 2, 3):
+            source = SUCCESSOR_Q_FAMILY(n)
+            left = chase(source, so_tgd_415)
+            right = chase(source, nested_415)
+            assert homomorphically_equivalent(left, right)
+
+    def test_same_fblocks_different_expressibility(self, so_tgd_414, so_tgd_415):
+        """Examples 4.14 vs 4.15: identical f-block sizes on successor+Q,
+        yet only one is nested-expressible."""
+        left = fblock_profile([so_tgd_414], SUCCESSOR_Q_FAMILY, [3, 4])
+        right = fblock_profile([so_tgd_415], SUCCESSOR_Q_FAMILY, [3, 4])
+        assert [p.fblock_size for p in left] == [p.fblock_size for p in right]
+
+
+class TestSection5:
+    def test_example_53_cloning_violates_egd(self, sigma_53, egd_53):
+        """Example 5.3: I union I[b -> d] violates the source egd."""
+        from repro.engine.egd_chase import satisfies_egds
+
+        instance = parse_instance("Q(a), P1(a,b), P2(a,b), P2(a,c)")
+        cloned = parse_instance(
+            "Q(a), P1(a,b), P2(a,b), P2(a,c), P1(a,d), P2(a,d)"
+        )
+        assert satisfies_egds(instance, [egd_53])
+        assert not satisfies_egds(cloned, [egd_53])
+
+    def test_implication_decidable_with_egds(self, sigma_53, egd_53):
+        """Theorem 5.7 in action: IMPLIES terminates and is exact with egds."""
+        assert implies([sigma_53], sigma_53, source_egds=[egd_53])
+
+    def test_glav_equivalence_decidable_with_egds(self):
+        """Theorem 5.6 in action (see test_glav_equivalence for the flip case)."""
+        from repro.core.glav_equivalence import is_equivalent_to_glav
+        from repro.logic.parser import parse_egd, parse_nested_tgd
+
+        tgd = parse_nested_tgd("Q(z) -> exists y . (P(z,x) -> R(y,x))")
+        egd = parse_egd("P(z,x) & P(z,xp) -> x = xp")
+        assert is_equivalent_to_glav([tgd], source_egds=[egd]) and not (
+            is_equivalent_to_glav([tgd])
+        )

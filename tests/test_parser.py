@@ -1,0 +1,126 @@
+"""Tests for the dependency/instance parser and its error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.parser import (
+    parse_atom,
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+from repro.logic.values import Constant, Null, Variable
+
+
+class TestAtoms:
+    def test_simple_atom(self):
+        atom = parse_atom("S(x, y)")
+        assert atom.relation == "S"
+        assert atom.args == (Variable("x"), Variable("y"))
+
+    def test_nullary_atom(self):
+        assert parse_atom("Marker()").args == ()
+
+    def test_lowercase_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("s(x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("S(x) extra")
+
+
+class TestTgds:
+    def test_explicit_exists(self):
+        tgd = parse_tgd("S(x) -> exists z . R(x, z)")
+        assert tgd.existential_variables == (Variable("z"),)
+
+    def test_implicit_exists(self):
+        tgd = parse_tgd("S(x) -> R(x, z)")
+        assert tgd.existential_variables == (Variable("z"),)
+
+    def test_forall_prefix_accepted(self):
+        tgd = parse_tgd("forall x, y . S(x,y) -> R(x)")
+        assert tgd.universal_variables == (Variable("x"), Variable("y"))
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("S(x) R(x)")
+
+
+class TestNestedTgds:
+    def test_single_nested_part(self):
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x2) -> R(x1, x2))")
+        assert tgd.part_count == 2
+
+    def test_universal_variables_assigned_to_innermost_binding_part(self):
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x1, x2) -> R(x2))")
+        # x1 is bound at the root; the child part binds only x2
+        assert tgd.part(1).universal_vars == (Variable("x1"),)
+        assert tgd.part(2).universal_vars == (Variable("x2"),)
+
+    def test_grouping_parens_without_arrow(self):
+        tgd = parse_nested_tgd("S(x) -> (R(x) & T(x))")
+        assert tgd.part_count == 1
+        assert len(tgd.part(1).head) == 2
+
+    def test_mixed_atoms_and_nested_parts(self, sigma_star):
+        assert sigma_star.part(3).head[0].relation == "R3"
+        assert sigma_star.children_of(3) == (4,)
+
+    def test_inferred_existential_in_nested_part(self):
+        tgd = parse_nested_tgd("S(x) -> (T(z) -> R(z, w))")
+        assert tgd.part(2).exist_vars == (Variable("w"),)
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_nested_tgd("S(x) -> (T(y) -> R(x, y)")
+
+
+class TestSOTgds:
+    def test_multi_clause(self):
+        so = parse_so_tgd("S(x) -> R(f(x)) ; T(y) -> R(g(y))")
+        assert len(so.clauses) == 2
+
+    def test_equalities_parsed(self):
+        so = parse_so_tgd("Emp(e) & e = f(e) -> SelfMgr(e)")
+        assert len(so.clauses[0].equalities) == 1
+
+    def test_nested_terms_parsed(self):
+        so = parse_so_tgd("S(x) -> R(f(g(x)))")
+        assert not so.is_plain()
+
+    def test_binary_function(self):
+        so = parse_so_tgd("S(x,y) -> R(f(x, y))")
+        assert so.function_arity("f") == 2
+
+
+class TestEgdsAndInstances:
+    def test_egd(self):
+        egd = parse_egd("S(x,y) & S(x,z) -> y = z")
+        assert egd.left == Variable("y")
+
+    def test_instance_constants_and_nulls(self):
+        inst = parse_instance("R(a, _n1), S(b, c)")
+        assert Constant("a") in inst.constants()
+        assert Null("n1") in inst.nulls()
+
+    def test_empty_instance(self):
+        assert len(parse_instance("")) == 0
+
+    def test_instance_bad_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instance("s(a)")
+
+
+class TestErrorPositions:
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_atom("S(x,")
+        assert info.value.position is not None
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_atom("S(x%)")

@@ -1,0 +1,72 @@
+"""Fuzz tests: the parser must fail cleanly (ParseError / DependencyError),
+never crash, on arbitrary input."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import DependencyError, ParseError
+from repro.logic.parser import (
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+
+
+PARSE_FUNCTIONS = [parse_tgd, parse_nested_tgd, parse_so_tgd, parse_egd, parse_instance]
+
+# Character soup biased toward the grammar's alphabet so that some inputs get
+# deep into the parser before failing.
+grammar_soup = st.text(
+    alphabet="SRTxyzab123(),&;=.-> _", min_size=0, max_size=60
+)
+arbitrary_text = st.text(min_size=0, max_size=40)
+
+
+class TestParserRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(text=grammar_soup, which=st.integers(0, 4))
+    def test_no_crash_on_grammar_soup(self, text, which):
+        try:
+            PARSE_FUNCTIONS[which](text)
+        except (ParseError, DependencyError):
+            pass  # clean rejection is the contract
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=arbitrary_text, which=st.integers(0, 4))
+    def test_no_crash_on_arbitrary_text(self, text, which):
+        try:
+            PARSE_FUNCTIONS[which](text)
+        except (ParseError, DependencyError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        rel=st.sampled_from(["S", "T", "R"]),
+        args=st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=4),
+    )
+    def test_well_formed_atoms_always_parse(self, rel, args):
+        from repro.logic.parser import parse_atom
+
+        atom = parse_atom(f"{rel}({', '.join(args)})")
+        assert atom.relation == rel
+        assert atom.arity == len(args)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_generated_tgd_text_parses(self, data):
+        body_rel = data.draw(st.sampled_from(["S", "T"]))
+        head_rel = data.draw(st.sampled_from(["R", "P"]))
+        body_vars = data.draw(
+            st.lists(st.sampled_from(["x", "y"]), min_size=1, max_size=2)
+        )
+        head_vars = data.draw(
+            st.lists(st.sampled_from(["x", "y", "w"]), min_size=1, max_size=2)
+        )
+        # ensure head variables not in the body are existential, which always parses
+        text = f"{body_rel}({', '.join(body_vars)}) -> {head_rel}({', '.join(head_vars)})"
+        tgd = parse_tgd(text)
+        assert tgd.body[0].relation == body_rel

@@ -1,0 +1,166 @@
+"""Tests for the pattern machinery (Definitions 3.2/3.3, Proposition 3.5)."""
+
+import pytest
+
+from repro.core.patterns import (
+    Pattern,
+    count_k_patterns,
+    enumerate_k_patterns,
+    full_pattern,
+    one_patterns,
+    patterns_up_to_size,
+)
+from repro.errors import DependencyError, ResourceLimitExceeded
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+
+class TestPatternBasics:
+    def test_children_canonically_ordered(self):
+        left = Pattern(1, (Pattern(2), Pattern(3)))
+        right = Pattern(1, (Pattern(3), Pattern(2)))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_node_count(self):
+        p = Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),))))
+        assert p.node_count == 4
+
+    def test_subtrees_preorder(self):
+        p = Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),))))
+        assert [t.part_id for t in p.subtrees()] == [1, 2, 3, 4]
+
+    def test_multiplicity(self):
+        p = Pattern(1, (Pattern(2), Pattern(2), Pattern(3)))
+        assert p.multiplicity(Pattern(2)) == 2
+        assert p.multiplicity(Pattern(3)) == 1
+
+    def test_is_k_pattern(self):
+        p = Pattern(1, (Pattern(2), Pattern(2), Pattern(2)))
+        assert p.is_k_pattern(3)
+        assert not p.is_k_pattern(2)
+
+    def test_isomorphic_subtrees_in_different_positions(self):
+        p = Pattern(1, (Pattern(3, (Pattern(4),)), Pattern(3, (Pattern(4),))))
+        assert p.max_clone_count() == 2
+
+
+class TestCloning:
+    def test_with_extra_clone(self):
+        p = Pattern(1, (Pattern(2),))
+        cloned = p.with_extra_clone((0,))
+        assert cloned.multiplicity(Pattern(2)) == 2
+
+    def test_with_clones_multiple(self):
+        p = Pattern(1, (Pattern(2),))
+        assert p.with_clones((0,), 3).multiplicity(Pattern(2)) == 4
+
+    def test_clone_deeper_subtree(self):
+        p = Pattern(1, (Pattern(3, (Pattern(4),)),))
+        cloned = p.with_extra_clone((0, 0))
+        assert cloned.children[0].multiplicity(Pattern(4)) == 2
+
+    def test_cloning_root_rejected(self):
+        with pytest.raises(DependencyError):
+            Pattern(1).with_extra_clone(())
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(DependencyError):
+            Pattern(1, (Pattern(2),)).with_extra_clone((5,))
+
+
+class TestValidation:
+    def test_valid_pattern(self, sigma_star):
+        Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),)))).validate_against(sigma_star)
+
+    def test_wrong_root_rejected(self, sigma_star):
+        with pytest.raises(DependencyError):
+            Pattern(2).validate_against(sigma_star)
+
+    def test_wrong_nesting_rejected(self, sigma_star):
+        with pytest.raises(DependencyError):
+            Pattern(1, (Pattern(4),)).validate_against(sigma_star)
+
+
+class TestEnumeration:
+    def test_figure_1_eight_one_patterns(self, sigma_star):
+        """Figure 1 of the paper: sigma has exactly eight 1-patterns."""
+        patterns = one_patterns(sigma_star)
+        assert len(patterns) == 8
+        expected = {
+            Pattern(1),
+            Pattern(1, (Pattern(2),)),
+            Pattern(1, (Pattern(3),)),
+            Pattern(1, (Pattern(2), Pattern(3))),
+            Pattern(1, (Pattern(3, (Pattern(4),)),)),
+            Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),)))),
+            Pattern(1, (Pattern(3), Pattern(3, (Pattern(4),)))),
+            Pattern(1, (Pattern(2), Pattern(3), Pattern(3, (Pattern(4),)))),
+        }
+        assert set(patterns) == expected
+
+    def test_example_310_three_patterns_at_k3(self, tau_310):
+        """Example 3.10: P_3(tau) = {p', p'', p''_2, p''_3}."""
+        patterns = enumerate_k_patterns(tau_310, 3)
+        assert len(patterns) == 4
+        assert Pattern(1) in patterns
+        assert Pattern(1, (Pattern(2), Pattern(2), Pattern(2))) in patterns
+
+    def test_every_enumerated_pattern_is_a_k_pattern(self, sigma_star):
+        for k in (1, 2):
+            for p in enumerate_k_patterns(sigma_star, k):
+                assert p.is_k_pattern(k)
+                p.validate_against(sigma_star)
+
+    def test_smallest_first_order(self, sigma_star):
+        patterns = one_patterns(sigma_star)
+        sizes = [p.node_count for p in patterns]
+        assert sizes == sorted(sizes)
+
+    def test_flat_tgd_single_pattern(self):
+        tgd = parse_tgd("S(x,y) -> R(x,y)").to_nested()
+        assert enumerate_k_patterns(tgd, 5) == [Pattern(1)]
+
+    def test_k_must_be_positive(self, sigma_star):
+        with pytest.raises(DependencyError):
+            enumerate_k_patterns(sigma_star, 0)
+
+    def test_resource_limit(self, sigma_star):
+        with pytest.raises(ResourceLimitExceeded):
+            enumerate_k_patterns(sigma_star, 3, max_patterns=5)
+
+
+class TestCounting:
+    def test_count_matches_enumeration(self, sigma_star, tau_310):
+        for tgd in (sigma_star, tau_310):
+            for k in (1, 2):
+                assert count_k_patterns(tgd, k) == len(
+                    enumerate_k_patterns(tgd, k, max_patterns=None)
+                )
+
+    def test_count_is_nonelementary_in_depth(self):
+        """A depth-3 linear nesting already produces (k+1)^((k+1)^1)-style growth."""
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x2) -> (S3(x3) -> R(x1,x2,x3)))")
+        assert count_k_patterns(tgd, 1) == 2 ** 2
+        assert count_k_patterns(tgd, 2) == 3 ** (3 ** 1)
+
+    def test_count_example_310(self, tau_310):
+        assert count_k_patterns(tau_310, 3) == 4
+
+
+class TestSizeBoundedEnumeration:
+    def test_sizes_respected(self, sigma_star):
+        for p in patterns_up_to_size(sigma_star, 3):
+            assert p.node_count <= 3
+
+    def test_contains_duplicated_siblings(self, tau_310):
+        patterns = patterns_up_to_size(tau_310, 4)
+        assert Pattern(1, (Pattern(2), Pattern(2), Pattern(2))) in patterns
+
+    def test_no_duplicates(self, sigma_star):
+        patterns = patterns_up_to_size(sigma_star, 5)
+        assert len(patterns) == len(set(patterns))
+
+    def test_full_pattern(self, sigma_star):
+        p = full_pattern(sigma_star)
+        assert p.node_count == 4
+        p.validate_against(sigma_star)

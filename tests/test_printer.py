@@ -1,0 +1,84 @@
+"""Round-trip tests: parse(format(x)) == x for every dependency kind."""
+
+import pytest
+
+from repro.logic.parser import (
+    parse_egd,
+    parse_instance,
+    parse_nested_tgd,
+    parse_so_tgd,
+    parse_tgd,
+)
+from repro.logic.printer import (
+    format_egd,
+    format_instance,
+    format_nested_tgd,
+    format_so_tgd,
+    format_tgd,
+)
+
+
+TGDS = [
+    "S(x,y) -> R(x,y)",
+    "S(x,y) -> exists z . R(x,z)",
+    "S(x,y) & T(y,z) -> R(x,z) & P(z, w)",
+]
+
+NESTED = [
+    "S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))",
+    "S1(x1) -> (S2(x2) -> R(x1,x2))",
+    "S1(x1) -> exists y1 . ((S2(x2) -> R2(y1,x2)) & (S3(x1,x3) -> R3(y1,x3) "
+    "& (S4(x3,x4) -> exists y2 . R4(y2,x4))))",
+]
+
+SO_TGDS = [
+    "S(x,y) -> R(f(x), f(y))",
+    "S(x,y) & Q(z) -> R(f(z,x), f(z,y), g(z))",
+    "Emp(e) -> Mgr(e, f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)",
+    "S(x) -> R(f(g(x)))",
+]
+
+EGDS = [
+    "S(x,y) & S(x,z) -> y = z",
+    "P1(z,x1) & P1(z,xp) -> x1 = xp",
+]
+
+INSTANCES = [
+    "S(a,b), S(b,c)",
+    "R(a, _n1), R(_n1, _n2)",
+    "Q(a)",
+]
+
+
+@pytest.mark.parametrize("text", TGDS)
+def test_tgd_round_trip(text):
+    tgd = parse_tgd(text)
+    assert parse_tgd(format_tgd(tgd)) == tgd
+
+
+@pytest.mark.parametrize("text", NESTED)
+def test_nested_round_trip(text):
+    tgd = parse_nested_tgd(text)
+    assert parse_nested_tgd(format_nested_tgd(tgd)) == tgd
+
+
+@pytest.mark.parametrize("text", SO_TGDS)
+def test_so_tgd_round_trip(text):
+    so = parse_so_tgd(text)
+    assert parse_so_tgd(format_so_tgd(so)) == so
+
+
+@pytest.mark.parametrize("text", EGDS)
+def test_egd_round_trip(text):
+    egd = parse_egd(text)
+    assert parse_egd(format_egd(egd)) == egd
+
+
+@pytest.mark.parametrize("text", INSTANCES)
+def test_instance_round_trip(text):
+    inst = parse_instance(text)
+    assert parse_instance(format_instance(inst)) == inst
+
+
+def test_repr_of_dependencies_is_the_format(sigma_star):
+    assert parse_nested_tgd(repr(sigma_star)) == sigma_star

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the engine invariants.
+
+Strategies generate small random instances and dependencies; the properties
+are the classical data-exchange invariants the paper's machinery rests on:
+
+- the chase produces a solution, and a *universal* one;
+- cores are hom-equivalent, minimal, and idempotent;
+- homomorphisms compose;
+- the egd chase reaches a fixpoint satisfying the egds;
+- canonical instances of a pattern chase back to a target containing J_p.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import enumerate_k_patterns
+from repro.engine.chase import chase
+from repro.engine.core_instance import core, is_core
+from repro.engine.egd_chase import chase_egds, satisfies_egds
+from repro.engine.homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    is_homomorphism,
+)
+from repro.engine.model_check import satisfies
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.parser import parse_egd, parse_nested_tgd, parse_tgd
+from repro.logic.values import Constant, Null
+
+
+CONSTANTS = [Constant(name) for name in "abcd"]
+NULLS = [Null(f"n{i}") for i in range(4)]
+
+values = st.sampled_from(CONSTANTS + NULLS)
+source_values = st.sampled_from(CONSTANTS)
+
+source_facts = st.builds(
+    Atom,
+    st.sampled_from(["S", "T"]),
+    st.tuples(source_values, source_values),
+)
+target_facts = st.builds(
+    Atom,
+    st.sampled_from(["R", "P"]),
+    st.tuples(values, values),
+)
+
+source_instances = st.lists(source_facts, min_size=0, max_size=6).map(Instance)
+target_instances = st.lists(target_facts, min_size=0, max_size=6).map(Instance)
+
+TGDS = [
+    parse_tgd("S(x,y) -> R(x,y)"),
+    parse_tgd("S(x,y) -> R(x,z)"),
+    parse_tgd("S(x,y) & T(y,z) -> R(x,z) & P(z,w)"),
+    parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))"),
+    parse_nested_tgd("T(x1,x2) -> (S(x2,x3) -> P(x1,x3))"),
+]
+
+dependency = st.sampled_from(TGDS)
+
+
+class TestChaseProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(source=source_instances, dep=dependency)
+    def test_chase_is_a_solution(self, source, dep):
+        assert satisfies(source, chase(source, dep), dep)
+
+    @settings(max_examples=25, deadline=None)
+    @given(source=source_instances, dep=dependency, candidate=target_instances)
+    def test_chase_is_universal(self, source, dep, candidate):
+        """Any solution is a homomorphic image target of the chase."""
+        if satisfies(source, candidate, dep):
+            assert has_homomorphism(chase(source, dep), candidate)
+
+    @settings(max_examples=25, deadline=None)
+    @given(source=source_instances, dep=dependency)
+    def test_core_of_chase_is_still_a_solution(self, source, dep):
+        """Nested GLAV mappings are closed under target homomorphisms, and
+        the core is hom-equivalent, so it remains a solution (Section 4.1)."""
+        solution = chase(source, dep)
+        assert satisfies(source, core(solution), dep)
+
+    @settings(max_examples=25, deadline=None)
+    @given(source=source_instances, bigger=source_instances, dep=dependency)
+    def test_chase_is_monotone(self, source, bigger, dep):
+        combined = source.union(bigger)
+        assert chase(source, dep) <= chase(combined, dep)
+
+
+class TestCoreProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(instance=target_instances)
+    def test_core_hom_equivalent(self, instance):
+        assert homomorphically_equivalent(core(instance), instance)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=target_instances)
+    def test_core_is_subinstance_and_idempotent(self, instance):
+        result = core(instance)
+        assert result <= instance
+        assert is_core(result)
+        assert core(result) == result
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=target_instances)
+    def test_core_preserves_ground_facts(self, instance):
+        ground = {f for f in instance if not any(True for __ in f.nulls())}
+        assert ground <= set(core(instance).facts)
+
+
+class TestHomomorphismProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(left=target_instances, right=target_instances)
+    def test_found_mapping_verifies(self, left, right):
+        mapping = find_homomorphism(left, right)
+        if mapping is not None:
+            assert is_homomorphism(mapping, left, right)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=target_instances, b=target_instances, c=target_instances)
+    def test_homomorphisms_compose(self, a, b, c):
+        ab = find_homomorphism(a, b)
+        bc = find_homomorphism(b, c)
+        if ab is not None and bc is not None:
+            composed = {
+                null: bc.get(value, value) for null, value in ab.items()
+            }
+            assert is_homomorphism(composed, a, c)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=target_instances)
+    def test_identity_is_homomorphism(self, instance):
+        assert has_homomorphism(instance, instance)
+
+
+class TestEgdChaseProperties:
+    EGDS = [
+        parse_egd("S(x,y) & S(x,z) -> y = z"),
+        parse_egd("S(x,y) & S(z,y) -> x = z"),
+    ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=source_instances, egd_index=st.integers(0, 1))
+    def test_chase_reaches_fixpoint(self, instance, egd_index):
+        egd = self.EGDS[egd_index]
+        chased, __ = chase_egds(instance, [egd], allow_constant_merge=True)
+        assert satisfies_egds(chased, [egd])
+
+    @settings(max_examples=50, deadline=None)
+    @given(instance=source_instances, egd_index=st.integers(0, 1))
+    def test_equalities_map_is_idempotent(self, instance, egd_index):
+        egd = self.EGDS[egd_index]
+        __, equalities = chase_egds(instance, [egd], allow_constant_merge=True)
+        for value, representative in equalities.items():
+            assert equalities.get(representative, representative) == representative
+
+
+class TestPatternProperties:
+    NESTED = [
+        parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))"),
+        parse_nested_tgd("S(x1,x2) -> (T(x2,x3) -> P(x1,x3))"),
+    ]
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+    @given(tgd_index=st.integers(0, 1), k=st.integers(1, 2))
+    def test_canonical_target_embeds_in_chase_of_canonical_source(self, tgd_index, k):
+        """J_p always maps into chase(I_p, sigma): the pattern's triggerings
+        re-fire on the canonical source."""
+        tgd = self.NESTED[tgd_index]
+        for pattern in enumerate_k_patterns(tgd, k):
+            canon = canonical_instances(pattern, tgd)
+            chased = chase(canon.source, [tgd])
+            assert find_homomorphism(canon.target, chased) is not None

@@ -1,0 +1,124 @@
+"""Tests for conjunctive queries and certain answers."""
+
+import pytest
+
+from repro.errors import DependencyError, ParseError
+from repro.logic.parser import parse_instance, parse_nested_tgd, parse_tgd
+from repro.logic.values import Constant, Variable
+from repro.mappings import SchemaMapping
+from repro.queries import (
+    ConjunctiveQuery,
+    certain_answers,
+    naive_evaluation,
+    parse_query,
+)
+from repro.queries.certain import certain_answers_boolean
+
+
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestParsing:
+    def test_parse_binary_query(self):
+        q = parse_query("q(x, y) :- R(x, z) & S(z, y)")
+        assert q.arity == 2
+        assert len(q.body) == 2
+
+    def test_boolean_query(self):
+        q = parse_query("q() :- R(x, y)")
+        assert q.is_boolean()
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(DependencyError):
+            parse_query("q(w) :- R(x, y)")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) R(x, y)")
+
+    def test_query_name_kept(self):
+        assert parse_query("answers(x) :- R(x, x)").name == "answers"
+
+
+class TestEvaluation:
+    def test_projection(self):
+        q = parse_query("q(x) :- R(x, y)")
+        inst = parse_instance("R(a, b), R(a, c), R(b, c)")
+        assert q.evaluate(inst) == {(A,), (B,)}
+
+    def test_join(self):
+        q = parse_query("q(x, z) :- R(x, y) & R(y, z)")
+        inst = parse_instance("R(a, b), R(b, c)")
+        assert q.evaluate(inst) == {(A, C)}
+
+    def test_nulls_appear_in_raw_evaluation(self):
+        q = parse_query("q(y) :- R(x, y)")
+        inst = parse_instance("R(a, _n)")
+        assert len(q.evaluate(inst)) == 1
+
+    def test_naive_evaluation_drops_null_tuples(self):
+        q = parse_query("q(y) :- R(x, y)")
+        inst = parse_instance("R(a, _n), R(a, b)")
+        assert naive_evaluation(q, inst) == {(B,)}
+
+    def test_existential_variables(self):
+        q = parse_query("q(x) :- R(x, y) & S(y)")
+        assert q.existential_variables() == {Variable("y")}
+
+    def test_answer_tuples_iterator(self):
+        q = parse_query("q(x) :- R(x, y)")
+        inst = parse_instance("R(a, b), R(b, c)")
+        assert set(q.answer_tuples(inst)) == q.evaluate(inst)
+
+
+class TestCertainAnswers:
+    def test_constants_certain_nulls_not(self):
+        q = parse_query("q(x, y) :- R(x, y)")
+        mapping = [parse_tgd("S(u, v) -> R(u, v)"), parse_tgd("S(u, v) -> R(u, w)")]
+        answers = certain_answers(q, parse_instance("S(a, b)"), mapping)
+        assert answers == {(A, B)}  # R(a, w) has a null: not certain
+
+    def test_join_through_shared_null_is_certain(self):
+        """The shared existential of a nested tgd makes a join certain even
+        though the witness value is unknown -- the Clio correlation effect."""
+        nested = parse_nested_tgd(
+            "Customer(c, n) -> exists y . (Account(y, n) & (Order(c, i) -> Purchase(y, i)))"
+        )
+        q = parse_query("q(n, i) :- Account(y, n) & Purchase(y, i)")
+        source = parse_instance("Customer(c1, alice), Order(c1, book)")
+        answers = certain_answers(q, source, [nested])
+        assert answers == {(Constant("alice"), Constant("book"))}
+
+    def test_flat_mapping_loses_the_join(self):
+        """The naive flat translation cannot certify the same join."""
+        flat = [
+            parse_tgd("Customer(c, n) -> exists y . Account(y, n)"),
+            parse_tgd("Customer(c, n) & Order(c, i) -> exists y . Purchase(y, i)"),
+        ]
+        q = parse_query("q(n, i) :- Account(y, n) & Purchase(y, i)")
+        source = parse_instance("Customer(c1, alice), Order(c1, book)")
+        assert certain_answers(q, source, flat) == set()
+
+    def test_schema_mapping_accepted(self):
+        q = parse_query("q(x) :- R(x, y)")
+        mapping = SchemaMapping([parse_tgd("S(u, v) -> R(u, v)")])
+        assert certain_answers(q, parse_instance("S(a, b)"), mapping) == {(A,)}
+
+    def test_boolean_certain_answer(self):
+        q = parse_query("q() :- R(x, y)")
+        mapping = [parse_tgd("S(u) -> R(u, w)")]
+        assert certain_answers_boolean(q, parse_instance("S(a)"), mapping)
+        assert not certain_answers_boolean(q, parse_instance(""), mapping)
+
+    def test_certain_answers_invariant_under_equivalent_mappings(self):
+        """Logically equivalent mappings give the same certain answers."""
+        nested = parse_nested_tgd("S1(x1) -> (S2(x2) -> T(x1, x2))")
+        from repro.core.glav_equivalence import to_glav
+
+        glav = to_glav([nested])
+        q = parse_query("q(x, y) :- T(x, y)")
+        for text in ["S1(a), S2(b)", "S1(a), S1(b), S2(c)"]:
+            source = parse_instance(text)
+            assert certain_answers(q, source, [nested]) == certain_answers(
+                q, source, glav
+            )

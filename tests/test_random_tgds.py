@@ -1,0 +1,86 @@
+"""Property tests over randomly generated nested tgds.
+
+These exercise the full pipeline (printer, parser, Skolemization, chase,
+model checking, patterns, canonical instances) on tgds the test author never
+wrote by hand.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.canonical import canonical_instances
+from repro.core.patterns import enumerate_k_patterns, full_pattern
+from repro.engine.chase import chase_so_tgd
+from repro.engine.homomorphism import find_homomorphism
+from repro.engine.model_check import satisfies_nested
+from repro.engine.nested_chase import chase_nested
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.parser import parse_nested_tgd
+from repro.logic.values import Constant
+
+from tests.strategies import SOURCE_RELATIONS, nested_tgds
+
+
+CONSTANTS = [Constant(name) for name in "abc"]
+
+source_facts = st.builds(
+    Atom,
+    st.sampled_from([name for name, __ in SOURCE_RELATIONS if name != "Q"]),
+    st.tuples(st.sampled_from(CONSTANTS), st.sampled_from(CONSTANTS)),
+)
+q_facts = st.builds(Atom, st.just("Q"), st.tuples(st.sampled_from(CONSTANTS)))
+source_instances = st.lists(
+    st.one_of(source_facts, q_facts), min_size=0, max_size=5
+).map(Instance)
+
+SLOW = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestRandomNestedTgds:
+    @settings(max_examples=60, **SLOW)
+    @given(tgd=nested_tgds())
+    def test_printer_parser_round_trip(self, tgd):
+        assert parse_nested_tgd(repr(tgd)) == tgd
+
+    @settings(max_examples=60, **SLOW)
+    @given(tgd=nested_tgds())
+    def test_skolemization_is_plain(self, tgd):
+        assert tgd.skolemize().is_plain()
+
+    @settings(max_examples=30, **SLOW)
+    @given(tgd=nested_tgds(), source=source_instances)
+    def test_chase_satisfies_the_tgd(self, tgd, source):
+        forest = chase_nested(source, tgd)
+        assert satisfies_nested(source, forest.instance, tgd)
+
+    @settings(max_examples=30, **SLOW)
+    @given(tgd=nested_tgds(), source=source_instances)
+    def test_nested_chase_matches_skolemized_so_chase(self, tgd, source):
+        nested_result = chase_nested(source, tgd).instance
+        so_result = chase_so_tgd(source, tgd.skolemize())
+        assert nested_result == so_result  # identical Skolem labels
+
+    @settings(max_examples=30, **SLOW)
+    @given(tgd=nested_tgds(), source=source_instances)
+    def test_chase_tree_patterns_are_valid(self, tgd, source):
+        forest = chase_nested(source, tgd)
+        for pattern in forest.patterns():
+            pattern.validate_against(tgd)
+
+    @settings(max_examples=30, **SLOW)
+    @given(tgd=nested_tgds(max_depth=2))
+    def test_canonical_target_embeds_into_chase(self, tgd):
+        for pattern in enumerate_k_patterns(tgd, 1, max_patterns=64):
+            canon = canonical_instances(pattern, tgd)
+            chased = chase_nested(canon.source, tgd).instance
+            assert find_homomorphism(canon.target, chased) is not None
+
+    @settings(max_examples=40, **SLOW)
+    @given(tgd=nested_tgds(max_depth=2))
+    def test_full_pattern_is_a_one_pattern(self, tgd):
+        pattern = full_pattern(tgd)
+        assert pattern.is_k_pattern(1)
+        assert pattern in enumerate_k_patterns(tgd, 1, max_patterns=None)

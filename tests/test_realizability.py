@@ -1,0 +1,88 @@
+"""Tests for pattern realizability (Example 3.4 formalized)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.patterns import Pattern, enumerate_k_patterns
+from repro.core.realizability import is_realizable, pattern_embeds, realized_pattern
+from repro.errors import DependencyError
+from repro.logic.parser import parse_nested_tgd
+
+from tests.strategies import nested_tgds
+
+
+EX34 = parse_nested_tgd("S1(x1) -> (S2(x1) -> T2(x1))")
+
+
+class TestExample34:
+    def test_two_node_pattern_realizable(self):
+        assert is_realizable(Pattern(1, (Pattern(2),)), EX34)
+
+    def test_cloned_determined_part_unrealizable(self):
+        """Example 3.4: the nested part's only variable is bound by the root,
+        so patterns with a cloned nested node cannot arise in any chase."""
+        assert not is_realizable(Pattern(1, (Pattern(2), Pattern(2))), EX34)
+
+    def test_chase_confirms(self):
+        cloned = Pattern(1, (Pattern(2), Pattern(2)))
+        realized = realized_pattern(cloned, EX34)
+        assert realized == Pattern(1, (Pattern(2),))
+
+
+class TestCriterion:
+    def test_clones_with_own_variables_realizable(self, intro_nested):
+        pattern = Pattern(1, (Pattern(2), Pattern(2), Pattern(2)))
+        assert is_realizable(pattern, intro_nested)
+        realized = realized_pattern(pattern, intro_nested)
+        assert pattern_embeds(pattern, realized)
+
+    def test_nested_determined_part(self):
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x1, x2) -> (S3(x1) -> T(x2)))")
+        # part 3's body uses only ancestor variables: clones of it are dead
+        ok = Pattern(1, (Pattern(2, (Pattern(3),)),))
+        bad = Pattern(1, (Pattern(2, (Pattern(3), Pattern(3))),))
+        assert is_realizable(ok, tgd)
+        assert not is_realizable(bad, tgd)
+
+    def test_invalid_pattern_rejected(self, sigma_star):
+        with pytest.raises(DependencyError):
+            is_realizable(Pattern(1, (Pattern(4),)), sigma_star)
+
+
+class TestEmbedding:
+    def test_reflexive(self, sigma_star):
+        for pattern in enumerate_k_patterns(sigma_star, 1):
+            assert pattern_embeds(pattern, pattern)
+
+    def test_monotone_under_cloning(self, intro_nested):
+        base = Pattern(1, (Pattern(2),))
+        bigger = base.with_extra_clone((0,))
+        assert pattern_embeds(base, bigger)
+        assert not pattern_embeds(bigger, base)
+
+    def test_label_mismatch(self):
+        assert not pattern_embeds(Pattern(1), Pattern(2))
+
+    def test_deep_embedding(self):
+        small = Pattern(1, (Pattern(3, (Pattern(4),)),))
+        big = Pattern(1, (Pattern(2), Pattern(3, (Pattern(4), Pattern(4)))))
+        assert pattern_embeds(small, big)
+
+
+class TestCrossValidation:
+    """The syntactic criterion agrees with the chase on random nested tgds."""
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tgd=nested_tgds(max_depth=2), clones=st.integers(1, 2))
+    def test_criterion_matches_chase(self, tgd, clones):
+        for pattern in enumerate_k_patterns(tgd, 1, max_patterns=32):
+            for index in range(len(pattern.children)):
+                candidate = pattern.with_clones((index,), clones)
+                realized = realized_pattern(candidate, tgd)
+                assert is_realizable(candidate, tgd) == pattern_embeds(
+                    candidate, realized
+                )

@@ -1,0 +1,77 @@
+"""Tests for schemas and relation symbols."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.atoms import Atom
+from repro.logic.schema import RelationSymbol, Schema, infer_schema
+from repro.logic.values import Variable
+
+
+class TestSchemaBasics:
+    def test_build_from_pairs(self):
+        schema = Schema([("S", 2), ("Q", 1)])
+        assert schema.arity("S") == 2
+        assert schema.arity("Q") == 1
+
+    def test_build_from_symbols(self):
+        schema = Schema([RelationSymbol("S", 2)])
+        assert "S" in schema
+
+    def test_membership(self):
+        schema = Schema([("S", 2)])
+        assert "S" in schema
+        assert "T" not in schema
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([("S", 2)]).arity("T")
+
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("S", 2), ("S", 3)])
+
+    def test_duplicate_consistent_declaration_ok(self):
+        schema = Schema([("S", 2), ("S", 2)])
+        assert len(schema) == 1
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("S", -1)
+
+    def test_iteration_preserves_order(self):
+        schema = Schema([("B", 1), ("A", 2)])
+        assert schema.names == ("B", "A")
+
+
+class TestSchemaOperations:
+    def test_disjointness(self):
+        left = Schema([("S", 2)])
+        right = Schema([("R", 2)])
+        assert left.disjoint_from(right)
+        assert not left.disjoint_from(Schema([("S", 1)]))
+
+    def test_union_merges(self):
+        union = Schema([("S", 2)]).union(Schema([("R", 1)]))
+        assert set(union.names) == {"S", "R"}
+
+    def test_union_conflicting_arity_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([("S", 2)]).union(Schema([("S", 3)]))
+
+    def test_equality(self):
+        assert Schema([("S", 2)]) == Schema([("S", 2)])
+        assert Schema([("S", 2)]) != Schema([("S", 1)])
+
+
+class TestInference:
+    def test_infer_schema_from_atoms(self):
+        x = Variable("x")
+        schema = infer_schema([Atom("S", (x, x)), Atom("Q", (x,))])
+        assert schema.arity("S") == 2
+        assert schema.arity("Q") == 1
+
+    def test_infer_conflicting_arities_raises(self):
+        x = Variable("x")
+        with pytest.raises(SchemaError):
+            infer_schema([Atom("S", (x,)), Atom("S", (x, x))])

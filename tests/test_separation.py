@@ -1,0 +1,100 @@
+"""Tests for the separation tools of Section 4.2 (Theorems 4.12, 4.16)."""
+
+from repro.core.separation import (
+    fblock_profile,
+    nested_expressibility_report,
+    path_length_bound,
+)
+from repro.logic.parser import parse_nested_tgd, parse_so_tgd, parse_tgd
+from repro.workloads.families import (
+    CYCLE_FAMILY,
+    SUCCESSOR_FAMILY,
+    SUCCESSOR_Q_FAMILY,
+    InstanceFamily,
+)
+
+
+class TestProfiles:
+    def test_prop_413_profile(self, so_tgd_413):
+        """f-block size grows linearly; f-degree is 2 (the paper's values)."""
+        profiles = fblock_profile([so_tgd_413], SUCCESSOR_FAMILY, [2, 4, 6])
+        assert [p.fblock_size for p in profiles] == [2, 4, 6]
+        assert [p.fdegree for p in profiles] == [1, 2, 2]
+
+    def test_glav_profile_flat(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        profiles = fblock_profile([tgd], SUCCESSOR_FAMILY, [2, 4])
+        assert all(p.fblock_size == 1 for p in profiles)
+
+    def test_profile_records_family_name(self, so_tgd_413):
+        profiles = fblock_profile([so_tgd_413], SUCCESSOR_FAMILY, [2])
+        assert profiles[0].family == "successor"
+
+
+class TestFDegreeTool:
+    def test_prop_413_not_nested_expressible(self, so_tgd_413):
+        report = nested_expressibility_report([so_tgd_413], SUCCESSOR_FAMILY, [2, 4, 6, 8])
+        assert report.nested_expressible is False
+        assert report.fblock_grows and report.fdegree_bounded
+        assert "4.12" in report.reason
+
+    def test_intro_nested_inconclusive_on_successors(self, intro_nested):
+        """A nested tgd never violates its own necessary conditions."""
+        report = nested_expressibility_report([intro_nested], SUCCESSOR_FAMILY, [2, 4, 6])
+        assert report.nested_expressible is None
+
+
+class TestPathLengthTool:
+    def test_example_414_not_nested_expressible(self, so_tgd_414):
+        report = nested_expressibility_report(
+            [so_tgd_414], SUCCESSOR_Q_FAMILY, [2, 3, 4, 5]
+        )
+        assert report.nested_expressible is False
+        # the fact graph is a clique (f-degree grows with f-block size), so
+        # only the null graph separates: Theorem 4.16 must be the reason
+        assert not report.fdegree_bounded
+        assert report.path_length_grows
+        assert "4.16" in report.reason
+
+    def test_example_415_inconclusive(self, so_tgd_415):
+        """Example 4.15's SO tgd is nested-expressible: same clique fact
+        graphs as 4.14, but star-shaped null graphs (path length 2)."""
+        report = nested_expressibility_report(
+            [so_tgd_415], SUCCESSOR_Q_FAMILY, [2, 3, 4, 5]
+        )
+        assert report.nested_expressible is None
+        assert [p.path_length for p in report.profiles] == [2, 2, 2, 2]
+
+    def test_nested_tgds_have_bounded_path_length(
+        self, intro_nested, nested_415, sigma_star
+    ):
+        """Theorem 4.16: the effective bound exists for every nested tgd."""
+        for tgd in (intro_nested, nested_415, sigma_star):
+            assert path_length_bound(tgd) >= 0
+
+    def test_nested_415_bound_is_two(self, nested_415):
+        """Figure 7's star null graph: longest simple path has 2 edges."""
+        assert path_length_bound(nested_415) == 2
+
+    def test_empirical_paths_stay_under_bound(self, nested_415):
+        bound = path_length_bound(nested_415)
+        profiles = fblock_profile([nested_415], SUCCESSOR_Q_FAMILY, [2, 4, 6])
+        assert all(p.path_length <= bound for p in profiles)
+
+
+class TestCycleFamily:
+    def test_example_48_odd_cycles(self, so_tgd_48):
+        """core(chase(I_n)) is the undirected n-cycle: one f-block of 2n facts."""
+        profiles = fblock_profile([so_tgd_48], CYCLE_FAMILY, [0, 1, 2])
+        # CYCLE_FAMILY(n) is the (2n+3)-cycle
+        assert [p.fblock_size for p in profiles] == [6, 10, 14]
+        # each fact R(f(i), f(i+1)) shares a null with its reverse and the
+        # four facts of the two adjacent undirected edges: degree 5, constant
+        assert [p.fdegree for p in profiles] == [5, 5, 5]
+
+    def test_example_48_even_cycles_collapse(self, so_tgd_48):
+        even = InstanceFamily("even-cycle", lambda n: __import__(
+            "repro.workloads.generators", fromlist=["cycle_instance"]
+        ).cycle_instance(2 * n + 4))
+        profiles = fblock_profile([so_tgd_48], even, [0, 1])
+        assert all(p.core_facts == 2 for p in profiles)

@@ -1,0 +1,108 @@
+"""Tests for (plain) SO tgds."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.parser import parse_so_tgd
+from repro.logic.sotgd import SOClause, SOTgd
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Variable
+
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestPlainness:
+    def test_plain_so_tgd(self, so_tgd_413):
+        assert so_tgd_413.is_plain()
+
+    def test_equality_makes_it_not_plain(self):
+        so = parse_so_tgd("Emp(e) -> Mgr(e, f(e)) ; Emp(e) & e = f(e) -> SelfMgr(e)")
+        assert not so.is_plain()
+
+    def test_nested_term_makes_it_not_plain(self):
+        so = parse_so_tgd("S(x) -> R(f(g(x)))")
+        assert not so.is_plain()
+
+
+class TestValidation:
+    def test_head_variable_not_in_body_rejected(self):
+        with pytest.raises(DependencyError):
+            SOClause(body=(Atom("S", (X,)),), equalities=(), head=(Atom("R", (Y,)),))
+
+    def test_function_term_in_body_atom_rejected(self):
+        with pytest.raises(DependencyError):
+            SOClause(
+                body=(Atom("S", (FuncTerm("f", (X,)),)),),
+                equalities=(),
+                head=(Atom("R", (X,)),),
+            )
+
+    def test_empty_clause_body_rejected(self):
+        with pytest.raises(DependencyError):
+            SOClause(body=(), equalities=(), head=(Atom("R", (X,)),))
+
+    def test_no_clauses_rejected(self):
+        with pytest.raises(DependencyError):
+            SOTgd(functions=(), clauses=())
+
+    def test_undeclared_function_rejected(self):
+        clause = SOClause(
+            body=(Atom("S", (X,)),),
+            equalities=(),
+            head=(Atom("R", (FuncTerm("f", (X,)),)),),
+        )
+        with pytest.raises(DependencyError):
+            SOTgd(functions=(), clauses=(clause,))
+
+    def test_inconsistent_function_arity_rejected(self):
+        clause = SOClause(
+            body=(Atom("S", (X, Y)),),
+            equalities=(),
+            head=(
+                Atom("R", (FuncTerm("f", (X,)),)),
+                Atom("R", (FuncTerm("f", (X, Y)),)),
+            ),
+        )
+        with pytest.raises(DependencyError):
+            SOTgd(functions=("f",), clauses=(clause,))
+
+    def test_shared_source_target_relation_rejected(self):
+        with pytest.raises(DependencyError):
+            parse_so_tgd("S(x) -> S(f(x))")
+
+    def test_equality_variable_must_occur_in_body(self):
+        with pytest.raises(DependencyError):
+            SOClause(
+                body=(Atom("S", (X,)),),
+                equalities=((Y, FuncTerm("f", (X,))),),
+                head=(Atom("R", (X,)),),
+            )
+
+
+class TestStructure:
+    def test_functions_collected_by_parser(self):
+        so = parse_so_tgd("S(x,y) -> R(f(x), g(y))")
+        assert set(so.functions) == {"f", "g"}
+
+    def test_function_arity(self, so_tgd_414):
+        assert so_tgd_414.function_arity("f") == 2
+        assert so_tgd_414.function_arity("g") == 1
+
+    def test_max_universal_variables(self, so_tgd_414):
+        assert so_tgd_414.max_universal_variables() == 3
+
+    def test_clause_universal_variables_in_order(self):
+        so = parse_so_tgd("S(y,x) -> R(f(x))")
+        assert so.clauses[0].universal_variables == (Y, X)
+
+    def test_schemas(self, so_tgd_414):
+        assert set(so_tgd_414.source_schema().names) == {"S", "Q"}
+        assert set(so_tgd_414.target_schema().names) == {"R"}
+
+    def test_equality_and_hash(self):
+        left = parse_so_tgd("S(x) -> R(f(x))")
+        right = parse_so_tgd("S(x) -> R(f(x))")
+        assert left == right
+        assert hash(left) == hash(right)

@@ -1,0 +1,69 @@
+"""Tests for the standard chase and core chase variants."""
+
+from repro.engine.chase import chase_st_tgds
+from repro.engine.core_instance import core
+from repro.engine.homomorphism import homomorphically_equivalent
+from repro.engine.model_check import satisfies
+from repro.engine.standard_chase import core_chase, standard_chase
+from repro.logic.parser import parse_instance, parse_tgd
+
+
+class TestStandardChase:
+    def test_avoids_redundant_triggers(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        source = parse_instance("S(a,b), S(a,c)")
+        oblivious = chase_st_tgds(source, [tgd])
+        standard = standard_chase(source, [tgd])
+        assert len(oblivious) == 2  # one null per match
+        assert len(standard) == 1  # the second trigger is already satisfied
+
+    def test_still_a_solution(self):
+        tgds = [
+            parse_tgd("S(x,y) -> R(x,z) & T(z,y)"),
+            parse_tgd("S(x,y) -> R(x,w)"),
+        ]
+        source = parse_instance("S(a,b), S(b,c)")
+        result = standard_chase(source, tgds)
+        assert satisfies(source, result, tgds)
+
+    def test_still_universal(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        source = parse_instance("S(a,b), S(a,c), S(b,c)")
+        standard = standard_chase(source, [tgd])
+        oblivious = chase_st_tgds(source, [tgd])
+        assert homomorphically_equivalent(standard, oblivious)
+
+    def test_ground_heads_fire_once(self):
+        tgd = parse_tgd("S(x,y) -> P(x)")
+        source = parse_instance("S(a,b), S(a,c)")
+        assert standard_chase(source, [tgd]) == parse_instance("P(a)")
+
+    def test_empty_source(self):
+        assert len(standard_chase(parse_instance(""), [parse_tgd("S(x) -> R(x)")])) == 0
+
+
+class TestCoreChase:
+    def test_produces_the_core(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        source = parse_instance("S(a,b), S(a,c)")
+        result = core_chase(source, [tgd])
+        assert result.isomorphic(core(chase_st_tgds(source, [tgd])))
+
+    def test_smallest_universal_solution(self):
+        tgds = [
+            parse_tgd("S(x,y) -> R(x,z)"),
+            parse_tgd("S(x,y) -> R(x,y)"),
+        ]
+        source = parse_instance("S(a,b)")
+        result = core_chase(source, tgds)
+        # R(a,b) satisfies both dependencies; the null folds away
+        assert result == parse_instance("R(a,b)")
+
+    def test_agrees_with_oblivious_core(self):
+        tgds = [parse_tgd("S(x,y) -> R(x,z) & T(z)"), parse_tgd("S(x,y) -> R(y,w)")]
+        for text in ["S(a,b)", "S(a,b), S(b,a)", "S(a,a)"]:
+            source = parse_instance(text)
+            left = core_chase(source, tgds)
+            right = core(chase_st_tgds(source, tgds))
+            assert homomorphically_equivalent(left, right)
+            assert len(left) == len(right)  # cores are unique up to iso

@@ -1,0 +1,63 @@
+"""Tests for Substitution."""
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import FuncTerm
+from repro.logic.values import Constant, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A, B = Constant("a"), Constant("b")
+
+
+class TestMappingInterface:
+    def test_getitem_and_len(self):
+        sub = Substitution({X: A})
+        assert sub[X] == A
+        assert len(sub) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Substitution({})[X]
+
+    def test_equality_with_dict(self):
+        assert Substitution({X: A}) == {X: A}
+
+    def test_hashable(self):
+        assert hash(Substitution({X: A})) == hash(Substitution({X: A}))
+
+
+class TestOperations:
+    def test_extend_overrides(self):
+        sub = Substitution({X: A}).extend({X: B, Y: A})
+        assert sub[X] == B and sub[Y] == A
+
+    def test_extend_does_not_mutate(self):
+        original = Substitution({X: A})
+        original.extend({Y: B})
+        assert Y not in original
+
+    def test_restrict(self):
+        sub = Substitution({X: A, Y: B}).restrict([X])
+        assert X in sub and Y not in sub
+
+    def test_apply_atom(self):
+        sub = Substitution({X: A})
+        assert sub.apply_atom(Atom("S", (X, Y))) == Atom("S", (A, Y))
+
+    def test_apply_atoms(self):
+        sub = Substitution({X: A, Y: B})
+        result = sub.apply_atoms([Atom("S", (X,)), Atom("T", (Y,))])
+        assert result == (Atom("S", (A,)), Atom("T", (B,)))
+
+    def test_apply_term(self):
+        sub = Substitution({X: A})
+        assert sub.apply_term(FuncTerm("f", (X,))) == FuncTerm("f", (A,))
+
+    def test_as_dict_is_a_copy(self):
+        sub = Substitution({X: A})
+        d = sub.as_dict()
+        d[Y] = B
+        assert Y not in sub

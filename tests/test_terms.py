@@ -1,0 +1,106 @@
+"""Tests for functional (Skolem) terms."""
+
+import pytest
+
+from repro.logic.terms import (
+    FuncTerm,
+    is_ground,
+    is_nested,
+    rename_term_functions,
+    substitute_term,
+    term_functions,
+    term_variables,
+)
+from repro.logic.values import Constant, Null, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A = Constant("a")
+
+
+class TestGroundness:
+    def test_variable_is_not_ground(self):
+        assert not is_ground(X)
+
+    def test_constant_is_ground(self):
+        assert is_ground(A)
+
+    def test_term_over_variables_is_not_ground(self):
+        assert not is_ground(FuncTerm("f", (X,)))
+
+    def test_term_over_constants_is_ground(self):
+        assert is_ground(FuncTerm("f", (A,)))
+
+    def test_nested_ground_term(self):
+        assert is_ground(FuncTerm("f", (FuncTerm("g", (A,)),)))
+
+    def test_deeply_hidden_variable_detected(self):
+        assert not is_ground(FuncTerm("f", (A, FuncTerm("g", (X,)))))
+
+
+class TestNesting:
+    def test_flat_term_is_not_nested(self):
+        assert not is_nested(FuncTerm("f", (X, Y)))
+
+    def test_nested_term_is_detected(self):
+        assert is_nested(FuncTerm("f", (FuncTerm("g", (X,)),)))
+
+    def test_variable_is_not_nested(self):
+        assert not is_nested(X)
+
+
+class TestTraversals:
+    def test_term_variables_in_order_with_repetition(self):
+        term = FuncTerm("f", (X, FuncTerm("g", (Y, X))))
+        assert list(term_variables(term)) == [X, Y, X]
+
+    def test_term_functions_outside_in(self):
+        term = FuncTerm("f", (FuncTerm("g", (X,)),))
+        assert list(term_functions(term)) == ["f", "g"]
+
+    def test_constant_has_no_variables(self):
+        assert list(term_variables(A)) == []
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        assert substitute_term(X, {X: A}) == A
+
+    def test_partial_substitution_keeps_unbound_variables(self):
+        term = FuncTerm("f", (X, Y))
+        result = substitute_term(term, {X: A})
+        assert result == FuncTerm("f", (A, Y))
+
+    def test_substitution_reaches_nested_terms(self):
+        term = FuncTerm("f", (FuncTerm("g", (X,)),))
+        result = substitute_term(term, {X: A})
+        assert result == FuncTerm("f", (FuncTerm("g", (A,)),))
+
+    def test_substituting_produces_hashable_ground_term(self):
+        term = substitute_term(FuncTerm("f", (X,)), {X: A})
+        assert hash(term) == hash(FuncTerm("f", (A,)))
+
+
+class TestRenaming:
+    def test_rename_functions(self):
+        term = FuncTerm("f", (FuncTerm("g", (X,)),))
+        renamed = rename_term_functions(term, {"f": "f2"})
+        assert renamed == FuncTerm("f2", (FuncTerm("g", (X,)),))
+
+    def test_rename_is_identity_outside_map(self):
+        term = FuncTerm("f", (X,))
+        assert rename_term_functions(term, {}) == term
+
+    def test_rename_non_term_passthrough(self):
+        assert rename_term_functions(A, {"f": "g"}) == A
+
+
+class TestFuncTermBasics:
+    def test_args_coerced_to_tuple(self):
+        assert FuncTerm("f", [X, Y]).args == (X, Y)
+
+    def test_arity(self):
+        assert FuncTerm("f", (X, Y)).arity == 2
+
+    def test_repr_round_trips_shape(self):
+        assert repr(FuncTerm("f", (A, Null("n")))) == "f(a, _n)"

@@ -1,0 +1,89 @@
+"""Tests for s-t tgds (GLAV constraints)."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.parser import parse_tgd
+from repro.logic.terms import FuncTerm
+from repro.logic.tgds import STTgd
+from repro.logic.values import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConstruction:
+    def test_variables_partitioned(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        assert tgd.universal_variables == (X, Y)
+        assert tgd.existential_variables == (Z,)
+
+    def test_no_existentials(self):
+        tgd = parse_tgd("S(x,y) -> R(y,x)")
+        assert tgd.existential_variables == ()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            STTgd(body=(), head=(Atom("R", (X,)),))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(DependencyError):
+            STTgd(body=(Atom("S", (X,)),), head=())
+
+    def test_constants_rejected(self):
+        with pytest.raises(DependencyError):
+            STTgd(body=(Atom("S", (Constant("a"),)),), head=(Atom("R", (X,)),))
+
+    def test_universal_order_is_first_occurrence(self):
+        tgd = parse_tgd("S(y,x) & T(z) -> R(x)")
+        assert tgd.universal_variables == (Y, X, Z)
+
+
+class TestSchemas:
+    def test_source_and_target_schemas(self):
+        tgd = parse_tgd("S(x,y) -> R(x)")
+        assert tgd.source_schema().arity("S") == 2
+        assert tgd.target_schema().arity("R") == 1
+
+    def test_validate_against_good(self):
+        from repro.logic.schema import Schema
+
+        tgd = parse_tgd("S(x,y) -> R(x)")
+        tgd.validate_against(Schema([("S", 2)]), Schema([("R", 1)]))
+
+    def test_validate_against_bad_arity(self):
+        from repro.logic.schema import Schema
+
+        tgd = parse_tgd("S(x,y) -> R(x)")
+        with pytest.raises(DependencyError):
+            tgd.validate_against(Schema([("S", 3)]), Schema([("R", 1)]))
+
+
+class TestSkolemization:
+    def test_skolem_head_replaces_existentials(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        head = tgd.skolem_head()
+        assert head[0].args[0] == X
+        skolem = head[0].args[1]
+        assert isinstance(skolem, FuncTerm)
+        assert skolem.args == (X, Y)
+
+    def test_skolem_head_custom_namer(self):
+        tgd = parse_tgd("S(x) -> R(z)")
+        head = tgd.skolem_head(function_namer=lambda v: "sk")
+        assert head[0].args[0].function == "sk"
+
+    def test_to_so_tgd_is_plain(self):
+        assert parse_tgd("S(x,y) -> R(x,z)").to_so_tgd().is_plain()
+
+
+class TestConversions:
+    def test_to_nested_round_trip(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)")
+        nested = tgd.to_nested()
+        assert nested.part_count == 1
+        assert nested.to_st_tgd() == tgd
+
+    def test_equality_ignores_name(self):
+        assert parse_tgd("S(x) -> R(x)", name="a") == parse_tgd("S(x) -> R(x)", name="b")

@@ -1,0 +1,183 @@
+"""Tests for the Turing machine simulator and the Theorem 5.1 reduction."""
+
+import pytest
+
+from repro.engine.chase import chase_so_tgd
+from repro.engine.egd_chase import satisfies_egds
+from repro.engine.gaifman import fblock_degree
+from repro.turing.encoding import (
+    NO_HEAD_RELATION,
+    encode_run,
+    head_relation,
+    run_source_instance,
+    symbol_relation,
+)
+from repro.turing.machine import (
+    Configuration,
+    Transition,
+    TuringMachine,
+    TuringMachineError,
+    halting_machine,
+    looping_machine,
+    run_machine,
+)
+from repro.turing.reduction import (
+    build_reduction,
+    enumeration_chain_length,
+    enumeration_fblock_size,
+)
+
+
+class TestMachine:
+    def test_halting_machine_halts(self):
+        result = run_machine(halting_machine(3), "", max_steps=10)
+        assert result.halted
+        assert result.steps == 3
+
+    def test_looping_machine_does_not_halt(self):
+        result = run_machine(looping_machine(), "", max_steps=10)
+        assert not result.halted
+        assert result.steps == 10
+
+    def test_head_moves_right(self):
+        result = run_machine(looping_machine(), "", max_steps=4)
+        assert result.final.head == 4
+
+    def test_tape_writes(self):
+        result = run_machine(looping_machine(), "", max_steps=3)
+        assert result.final.tape[:3] == ("1", "1", "1")
+
+    def test_triangular_invariant(self):
+        """In t steps the head reaches at most cell t (Figure 8's triangle)."""
+        result = run_machine(looping_machine(), "", max_steps=10)
+        for config in result.configurations:
+            assert config.head <= config.time
+
+    def test_nondeterminism_rejected(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine(
+                states=["q"],
+                blank="_",
+                transitions=[
+                    Transition("q", "_", "q", "1", "R"),
+                    Transition("q", "_", "q", "0", "R"),
+                ],
+                initial_state="q",
+                halting_states=[],
+            )
+
+    def test_invalid_move_rejected(self):
+        with pytest.raises(TuringMachineError):
+            Transition("q", "_", "q", "1", "X")
+
+    def test_stuck_machine_counts_as_halted(self):
+        machine = TuringMachine(
+            states=["q"],
+            blank="_",
+            transitions=[],
+            initial_state="q",
+            halting_states=[],
+        )
+        assert run_machine(machine, "", max_steps=5).halted
+
+
+class TestEncoding:
+    def test_relations_present(self):
+        inst = run_source_instance(halting_machine(2), "", max_steps=5)
+        assert "S" in inst.relations()
+        assert "Z" in inst.relations()
+        assert NO_HEAD_RELATION in inst.relations()
+        assert head_relation("q0") in inst.relations()
+        assert symbol_relation("_") in inst.relations()
+
+    def test_triangular_slices(self):
+        inst = run_source_instance(looping_machine(), "", max_steps=3, length=3)
+        # at time t there are t+1 symbol cells
+        for t in range(4):
+            time_facts = [
+                f
+                for f in inst
+                if f.relation.startswith("Sym_") and repr(f.args[0]) == f"e{t}"
+            ]
+            assert len(time_facts) == t + 1
+
+    def test_key_dependency_satisfied_by_intended_encoding(self):
+        inst = run_source_instance(halting_machine(3), "", max_steps=5)
+        reduction = build_reduction(halting_machine(3))
+        assert satisfies_egds(inst, [reduction.key_dependency])
+
+    def test_exactly_one_head_per_time(self):
+        inst = run_source_instance(looping_machine(), "", max_steps=3, length=3)
+        for t in range(4):
+            heads = [
+                f
+                for f in inst
+                if f.relation.startswith("Head_") and repr(f.args[0]) == f"e{t}"
+            ]
+            assert len(heads) <= 1
+
+
+class TestReduction:
+    def test_so_tgd_is_plain(self):
+        for machine in (halting_machine(2), looping_machine()):
+            assert build_reduction(machine).so_tgd.is_plain()
+
+    def test_halting_machine_bounded_enumeration(self):
+        """Theorem 5.1, halting direction: the origin chain stops growing."""
+        machine = halting_machine(3)
+        reduction = build_reduction(machine)
+        lengths = []
+        for n in (5, 7, 9):
+            source = run_source_instance(machine, "", max_steps=n, length=n)
+            target = chase_so_tgd(source, reduction.so_tgd)
+            lengths.append(enumeration_chain_length(reduction, target))
+        assert lengths[0] == lengths[1] == lengths[2] > 0
+
+    def test_looping_machine_unbounded_enumeration(self):
+        """Theorem 5.1, looping direction: the chain grows with n."""
+        machine = looping_machine()
+        reduction = build_reduction(machine)
+        lengths = []
+        for n in (4, 6, 8):
+            source = run_source_instance(machine, "", max_steps=n, length=n)
+            target = chase_so_tgd(source, reduction.so_tgd)
+            lengths.append(enumeration_chain_length(reduction, target))
+        assert lengths[0] < lengths[1] < lengths[2]
+
+    def test_unbounded_fblock_with_bounded_fdegree(self):
+        """Theorem 5.2's argument: the enumeration has growing f-blocks but
+        f-degree stays bounded, so by Theorem 4.12 the gadget SO tgd is not
+        equivalent to any nested GLAV mapping either."""
+        machine = looping_machine()
+        reduction = build_reduction(machine)
+        degrees, sizes = [], []
+        for n in (4, 6, 8):
+            source = run_source_instance(machine, "", max_steps=n, length=n)
+            target = chase_so_tgd(source, reduction.so_tgd)
+            sizes.append(enumeration_fblock_size(target))
+            degrees.append(fblock_degree(target))
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert max(degrees) <= 4
+
+    def test_enumeration_connected_to_origin(self):
+        """The whole enumeration forms one block containing the origin."""
+        machine = looping_machine()
+        reduction = build_reduction(machine)
+        source = run_source_instance(machine, "", max_steps=5, length=5)
+        target = chase_so_tgd(source, reduction.so_tgd)
+        assert enumeration_chain_length(reduction, target) == len(target)
+
+    def test_broken_run_stops_enumeration(self):
+        """Missing information (a truncated run) breaks the chain: the
+        enumeration never reaches rows whose configurations are absent."""
+        machine = looping_machine()
+        reduction = build_reduction(machine)
+        full = encode_run(run_machine(machine, "", max_steps=6), length=6)
+        truncated = encode_run(run_machine(machine, "", max_steps=3), length=6)
+        chain_full = enumeration_chain_length(
+            reduction, chase_so_tgd(full, reduction.so_tgd)
+        )
+        chain_truncated = enumeration_chain_length(
+            reduction, chase_so_tgd(truncated, reduction.so_tgd)
+        )
+        assert chain_truncated < chain_full

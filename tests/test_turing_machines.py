@@ -1,0 +1,80 @@
+"""Tests for the extended stock machines and input-dependent reductions."""
+
+from repro.engine.chase import chase_so_tgd
+from repro.turing.encoding import run_source_instance
+from repro.turing.machine import (
+    bouncer_machine,
+    run_machine,
+    unary_doubler_machine,
+    write_and_return_machine,
+)
+from repro.turing.reduction import build_reduction, enumeration_chain_length
+
+
+class TestBouncerMachine:
+    def test_never_halts(self):
+        result = run_machine(bouncer_machine(2), "", max_steps=20)
+        assert not result.halted
+
+    def test_head_bounces(self):
+        result = run_machine(bouncer_machine(2), "", max_steps=12)
+        heads = [c.head for c in result.configurations]
+        assert max(heads) == 2
+        assert heads.count(0) >= 2  # returned to the origin at least twice
+
+    def test_triangular_invariant_with_left_moves(self):
+        result = run_machine(bouncer_machine(3), "", max_steps=15)
+        for config in result.configurations:
+            assert config.head <= config.time
+
+
+class TestWriteAndReturn:
+    def test_halts_after_round_trip(self):
+        result = run_machine(write_and_return_machine(3), "", max_steps=20)
+        assert result.halted
+        assert result.steps == 6  # 3 right + 3 left
+        assert result.final.head == 0
+
+    def test_tape_written(self):
+        result = run_machine(write_and_return_machine(2), "", max_steps=20)
+        assert result.final.tape[:2] == ("1", "1")
+
+
+class TestUnaryDoubler:
+    def test_halt_time_depends_on_input(self):
+        machine = unary_doubler_machine()
+        for k in (0, 2, 4):
+            result = run_machine(machine, "1" * k, max_steps=30)
+            assert result.halted
+            assert result.steps == k + 1
+
+
+class TestReductionWithRicherMachines:
+    def _chain_lengths(self, machine, input_word, lengths):
+        reduction = build_reduction(machine)
+        chains = []
+        for n in lengths:
+            source = run_source_instance(machine, input_word, max_steps=n, length=n)
+            target = chase_so_tgd(source, reduction.so_tgd)
+            chains.append(enumeration_chain_length(reduction, target))
+        return chains
+
+    def test_bouncer_enumeration_grows(self):
+        """A looping machine with LEFT moves: the C3 arrival clauses carry
+        the enumeration, and it still grows without bound."""
+        chains = self._chain_lengths(bouncer_machine(2), "", [6, 9, 12])
+        assert chains[0] < chains[1] < chains[2]
+
+    def test_write_and_return_enumeration_plateaus(self):
+        chains = self._chain_lengths(write_and_return_machine(2), "", [6, 9, 12])
+        assert chains[0] == chains[1] == chains[2] > 0
+
+    def test_input_word_shifts_the_plateau(self):
+        """The unary scanner halts later on longer inputs, so the plateau
+        value grows with the input word but not with the successor length."""
+        machine = unary_doubler_machine()
+        short = self._chain_lengths(machine, "1", [8, 10])
+        long = self._chain_lengths(machine, "111", [8, 10])
+        assert short[0] == short[1]
+        assert long[0] == long[1]
+        assert long[0] > short[0]

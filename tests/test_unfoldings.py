@@ -1,0 +1,64 @@
+"""Tests for GLAV unfoldings and the approximation gap."""
+
+import pytest
+
+from repro.core.implication import equivalent, implies
+from repro.core.unfoldings import (
+    approximation_gap,
+    unfolding,
+    unfolding_hierarchy_strict,
+)
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+
+class TestUnfoldingConstruction:
+    def test_sizes_grow(self, intro_nested):
+        # the root part alone already has a head atom R(y, x2)
+        assert len(unfolding(intro_nested, 1)) == 1
+        assert len(unfolding(intro_nested, 2)) == 2
+        assert len(unfolding(intro_nested, 3)) == 3
+
+    def test_nested_implies_every_unfolding(self, intro_nested):
+        for n in (1, 2, 3):
+            flat = unfolding(intro_nested, n)
+            if flat:
+                assert implies([intro_nested], flat)
+
+    def test_flat_tgd_unfolds_to_itself(self):
+        tgd = parse_tgd("S(x,y) -> R(x,z)").to_nested()
+        flat = unfolding(tgd, 1)
+        assert len(flat) == 1
+        assert equivalent(flat, [tgd])
+
+
+class TestApproximationGap:
+    def test_unbounded_tgd_has_gaps_at_every_level(self, intro_nested):
+        for n in (1, 2, 3):
+            gap = approximation_gap(intro_nested, n)
+            assert gap is not None
+            assert gap.nested_core_size > 0
+
+    def test_bounded_tgd_gap_closes(self):
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x2) -> T(x1, x2))")
+        assert approximation_gap(tgd, 2) is None
+
+    def test_gap_witness_is_genuine(self, intro_nested):
+        from repro.engine.chase import chase
+        from repro.engine.homomorphism import has_homomorphism
+
+        gap = approximation_gap(intro_nested, 2)
+        flat = unfolding(intro_nested, 2)
+        assert not has_homomorphism(
+            chase(gap.source, [intro_nested]), chase(gap.source, flat)
+        )
+
+
+class TestHierarchy:
+    def test_unbounded_hierarchy_is_strict(self, intro_nested):
+        strict = unfolding_hierarchy_strict(intro_nested, 3)
+        assert all(strict[1:])  # from n=2 on, each level adds real strength
+
+    def test_bounded_hierarchy_stabilizes(self):
+        tgd = parse_nested_tgd("S1(x1) -> (S2(x2) -> T(x1, x2))")
+        strict = unfolding_hierarchy_strict(tgd, 3)
+        assert not strict[-1]  # stabilized: no more strength to add

@@ -1,0 +1,70 @@
+"""Tests for constants, nulls, variables, and the fresh-value factory."""
+
+from repro.logic.values import (
+    Constant,
+    FreshValueFactory,
+    Null,
+    Variable,
+    is_null,
+    is_value,
+)
+from repro.logic.terms import FuncTerm
+
+
+class TestValueKinds:
+    def test_constant_equality_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_null_and_constant_never_equal(self):
+        assert Null("a") != Constant("a")
+
+    def test_variable_is_not_a_value(self):
+        assert not is_value(Variable("x"))
+
+    def test_constant_is_a_value_but_not_a_null(self):
+        assert is_value(Constant("a"))
+        assert not is_null(Constant("a"))
+
+    def test_null_is_a_value_and_a_null(self):
+        assert is_value(Null("n"))
+        assert is_null(Null("n"))
+
+    def test_ground_functerm_acts_as_null(self):
+        term = FuncTerm("f", (Constant("a"),))
+        assert is_value(term)
+        assert is_null(term)
+
+    def test_non_ground_functerm_is_not_a_value(self):
+        term = FuncTerm("f", (Variable("x"),))
+        assert not is_value(term)
+
+    def test_values_are_hashable_and_usable_in_sets(self):
+        values = {Constant("a"), Null("a"), FuncTerm("f", (Constant("a"),))}
+        assert len(values) == 3
+
+    def test_reprs_are_distinctive(self):
+        assert repr(Constant("a")) == "a"
+        assert repr(Null("n1")) == "_n1"
+        assert repr(Variable("x")) == "?x"
+
+
+class TestFreshValueFactory:
+    def test_constants_are_pairwise_distinct(self):
+        factory = FreshValueFactory()
+        constants = [factory.constant() for __ in range(10)]
+        assert len(set(constants)) == 10
+
+    def test_nulls_are_pairwise_distinct(self):
+        factory = FreshValueFactory()
+        nulls = [factory.null() for __ in range(10)]
+        assert len(set(nulls)) == 10
+
+    def test_prefix_is_respected(self):
+        factory = FreshValueFactory(constant_prefix="b")
+        assert factory.constant() == Constant("b1")
+
+    def test_factories_are_deterministic(self):
+        left = FreshValueFactory()
+        right = FreshValueFactory()
+        assert [left.constant() for __ in range(3)] == [right.constant() for __ in range(3)]

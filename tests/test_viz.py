@@ -1,0 +1,73 @@
+"""Tests for text and DOT renderings."""
+
+from repro.core.patterns import Pattern
+from repro.engine.nested_chase import chase_nested
+from repro.logic.parser import parse_instance, parse_nested_tgd
+from repro.viz import (
+    chase_forest_dot,
+    fact_graph_dot,
+    null_graph_dot,
+    pattern_dot,
+    render_chase_tree,
+    render_part,
+    render_pattern,
+)
+
+
+class TestTextRendering:
+    def test_pattern_tree_indented(self):
+        text = render_pattern(Pattern(1, (Pattern(2), Pattern(3, (Pattern(4),)))))
+        lines = text.splitlines()
+        assert lines[0] == "sigma_1"
+        assert lines[1] == "  sigma_2"
+        assert lines[3] == "    sigma_4"
+
+    def test_pattern_with_formulas(self, sigma_star):
+        text = render_pattern(Pattern(1, (Pattern(2),)), sigma_star)
+        assert "S1(x1)" in text
+        assert "R2(y1, x2)" in text
+
+    def test_render_part(self, sigma_star):
+        assert render_part(sigma_star, 4).startswith("sigma_4: S4(x3, x4)")
+        assert "exists y2" in render_part(sigma_star, 4)
+
+    def test_render_part_empty_head(self, sigma_star):
+        # part 1 has no own head atoms: conclusion shown as T
+        assert render_part(sigma_star, 1).endswith("T")
+
+    def test_render_chase_tree(self, intro_nested):
+        forest = chase_nested(parse_instance("S(a,b)"), intro_nested)
+        text = render_chase_tree(forest.trees[0])
+        assert "sigma_1" in text and "sigma_2" in text
+        assert "x1=a" in text and "R(" in text
+
+
+class TestDotRendering:
+    def test_fact_graph_dot(self):
+        dot = fact_graph_dot(parse_instance("R(a,_x), T(_x,b)"))
+        assert dot.startswith("graph fact_graph {")
+        assert dot.count("--") == 1
+        assert dot.strip().endswith("}")
+
+    def test_null_graph_dot(self):
+        dot = null_graph_dot(parse_instance("R(_x,_y), R(_y,_z)"))
+        assert dot.count("--") == 2
+        assert "_x" in dot
+
+    def test_pattern_dot(self):
+        dot = pattern_dot(Pattern(1, (Pattern(2), Pattern(2))))
+        assert dot.startswith("digraph pattern {")
+        assert dot.count("->") == 2
+        assert dot.count("sigma_2") == 2
+
+    def test_chase_forest_dot(self, intro_nested):
+        forest = chase_nested(parse_instance("S(a,b), S(c,d)"), intro_nested)
+        dot = chase_forest_dot(forest)
+        # two trees, each with one child triggering
+        assert dot.count("->") == 2
+        assert dot.count("sigma_1") == 2
+
+    def test_dot_escapes_quotes(self):
+        from repro.viz.dot import _quote
+
+        assert _quote('a"b') == '"a\\"b"'

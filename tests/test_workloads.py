@@ -1,0 +1,91 @@
+"""Tests for workload generators and instance families."""
+
+from repro.logic.schema import Schema
+from repro.workloads import (
+    CYCLE_FAMILY,
+    SUCCESSOR_FAMILY,
+    SUCCESSOR_Q_FAMILY,
+    InstanceFamily,
+    clique_instance,
+    cycle_instance,
+    grid_instance,
+    path_instance,
+    random_instance,
+    singleton,
+    successor_instance,
+)
+
+
+class TestGenerators:
+    def test_successor_shape(self):
+        inst = successor_instance(3)
+        assert len(inst) == 3
+        # functional and injective: a genuine successor relation
+        firsts = [f.args[0] for f in inst]
+        seconds = [f.args[1] for f in inst]
+        assert len(set(firsts)) == 3 and len(set(seconds)) == 3
+
+    def test_successor_with_zero(self):
+        inst = successor_instance(2, zero_relation="Z")
+        assert len(inst.facts_of("Z")) == 1
+
+    def test_cycle_closes(self):
+        inst = cycle_instance(4)
+        assert len(inst) == 4
+        # every element has in-degree and out-degree 1
+        assert len({f.args[0] for f in inst}) == 4
+        assert len({f.args[1] for f in inst}) == 4
+        assert len(inst.constants()) == 4
+
+    def test_cycle_of_length_zero(self):
+        assert len(cycle_instance(0)) == 0
+
+    def test_path_is_successor(self):
+        assert len(path_instance(5)) == 5
+
+    def test_clique_size(self):
+        assert len(clique_instance(3)) == 6  # ordered pairs without loops
+
+    def test_grid_edges(self):
+        inst = grid_instance(2, 3)
+        assert len(inst.facts_of("H")) == 4
+        assert len(inst.facts_of("V")) == 3
+
+    def test_singleton(self):
+        inst = singleton("Q", "q")
+        assert len(inst) == 1
+
+    def test_random_instance_deterministic(self):
+        schema = Schema([("S", 2), ("Q", 1)])
+        left = random_instance(schema, 20, 5, seed=7)
+        right = random_instance(schema, 20, 5, seed=7)
+        assert left == right
+
+    def test_random_instance_seed_matters(self):
+        schema = Schema([("S", 2)])
+        assert random_instance(schema, 20, 5, seed=1) != random_instance(
+            schema, 20, 5, seed=2
+        )
+
+
+class TestFamilies:
+    def test_successor_family(self):
+        inst = SUCCESSOR_FAMILY(4)
+        assert len(inst.facts_of("S")) == 4
+
+    def test_cycle_family_is_odd(self):
+        for n in range(3):
+            assert len(CYCLE_FAMILY(n)) % 2 == 1
+
+    def test_successor_q_family(self):
+        inst = SUCCESSOR_Q_FAMILY(3)
+        assert len(inst.facts_of("Q")) == 1
+        assert len(inst.facts_of("S")) == 3
+
+    def test_family_instances_iterator(self):
+        pairs = list(SUCCESSOR_FAMILY.instances([1, 2]))
+        assert [size for size, __ in pairs] == [1, 2]
+
+    def test_custom_family(self):
+        family = InstanceFamily("cliques", clique_instance)
+        assert len(family(3)) == 6
