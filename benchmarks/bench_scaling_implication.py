@@ -4,12 +4,66 @@ The cost of IMPLIES is driven by the clone bound ``k = v * w + 1`` (which
 fixes how many k-patterns must be checked) and by the chase-plus-homomorphism
 work per pattern.  We scale ``w`` (universal variables on the left-hand side)
 and the nesting of the right-hand side.
+
+The ``test_cache_*`` benchmarks exercise the per-pattern chase cache on the
+Example 3.10 workload (``tau``, ``tau'``, ``tau''``): a cold sweep populates
+the cache, repeated sweeps with the same left-hand side re-chase nothing.
+
+Run as a script to record the cache behaviour in ``BENCH_implication.json``::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_implication.py [--json PATH]
 """
+
+import time
 
 import pytest
 
-from repro.core.implication import implies_tgd
+from repro import perf
+from repro.core.implication import clear_chase_cache, implies_tgd
 from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+
+# Example 3.10: tau, tau', tau''
+EX310_TAU = parse_nested_tgd("S1(x1) -> exists y . (S2(x2) -> R(x2, y))")
+EX310_TAU_P = parse_tgd("S2(x2) -> exists z . R(x2, z)")
+EX310_TAU_PP = parse_tgd("S1(x1) & S2(x2) -> R(x2, x1)")
+
+
+def cache_workload() -> dict:
+    """Run the Example 3.10 IMPLIES checks cold and warm; report timings and
+    the cache counters.  The warm pass repeats the same queries, so every
+    ``chase(I_p, sigma)`` is a cache hit (``implies.cache_hits > 0``)."""
+    queries = [
+        ([EX310_TAU_PP], EX310_TAU, True),
+        ([EX310_TAU_P], EX310_TAU, False),
+    ]
+
+    def sweep() -> int:
+        patterns = 0
+        for lhs, rhs, expected in queries:
+            result = implies_tgd(lhs, rhs)
+            assert result.holds == expected
+            patterns += result.patterns_checked
+        return patterns
+
+    clear_chase_cache()
+    with perf.measuring() as stats:
+        start = time.perf_counter()
+        cold_patterns = sweep()
+        cold_s = time.perf_counter() - start
+        cold_hits = stats.get("implies.cache_hits")
+        start = time.perf_counter()
+        sweep()
+        warm_s = time.perf_counter() - start
+    return {
+        "workload": "example-3.10",
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "patterns_per_sweep": cold_patterns,
+        "cache_hits_cold": cold_hits,
+        "cache_hits_warm": stats.get("implies.cache_hits") - cold_hits,
+        "cache_misses": stats.get("implies.cache_misses"),
+    }
 
 
 def wide_lhs(width: int):
@@ -62,6 +116,29 @@ def test_scale_implies_syntactic_shortcircuit(benchmark, sigma_star):
     assert result.patterns_checked == 0
 
 
+def test_cache_hits_on_ex310_workload(benchmark):
+    """Acceptance: the chase cache reports hits (> 0) on the Example 3.10
+    workload -- the warm sweep re-chases no canonical instance."""
+    row = benchmark(cache_workload)
+    assert row["cache_hits_warm"] > 0
+    assert row["cache_hits_warm"] == row["patterns_per_sweep"]
+    assert row["cache_misses"] <= row["patterns_per_sweep"]
+
+
+def test_parallel_sweep_matches_serial_diagnostics(benchmark):
+    """The parallel sweep returns the same verdict and diagnostics as the
+    serial one on the failing Example 3.10 check."""
+    clear_chase_cache()
+    serial = implies_tgd([EX310_TAU_P], EX310_TAU)
+    clear_chase_cache()
+    parallel = benchmark(implies_tgd, [EX310_TAU_P], EX310_TAU, (), 1_000_000,
+                         parallel=2)
+    assert not parallel.holds
+    assert parallel.patterns_checked == serial.patterns_checked
+    assert parallel.failing_pattern == serial.failing_pattern
+    assert parallel.counterexample_source == serial.counterexample_source
+
+
 def test_scale_implies_nonelementary_wall(sigma_star):
     """Implication between renamed copies of the 4-part sigma (*) has k = 9
     and |P_9| = 10 * 10^10 patterns: the honest non-elementary blow-up of
@@ -80,3 +157,29 @@ def test_scale_implies_nonelementary_wall(sigma_star):
     assert count_k_patterns(renamed, k) == 10 * 10 ** 10
     with _pytest.raises(ResourceLimitExceeded):
         implies_tgd([sigma_star], renamed, (), 200_000)
+
+
+def main(argv=None) -> dict:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH",
+                        default="BENCH_implication.json",
+                        help="where to write the results (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = {"benchmark": "scale-implication-cache",
+              "cache": cache_workload()}
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2)
+    row = report["cache"]
+    print(f"ex3.10 cold {row['cold_s']:.4f}s  warm {row['warm_s']:.4f}s  "
+          f"hits(warm) {row['cache_hits_warm']}  misses {row['cache_misses']}")
+    print(f"wrote {args.json}")
+    assert row["cache_hits_warm"] > 0
+    return report
+
+
+if __name__ == "__main__":
+    main()

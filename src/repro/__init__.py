@@ -61,6 +61,7 @@ from repro.logic import (
     parse_tgd,
 )
 from repro.engine import (
+    InstanceBuilder,
     ChaseForest,
     ChaseTree,
     Triggering,
@@ -98,6 +99,7 @@ from repro.core import (
     equivalent,
     fblock_profile,
     fblock_threshold,
+    clear_chase_cache,
     implies,
     implies_tgd,
     is_equivalent_to_glav,
@@ -121,6 +123,7 @@ __all__ = [
     "parse_so_tgd", "parse_tgd",
     # engine
     "chase", "chase_nested", "chase_egds", "compute_core", "satisfies",
+    "InstanceBuilder",
     "find_homomorphism", "has_homomorphism", "homomorphically_equivalent",
     "fact_blocks", "fact_block_size", "fblock_degree", "null_path_length",
     "ChaseForest", "ChaseTree", "Triggering",
@@ -129,7 +132,7 @@ __all__ = [
     # paper core
     "Pattern", "enumerate_k_patterns", "count_k_patterns", "one_patterns",
     "CanonicalInstances", "canonical_instances", "legal_canonical_instances",
-    "implies", "implies_tgd", "equivalent",
+    "implies", "implies_tgd", "equivalent", "clear_chase_cache",
     "FBlockVerdict", "fblock_threshold", "bounded_anchor_witness",
     "decide_bounded_fblock_size", "is_equivalent_to_glav",
     "FBlockProfile", "fblock_profile", "nested_expressibility_report",

@@ -21,7 +21,7 @@ from repro.core.canonical import (
     canonical_instances,
     legal_canonical_instances,
 )
-from repro.core.implication import equivalent, implies, implies_tgd
+from repro.core.implication import clear_chase_cache, equivalent, implies, implies_tgd
 from repro.core.fblock_analysis import (
     FBlockVerdict,
     bounded_anchor_witness,
@@ -48,6 +48,7 @@ __all__ = [
     "implies",
     "implies_tgd",
     "equivalent",
+    "clear_chase_cache",
     "FBlockVerdict",
     "fblock_threshold",
     "bounded_anchor_witness",

@@ -1,5 +1,7 @@
 """Reasoning engine: matching, homomorphisms, cores, Gaifman graphs, chases.
 
+- :mod:`repro.engine.builder` -- mutable instance construction with
+  incrementally maintained indexes (the substrate of the delta-driven chases);
 - :mod:`repro.engine.matching` -- conjunctive-query matching over instances;
 - :mod:`repro.engine.homomorphism` -- homomorphism search between instances;
 - :mod:`repro.engine.core_instance` -- core computation;
@@ -11,6 +13,7 @@
 - :mod:`repro.engine.model_check` -- ``(I, J) |= sigma`` for every formalism.
 """
 
+from repro.engine.builder import InstanceBuilder
 from repro.engine.matching import find_matches
 from repro.engine.homomorphism import (
     find_homomorphism,
@@ -32,6 +35,7 @@ from repro.engine.egd_chase import chase_egds
 from repro.engine.model_check import satisfies
 
 __all__ = [
+    "InstanceBuilder",
     "find_matches",
     "find_homomorphism",
     "has_homomorphism",

@@ -13,18 +13,26 @@ the term algebra: a term evaluates to the corresponding ground Skolem term,
 and an equality ``t = t'`` holds iff the two ground terms are identical.
 This is the canonical-universal-solution chase of Fagin et al. (reference [8]
 of the paper).
+
+All engines accumulate their output through a single
+:class:`~repro.engine.builder.InstanceBuilder`, so indexes are maintained
+incrementally as facts are emitted and the final instance is frozen without
+re-indexing -- ``chase`` with many dependencies no longer pays one full
+re-index per dependency (the old ``Instance.union`` accumulation).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro import perf
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.sotgd import SOTgd
 from repro.logic.terms import substitute_term
 from repro.logic.tgds import STTgd
+from repro.engine.builder import InstanceBuilder
 from repro.engine.matching import find_matches
 
 
@@ -32,6 +40,19 @@ def _evaluate_term(term, assignment: dict):
     """Evaluate a term under *assignment*; function symbols build ground terms."""
     value = substitute_term(term, assignment)
     return value
+
+
+def _chase_st_tgds_into(
+    builder: InstanceBuilder, instance: Instance, tgds: Sequence[STTgd]
+) -> None:
+    for index, tgd in enumerate(tgds):
+        head = tgd.skolem_head(
+            function_namer=lambda var, index=index: f"t{index}_{var.name}"
+        )
+        for assignment in find_matches(tgd.body, instance):
+            perf.incr("chase.triggers")
+            for atom in head:
+                builder.add(atom.substitute(assignment))
 
 
 def chase_st_tgds(instance: Instance, tgds: Sequence[STTgd]) -> Instance:
@@ -43,25 +64,15 @@ def chase_st_tgds(instance: Instance, tgds: Sequence[STTgd]) -> Instance:
         >>> len(J)
         1
     """
-    facts: set[Atom] = set()
-    for index, tgd in enumerate(tgds):
-        head = tgd.skolem_head(
-            function_namer=lambda var, index=index: f"t{index}_{var.name}"
-        )
-        for assignment in find_matches(tgd.body, instance):
-            for atom in head:
-                facts.add(atom.substitute(assignment))
-    return Instance(facts)
+    builder = InstanceBuilder()
+    _chase_st_tgds_into(builder, instance, tgds)
+    perf.incr("chase.facts", len(builder))
+    return builder.freeze()
 
 
-def chase_so_tgd(instance: Instance, so_tgd: SOTgd) -> Instance:
-    """Chase *instance* with an SO tgd; return the canonical universal solution.
-
-    Equalities between terms are evaluated over the term algebra (two ground
-    Skolem terms are equal iff identical); this matches the chase of [8] that
-    produces canonical universal solutions for SO tgds.
-    """
-    facts: set[Atom] = set()
+def _chase_so_tgd_into(
+    builder: InstanceBuilder, instance: Instance, so_tgd: SOTgd
+) -> None:
     for clause in so_tgd.clauses:
         for assignment in find_matches(clause.body, instance):
             satisfied = True
@@ -71,10 +82,23 @@ def chase_so_tgd(instance: Instance, so_tgd: SOTgd) -> Instance:
                     break
             if not satisfied:
                 continue
+            perf.incr("chase.triggers")
             for atom in clause.head:
                 args = tuple(_evaluate_term(t, assignment) for t in atom.args)
-                facts.add(Atom(atom.relation, args))
-    return Instance(facts)
+                builder.add(Atom(atom.relation, args))
+
+
+def chase_so_tgd(instance: Instance, so_tgd: SOTgd) -> Instance:
+    """Chase *instance* with an SO tgd; return the canonical universal solution.
+
+    Equalities between terms are evaluated over the term algebra (two ground
+    Skolem terms are equal iff identical); this matches the chase of [8] that
+    produces canonical universal solutions for SO tgds.
+    """
+    builder = InstanceBuilder()
+    _chase_so_tgd_into(builder, instance, so_tgd)
+    perf.incr("chase.facts", len(builder))
+    return builder.freeze()
 
 
 def chase(instance: Instance, dependencies) -> Instance:
@@ -93,22 +117,24 @@ def chase(instance: Instance, dependencies) -> Instance:
     if isinstance(dependencies, (STTgd, NestedTgd, SOTgd)):
         dependencies = [dependencies]
 
-    result = Instance()
+    builder = InstanceBuilder()
     st_batch: list[STTgd] = []
     for index, dep in enumerate(dependencies):
         if isinstance(dep, STTgd):
             st_batch.append(dep)
         elif isinstance(dep, NestedTgd):
             forest = chase_nested(instance, dep, function_prefix=f"d{index}_")
-            result = result.union(forest.instance)
+            for tree in forest.trees:
+                builder.add_all(tree.facts())
         elif isinstance(dep, SOTgd):
             renamed = _rename_functions_apart(dep, f"d{index}_")
-            result = result.union(chase_so_tgd(instance, renamed))
+            _chase_so_tgd_into(builder, instance, renamed)
         else:
             raise ChaseError(f"cannot chase with dependency {dep!r}")
     if st_batch:
-        result = result.union(chase_st_tgds(instance, st_batch))
-    return result
+        _chase_st_tgds_into(builder, instance, st_batch)
+    perf.incr("chase.facts", len(builder))
+    return builder.freeze()
 
 
 def _rename_functions_apart(so_tgd: SOTgd, prefix: str) -> SOTgd:

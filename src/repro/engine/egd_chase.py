@@ -1,4 +1,4 @@
-"""Egd chase on source instances.
+"""Egd chase on source instances, as a semi-naive (delta-driven) fixpoint.
 
 Section 5 of the paper allows equality-generating dependencies over the
 source schema.  The *legal canonical instances* of Definition 5.4 are built
@@ -11,24 +11,40 @@ merging two constants is the intended behaviour there
 (``allow_constant_merge=True``).  On ordinary instances with rigid constants,
 the standard chase semantics raises :class:`EgdViolation` instead.
 Merging is implemented with a union-find over the active domain.
+
+The fixpoint is *semi-naive*: round 0 matches every egd body against the
+whole instance, but every later round only looks for matches involving at
+least one fact of the previous round's **delta** -- the facts newly produced
+by rewriting merged values.  Any match that uses no delta fact consists
+entirely of facts that already existed (with the same values) in the
+previous round and was therefore already processed; restricting to the delta
+loses nothing and turns the per-round matching cost from O(instance) into
+O(delta).  Rewriting is equally incremental: only the facts actually
+containing a merged value (found via the builder's per-value index) are
+removed and re-added.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import perf
 from repro.errors import EgdViolation
+from repro.logic.atoms import Atom
 from repro.logic.egds import Egd
 from repro.logic.instances import Instance
 from repro.logic.values import is_null
-from repro.engine.matching import find_matches
+from repro.engine.builder import InstanceBuilder
+from repro.engine.matching import _match_atom, find_matches
 
 
 class UnionFind:
     """Union-find over instance values with deterministic representatives.
 
     Representatives are chosen so that constants win over nulls and the
-    repr-smallest value wins among equals, making chase results reproducible.
+    repr-smallest value wins among equals, making chase results reproducible
+    regardless of merge order (the representative of a class is always its
+    most-preferred member).
     """
 
     def __init__(self):
@@ -42,12 +58,14 @@ class UnionFind:
         self._parent[value] = root
         return root
 
-    def union(self, left, right) -> None:
+    def union(self, left, right) -> bool:
+        """Merge the classes of *left* and *right*; return True if they were distinct."""
         left_root, right_root = self.find(left), self.find(right)
         if left_root == right_root:
-            return
+            return False
         winner, loser = self._pick(left_root, right_root)
         self._parent[loser] = winner
+        return True
 
     @staticmethod
     def _pick(left, right):
@@ -64,13 +82,47 @@ class UnionFind:
         return {value: self.find(value) for value in domain}
 
 
+def _delta_matches(
+    body: tuple[Atom, ...], builder: InstanceBuilder, delta: Sequence[Atom]
+) -> list[dict]:
+    """All matches of *body* in *builder* that use at least one fact of *delta*.
+
+    For each body atom in turn, unify it against each delta fact and complete
+    the remaining atoms against the full instance.  A match using several
+    delta facts is found once per usable (atom, fact) seed, so assignments
+    are deduplicated.
+    """
+    delta_by_relation: dict[str, list[Atom]] = {}
+    for fact in delta:
+        delta_by_relation.setdefault(fact.relation, []).append(fact)
+    seen: set[frozenset] = set()
+    matches: list[dict] = []
+    for index, atom in enumerate(body):
+        candidates = delta_by_relation.get(atom.relation)
+        if not candidates:
+            continue
+        rest = body[:index] + body[index + 1:]
+        for fact in candidates:
+            if atom.arity != fact.arity:
+                continue
+            bindings = _match_atom(atom, fact, {})
+            if bindings is None:
+                continue
+            for assignment in find_matches(rest, builder, partial=bindings):
+                key = frozenset(assignment.items())
+                if key not in seen:
+                    seen.add(key)
+                    matches.append(assignment)
+    return matches
+
+
 def chase_egds(
     instance: Instance,
     egds: Sequence[Egd],
     *,
     allow_constant_merge: bool = False,
 ) -> tuple[Instance, dict]:
-    """Chase *instance* with *egds* to a fixpoint.
+    """Chase *instance* with *egds* to a fixpoint, semi-naively.
 
     Returns ``(chased_instance, equalities)`` where *equalities* maps each
     value of the original active domain to its representative.  Raises
@@ -85,25 +137,52 @@ def chase_egds(
         1
     """
     union_find = UnionFind()
-    current = instance
+    builder = InstanceBuilder(instance)
+    bodies = [(egd, tuple(egd.body)) for egd in egds]
+    delta: list[Atom] | None = None  # None: first round matches everything
     changed = True
     while changed:
         changed = False
-        for egd in egds:
-            for assignment in find_matches(egd.body, current):
+        perf.incr("chase.rounds")
+        merged_roots: set = set()
+        for egd, body in bodies:
+            if delta is None:
+                assignments = find_matches(body, builder)
+            else:
+                assignments = _delta_matches(body, builder, delta)
+            for assignment in assignments:
                 left = assignment[egd.left]
                 right = assignment[egd.right]
                 if left == right:
                     continue
                 if not allow_constant_merge and not is_null(left) and not is_null(right):
                     raise EgdViolation(left, right)
-                union_find.union(left, right)
-                changed = True
+                if union_find.union(left, right):
+                    changed = True
+                    merged_roots.add(left)
+                    merged_roots.add(right)
         if changed:
-            mapping = union_find.as_mapping(current.active_domain())
-            current = current.map_values(mapping)
+            # Incremental rewrite: only values whose representative moved this
+            # round can occur in the instance (facts always hold round-start
+            # representatives), and only their facts need rewriting.
+            mapping = {
+                value: root
+                for value in merged_roots
+                if (root := union_find.find(value)) != value
+            }
+            affected: set[Atom] = set()
+            for value in mapping:
+                affected |= builder.facts_containing(value)
+            for fact in affected:
+                builder.discard(fact)
+            delta = []
+            for fact in affected:
+                renamed = fact.rename_values(mapping)
+                if builder.add(renamed):
+                    delta.append(renamed)
+            perf.incr("chase.delta_facts", len(delta))
     equalities = union_find.as_mapping(instance.active_domain())
-    return current, equalities
+    return builder.freeze(), equalities
 
 
 def satisfies_egds(instance: Instance, egds: Sequence[Egd]) -> bool:

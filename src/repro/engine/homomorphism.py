@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro import perf
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.values import is_null
@@ -76,24 +77,31 @@ def _block_homomorphism(
     fixed_nulls = {n for n in fixed if is_null(n)}
     ordered = _order_block(facts, fixed_nulls)
     mapping: dict = dict(fixed)
+    backtracks = 0
 
     def search(index: int) -> dict | None:
+        nonlocal backtracks
         if index == len(ordered):
             return dict(mapping)
         query = ordered[index]
         for candidate in _candidates(query, target, mapping):
             new_bindings = _match_fact(query, candidate, mapping)
             if new_bindings is None:
+                backtracks += 1
                 continue
             mapping.update(new_bindings)
             result = search(index + 1)
             if result is not None:
                 return result
+            backtracks += 1
             for null in new_bindings:
                 del mapping[null]
         return None
 
-    return search(0)
+    result = search(0)
+    if backtracks:
+        perf.incr("hom.backtracks", backtracks)
+    return result
 
 
 def find_homomorphism(

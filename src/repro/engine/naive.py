@@ -1,28 +1,37 @@
-"""Naive reference implementations of matching and homomorphism search.
+"""Naive reference implementations of matching, homomorphisms, and chases.
 
 These are deliberately simple, obviously-correct versions of the engine's
-two performance-critical primitives:
+performance-critical procedures:
 
 - :func:`find_matches_naive` -- CQ matching without atom reordering and
   without the per-position index (scans every fact of each relation);
 - :func:`find_homomorphism_naive` -- homomorphism search without f-block
   decomposition and without candidate seeding (backtracking over the raw
-  fact list).
+  fact list);
+- :func:`standard_chase_naive` -- the standard chase growing its target with
+  one immutable ``Instance.union`` per fired trigger (full re-indexing each
+  time: quadratic index maintenance);
+- :func:`chase_egds_naive` -- the egd chase re-running full CQ matching over
+  the whole instance on every fixpoint round (no delta restriction).
 
+The two chase baselines are verbatim the pre-delta-engine implementations.
 They serve two purposes: as *oracles* for differential property tests
-(``tests/test_differential.py`` checks that the optimized engine agrees with
-them on random inputs), and as the baselines of the ablation benchmark
-``benchmarks/bench_ablation_engine.py`` that quantifies what the indexes and
-the block decomposition buy.
+(``tests/test_differential.py`` and ``tests/test_delta_engine.py`` check
+that the optimized engine agrees with them on random inputs), and as the
+baselines of the ablation/scaling benchmarks
+(``benchmarks/bench_ablation_engine.py``, ``benchmarks/bench_scaling_chase.py``)
+that quantify what the indexes, the block decomposition, and the
+delta-driven fixpoints buy.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence
 
+from repro.errors import EgdViolation
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
-from repro.logic.values import Variable, is_null
+from repro.logic.values import Null, Variable, is_null
 
 
 def find_matches_naive(
@@ -103,4 +112,72 @@ def find_homomorphism_naive(
     return search(0)
 
 
-__all__ = ["find_matches_naive", "find_homomorphism_naive"]
+def standard_chase_naive(source: Instance, tgds: Sequence, max_rounds: int = 100) -> Instance:
+    """The standard chase with immutable-union target growth (seed baseline).
+
+    Semantically identical to :func:`repro.engine.standard_chase.standard_chase`
+    (same trigger order, same null names), but every fired trigger rebuilds
+    the target instance's indexes from scratch via ``Instance.union``.
+    """
+    from repro.engine.matching import find_matches
+    from repro.engine.standard_chase import _conclusion_satisfied
+
+    target = Instance()
+    counter = [0]
+    for tgd in tgds:
+        for assignment in find_matches(tgd.body, source):
+            if _conclusion_satisfied(tgd.head, assignment, target):
+                continue
+            instantiation = dict(assignment)
+            for var in tgd.existential_variables:
+                counter[0] += 1
+                instantiation[var] = Null(f"v{counter[0]}")
+            target = target.union(
+                atom.substitute(instantiation) for atom in tgd.head
+            )
+    return target
+
+
+def chase_egds_naive(
+    instance: Instance,
+    egds: Sequence,
+    *,
+    allow_constant_merge: bool = False,
+) -> tuple[Instance, dict]:
+    """The egd chase with full re-matching every round (seed baseline).
+
+    Semantically identical to :func:`repro.engine.egd_chase.chase_egds`, but
+    each fixpoint round re-runs CQ matching over the whole instance instead
+    of only against the facts rewritten in the previous round.
+    """
+    from repro.engine.egd_chase import UnionFind
+    from repro.engine.matching import find_matches
+
+    union_find = UnionFind()
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        for egd in egds:
+            for assignment in find_matches(egd.body, current):
+                left = assignment[egd.left]
+                right = assignment[egd.right]
+                if left == right:
+                    continue
+                if not allow_constant_merge and not is_null(left) and not is_null(right):
+                    raise EgdViolation(left, right)
+                union_find.union(left, right)
+                changed = True
+        if changed:
+            mapping = union_find.as_mapping(current.active_domain())
+            current = current.map_values(mapping)
+    equalities = union_find.as_mapping(instance.active_domain())
+    return current, equalities
+
+
+__all__ = [
+    "find_matches_naive",
+    "find_homomorphism_naive",
+    "standard_chase_naive",
+    "chase_egds_naive",
+]

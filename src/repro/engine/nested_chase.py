@@ -19,10 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import perf
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.nested import NestedTgd
 from repro.logic.terms import rename_term_functions
+from repro.engine.builder import InstanceBuilder
 from repro.engine.matching import find_matches
 
 
@@ -93,10 +95,10 @@ class ChaseForest:
     @property
     def instance(self) -> Instance:
         """The chased target instance (union of all trees' facts)."""
-        facts: set[Atom] = set()
+        builder = InstanceBuilder()
         for tree in self.trees:
-            facts.update(tree.facts())
-        return Instance(facts)
+            builder.add_all(tree.facts())
+        return builder.freeze()
 
     def patterns(self) -> list["Pattern"]:
         """The patterns of all chase trees."""
@@ -125,6 +127,13 @@ def chase_nested(
     with several nested tgds produces disjoint nulls (triggerings in distinct
     chase trees -- and a fortiori distinct tgds -- share no nulls).
 
+    The body matches of a child part depend only on the inherited bindings of
+    the variables actually occurring in that body, so they are memoized per
+    (part, relevant bindings): sibling subtrees triggered under identical
+    relevant bindings share one CQ-matching run instead of re-scanning the
+    source per parent triggering (the source never changes during the chase,
+    which is what makes the sharing sound).
+
         >>> from repro.logic.parser import parse_instance, parse_nested_tgd
         >>> s = parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
         >>> forest = chase_nested(parse_instance("S(a,b)"), s)
@@ -132,6 +141,7 @@ def chase_nested(
         1
     """
     skolemized_heads: dict[int, tuple[Atom, ...]] = {}
+    body_vars: dict[int, frozenset] = {}
     for pid in tgd.part_ids():
         head = tgd.skolemized_head(pid)
         if function_prefix:
@@ -144,16 +154,41 @@ def chase_nested(
                 for a in head
             )
         skolemized_heads[pid] = head
+        body_vars[pid] = frozenset(
+            var for atom in tgd.part(pid).body for var in atom.variable_set()
+        )
+
+    match_memo: dict[tuple, list[dict]] = {}
+
+    def child_matches(child_pid: int, assignment: dict) -> list[dict]:
+        """Matches of the child part's body under *assignment*, shared via memo."""
+        relevant = tuple(
+            (var, assignment[var]) for var in body_vars[child_pid] if var in assignment
+        )
+        key = (child_pid, frozenset(relevant))
+        cached = match_memo.get(key)
+        if cached is None:
+            cached = list(
+                find_matches(tgd.part(child_pid).body, source, partial=dict(relevant))
+            )
+            match_memo[key] = cached
+        else:
+            perf.incr("match.memo_hits")
+        return cached
 
     def trigger(pid: int, assignment: dict, parent: Triggering | None) -> Triggering:
+        perf.incr("chase.triggers")
         facts = tuple(atom.substitute(assignment) for atom in skolemized_heads[pid])
         triggering = Triggering(
             part_id=pid, assignment=dict(assignment), parent=parent, facts=facts
         )
         for child_pid in tgd.children_of(pid):
-            child_body = tgd.part(child_pid).body
-            for child_assignment in find_matches(child_body, source, partial=assignment):
-                triggering.children.append(trigger(child_pid, child_assignment, triggering))
+            for match in child_matches(child_pid, assignment):
+                child_assignment = dict(assignment)
+                child_assignment.update(match)
+                triggering.children.append(
+                    trigger(child_pid, child_assignment, triggering)
+                )
         return triggering
 
     trees: list[ChaseTree] = []

@@ -20,17 +20,19 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import perf
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.tgds import STTgd
 from repro.logic.values import Null, Variable
+from repro.engine.builder import InstanceBuilder
 from repro.engine.core_instance import core
 from repro.engine.homomorphism import _block_homomorphism
 from repro.engine.matching import find_matches
 
 
 def _conclusion_satisfied(
-    head: tuple[Atom, ...], assignment: dict, target: Instance
+    head: tuple[Atom, ...], assignment: dict, target
 ) -> bool:
     """Can the instantiated head embed into *target* (existentials as unknowns)?"""
     existential_nulls: dict[Variable, Null] = {}
@@ -59,26 +61,32 @@ def standard_chase(
     trigger order affects which nulls are created; the implementation is
     deterministic given the instance.
 
+    The target grows through an :class:`InstanceBuilder`, so each fired
+    trigger updates the lookup indexes incrementally instead of re-indexing
+    the whole target (``Instance.union`` per trigger -- the quadratic seed
+    behaviour preserved as :func:`repro.engine.naive.standard_chase_naive`).
+
         >>> from repro.logic.parser import parse_instance, parse_tgd
         >>> I = parse_instance("S(a,b), S(a,c)")
         >>> weak = parse_tgd("S(x,y) -> R(x,z)")
         >>> len(standard_chase(I, [weak]))   # one R(a,*) fact satisfies both
         1
     """
-    target = Instance()
+    target = InstanceBuilder()
     counter = [0]
-    for index, tgd in enumerate(tgds):
+    for tgd in tgds:
         for assignment in find_matches(tgd.body, source):
             if _conclusion_satisfied(tgd.head, assignment, target):
                 continue
+            perf.incr("chase.triggers")
             instantiation = dict(assignment)
             for var in tgd.existential_variables:
                 counter[0] += 1
                 instantiation[var] = Null(f"v{counter[0]}")
-            target = target.union(
+            target.add_all(
                 atom.substitute(instantiation) for atom in tgd.head
             )
-    return target
+    return target.freeze()
 
 
 def core_chase(source: Instance, tgds: Sequence[STTgd]) -> Instance:

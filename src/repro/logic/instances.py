@@ -9,17 +9,26 @@ engine:
 - a per-(relation, position, value) index (``facts_with``), used to seed
   backtracking joins.
 
+Both indexes store (and return) *tuples*: callers receive the index entries
+themselves, and immutability guarantees they cannot corrupt them.
+
 Instances are immutable: all "modifying" operations return new instances.
+The mutable companion used by the chase engines to grow instances
+incrementally is :class:`repro.engine.builder.InstanceBuilder`; it maintains
+the same indexes under insertion and freezes into an :class:`Instance`
+without re-indexing.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.logic.atoms import Atom
 from repro.logic.schema import Schema, infer_schema
 from repro.logic.values import Constant, is_null
+
+_EMPTY: tuple = ()
 
 
 class Instance:
@@ -41,11 +50,34 @@ class Instance:
                     constants.add(value)
                 else:
                     nulls.add(value)
-        self._by_relation = dict(by_relation)
-        self._by_position = dict(by_position)
+        self._by_relation = {rel: tuple(fs) for rel, fs in by_relation.items()}
+        self._by_position = {key: tuple(fs) for key, fs in by_position.items()}
         self._nulls = frozenset(nulls)
         self._constants = frozenset(constants)
         self._hash: int | None = None
+
+    @classmethod
+    def _from_indexes(
+        cls,
+        facts: frozenset[Atom],
+        by_relation: dict[str, tuple[Atom, ...]],
+        by_position: dict[tuple, tuple[Atom, ...]],
+        nulls: frozenset,
+        constants: frozenset,
+    ) -> "Instance":
+        """Adopt pre-built indexes without re-indexing (InstanceBuilder.freeze).
+
+        The caller is responsible for consistency; the indexes are adopted,
+        not copied.
+        """
+        instance = cls.__new__(cls)
+        instance._facts = facts
+        instance._by_relation = by_relation
+        instance._by_position = by_position
+        instance._nulls = nulls
+        instance._constants = constants
+        instance._hash = None
+        return instance
 
     # ------------------------------------------------------------------ basics
 
@@ -90,13 +122,13 @@ class Instance:
         """Return the names of relations with at least one fact."""
         return frozenset(self._by_relation)
 
-    def facts_of(self, relation: str) -> list[Atom]:
-        """Return the facts of *relation* (empty list if none)."""
-        return self._by_relation.get(relation, [])
+    def facts_of(self, relation: str) -> tuple[Atom, ...]:
+        """Return the facts of *relation* (empty tuple if none)."""
+        return self._by_relation.get(relation, _EMPTY)
 
-    def facts_with(self, relation: str, position: int, value) -> list[Atom]:
+    def facts_with(self, relation: str, position: int, value) -> tuple[Atom, ...]:
         """Return the facts of *relation* whose argument at *position* is *value*."""
-        return self._by_position.get((relation, position, value), [])
+        return self._by_position.get((relation, position, value), _EMPTY)
 
     def active_domain(self) -> frozenset:
         """Return all values occurring in some fact."""
@@ -149,6 +181,17 @@ class Instance:
 
     # -------------------------------------------------------------- comparisons
 
+    def _degree_profiles(self) -> dict:
+        """Map each value to its occurrence profile: a multiset of (relation, position).
+
+        Any isomorphism preserves profiles, so they both prune obviously
+        non-isomorphic pairs early and restrict bijection candidates.
+        """
+        profiles: dict[object, Counter] = defaultdict(Counter)
+        for (relation, pos, value), facts in self._by_position.items():
+            profiles[value][(relation, pos)] += len(facts)
+        return {value: frozenset(c.items()) for value, c in profiles.items()}
+
     def isomorphic(self, other: "Instance", *, rename_constants: bool = False) -> bool:
         """Decide whether this instance is isomorphic to *other*.
 
@@ -167,6 +210,24 @@ class Instance:
         if not rename_constants and self._constants != other._constants:
             return False
 
+        # Degree-profile pruning: a bijection maps each value to a value with
+        # the same (relation, position) occurrence profile, so mismatched
+        # profile multisets reject without any search, and candidate lists
+        # shrink to profile-equal values.
+        self_profiles = self._degree_profiles()
+        other_profiles = other._degree_profiles()
+        if Counter(self_profiles[v] for v in self._nulls) != Counter(
+            other_profiles[v] for v in other._nulls
+        ):
+            return False
+        if rename_constants:
+            if Counter(self_profiles[v] for v in self._constants) != Counter(
+                other_profiles[v] for v in other._constants
+            ):
+                return False
+        elif any(self_profiles[c] != other_profiles[c] for c in self._constants):
+            return False
+
         self_vals = sorted(self.active_domain(), key=repr)
         if not rename_constants:
             self_vals = [v for v in self_vals if is_null(v)]
@@ -175,10 +236,11 @@ class Instance:
         other_consts = sorted(other.constants(), key=repr)
 
         def candidates(value) -> list:
+            profile = self_profiles[value]
             if is_null(value):
-                return other_nulls
+                return [v for v in other_nulls if other_profiles[v] == profile]
             if rename_constants:
-                return other_consts
+                return [v for v in other_consts if other_profiles[v] == profile]
             return [value]
 
         other_facts = other.facts

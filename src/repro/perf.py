@@ -1,0 +1,116 @@
+"""Lightweight engine statistics: counters populated by the hot paths.
+
+The chase engines, the homomorphism search, and the IMPLIES procedure record
+what they do -- fixpoint rounds, delta sizes, triggers fired, cache hits,
+backtracks -- into a process-global :class:`PerfStats` object.  The counters
+make performance claims *measurable*: ``benchmarks/report.py`` prints them
+after each workload, the scaling benchmarks record them in ``BENCH_*.json``
+artifacts, and tests can assert on them (e.g. "the second sweep hits the
+chase cache").
+
+Counter names are dotted strings, grouped by subsystem:
+
+========================  =====================================================
+``chase.rounds``          fixpoint rounds run by the egd chase
+``chase.delta_facts``     facts in the deltas matched by semi-naive rounds
+``chase.triggers``        triggers fired (standard chase) / triggerings
+                          created (nested chase)
+``chase.facts``           facts emitted by the oblivious chase engines
+``match.memo_hits``       nested-chase child-match memoization hits
+``hom.backtracks``        candidate facts rejected during homomorphism search
+``implies.patterns``      k-patterns checked by ``implies_tgd``
+``implies.cache_hits``    chase-cache hits inside ``implies_tgd``
+``implies.cache_misses``  chase-cache misses inside ``implies_tgd``
+``implies.parallel_chunks``  pattern chunks dispatched to the worker pool
+========================  =====================================================
+
+The overhead is one dict update per recorded event; events are recorded at
+round/trigger granularity (never per candidate inside the innermost loops --
+those are accumulated locally and flushed once).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PerfStats:
+    """A named bag of monotonically increasing counters."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of the current counter values."""
+        return dict(self.counters)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def merge(self, other: "PerfStats | dict[str, int]") -> None:
+        """Add another stats object's counters into this one (used to fold
+        worker-process counters back into the parent after a parallel sweep)."""
+        items = other.counters if isinstance(other, PerfStats) else other
+        self.counters.update(items)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"PerfStats({inner})"
+
+
+#: The process-global stats object every engine records into.
+STATS = PerfStats()
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Record *amount* events named *name* on the global stats object."""
+    STATS.counters[name] += amount
+
+
+def get(name: str) -> int:
+    """Return the current value of counter *name* (0 if never recorded)."""
+    return STATS.get(name)
+
+
+def snapshot() -> dict[str, int]:
+    """Return a copy of all global counters."""
+    return STATS.snapshot()
+
+
+def reset() -> None:
+    """Zero all global counters."""
+    STATS.reset()
+
+
+@contextmanager
+def measuring() -> Iterator[PerfStats]:
+    """Run a block against fresh counters; restore (and keep) the old ones after.
+
+        >>> from repro import perf
+        >>> with perf.measuring() as stats:
+        ...     perf.incr("chase.rounds")
+        >>> stats.get("chase.rounds")
+        1
+    """
+    global STATS
+    saved = STATS
+    STATS = PerfStats()
+    try:
+        yield STATS
+    finally:
+        fresh = STATS
+        STATS = saved
+        STATS.merge(fresh)
+
+
+__all__ = ["PerfStats", "STATS", "incr", "get", "snapshot", "reset", "measuring"]

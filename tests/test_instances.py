@@ -38,13 +38,13 @@ class TestIndexes:
     def test_facts_of_relation(self):
         inst = parse_instance("S(a,b), S(b,c), Q(a)")
         assert len(inst.facts_of("S")) == 2
-        assert inst.facts_of("Missing") == []
+        assert inst.facts_of("Missing") == ()
 
     def test_facts_with_position_value(self):
         inst = parse_instance("S(a,b), S(a,c), S(b,c)")
         assert len(inst.facts_with("S", 0, A)) == 2
         assert len(inst.facts_with("S", 1, C)) == 2
-        assert inst.facts_with("S", 0, C) == []
+        assert inst.facts_with("S", 0, C) == ()
 
     def test_relations(self):
         assert parse_instance("S(a,b), Q(a)").relations() == {"S", "Q"}
