@@ -64,6 +64,7 @@ from repro.engine import (
     InstanceBuilder,
     ChaseForest,
     ChaseTree,
+    FixpointChaseResult,
     Triggering,
     chase,
     chase_egds,
@@ -72,10 +73,20 @@ from repro.engine import (
     fact_blocks,
     fblock_degree,
     find_homomorphism,
+    fixpoint_chase,
     has_homomorphism,
     homomorphically_equivalent,
     null_path_length,
     satisfies,
+)
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    LINT_CATALOG,
+    TerminationReport,
+    analyze,
+    subsumes,
+    termination_report,
 )
 # The paper-core subpackage is ``repro.core``; the core-of-an-instance
 # function therefore lives at the top level under the name ``compute_core``
@@ -127,6 +138,10 @@ __all__ = [
     "find_homomorphism", "has_homomorphism", "homomorphically_equivalent",
     "fact_blocks", "fact_block_size", "fblock_degree", "null_path_length",
     "ChaseForest", "ChaseTree", "Triggering",
+    "FixpointChaseResult", "fixpoint_chase",
+    # static analysis
+    "AnalysisReport", "Finding", "LINT_CATALOG", "TerminationReport",
+    "analyze", "subsumes", "termination_report",
     # mappings
     "SchemaMapping",
     # paper core

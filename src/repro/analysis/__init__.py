@@ -1,10 +1,19 @@
-"""Structural-property verifiers for schema mappings.
+"""Analysis of schema mappings: structural properties and static checks.
 
 Section 2 and 4.1 of the paper rest on two structural properties that nested
 GLAV mappings (and plain SO tgds) enjoy: *admitting universal solutions* and
 *closure under target homomorphisms*.  This subpackage provides executable
 verifiers for them -- exhaustive where feasible, sampling-based otherwise --
 used both as test oracles and as analysis tools for user-supplied mappings.
+
+It also hosts the *static analyzer* over dependency programs:
+
+- :mod:`repro.analysis.termination` -- position graphs, the weak-acyclicity
+  test, and chase depth bounds;
+- :mod:`repro.analysis.subsumption` -- sound syntactic subsumption between
+  dependencies (the IMPLIES pre-pass);
+- :mod:`repro.analysis.static` -- the lint driver producing structured
+  :class:`~repro.analysis.static.AnalysisReport` objects (``repro lint``).
 """
 
 from repro.analysis.properties import (
@@ -19,6 +28,23 @@ from repro.analysis.characterization import (
     check_n_modular,
     glav_modularity_bound,
 )
+from repro.analysis.termination import (
+    TerminationReport,
+    clear_termination_cache,
+    position_graph,
+    termination_report,
+)
+from repro.analysis.subsumption import (
+    alpha_equivalent,
+    subsumes,
+    trivially_implied,
+)
+from repro.analysis.static import (
+    AnalysisReport,
+    Finding,
+    LINT_CATALOG,
+    analyze,
+)
 
 __all__ = [
     "check_admits_universal_solutions",
@@ -29,4 +55,15 @@ __all__ = [
     "check_n_modular",
     "ModularityReport",
     "glav_modularity_bound",
+    "TerminationReport",
+    "clear_termination_cache",
+    "position_graph",
+    "termination_report",
+    "alpha_equivalent",
+    "subsumes",
+    "trivially_implied",
+    "AnalysisReport",
+    "Finding",
+    "LINT_CATALOG",
+    "analyze",
 ]

@@ -1,0 +1,537 @@
+"""Static analysis of dependency programs: termination verdicts and lints.
+
+:func:`analyze` takes a set of dependencies (s-t tgds, nested tgds, SO tgds,
+egds) and produces an :class:`AnalysisReport` of :class:`Finding` records
+with stable codes, severities, locations, and fix hints -- JSON-serializable
+for tooling (``repro lint --json``, the CI self-check artifact) and
+renderable as text (``repro lint``).
+
+Pass 1 -- **termination** (:mod:`repro.analysis.termination`): the position
+graph with special edges decides weak acyclicity and bounds the chase depth;
+a non-weakly-acyclic program is reported as the error ``TD001`` with a
+witness cycle.
+
+Pass 2 -- **structural lints** over the parts of each (nested) tgd, the
+clauses of each SO tgd, and each egd:
+
+=======  ========  ====================================================
+code     severity  meaning
+=======  ========  ====================================================
+NT001    info      universal variable used exactly once (pure guard)
+NT002    warning   declared existential variable never used in any head
+NT003    warning   part body is disconnected (cartesian product)
+NT004    warning   duplicate atom in a body or head
+NT005    warning   body atom subsumed by another one (pattern-redundant)
+NT006    warning   part with no head atoms and no children
+NT007    warning   child part whose body only repeats ancestor atoms
+NT008    warning   constant inside a head term (dependencies are
+                   constant-free in the paper)
+NT009    info      dependency subsumed by another one in the set
+NT010    info      existential variable used only in descendant parts
+TD001    error     dependency set is not weakly acyclic
+EG001    info      egd equates a variable with itself (trivial)
+EG002    warning   egd body is disconnected
+=======  ========  ====================================================
+
+    >>> from repro.logic.parser import parse_tgd
+    >>> report = analyze([parse_tgd("S(x,y) -> R(y,y)")])
+    >>> [f.code for f in report.findings]
+    ['NT001']
+    >>> report.ok
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd
+from repro.logic.nested import NestedTgd
+from repro.logic.sotgd import SOTgd
+from repro.logic.terms import FuncTerm, term_variables
+from repro.logic.tgds import STTgd
+from repro.logic.values import Constant, Variable
+from repro.analysis.subsumption import subsumes
+from repro.analysis.termination import TerminationReport, format_position, termination_report
+
+#: severity -> sort weight (errors first in reports).
+_SEVERITIES = {"error": 0, "warning": 1, "info": 2}
+
+#: The stable lint catalog: code -> (severity, one-line description).
+LINT_CATALOG: dict[str, tuple[str, str]] = {
+    "NT001": ("info", "universal variable used exactly once (pure guard)"),
+    "NT002": ("warning", "declared existential variable never used in any head"),
+    "NT003": ("warning", "part body is disconnected (cartesian product)"),
+    "NT004": ("warning", "duplicate atom in a body or head"),
+    "NT005": ("warning", "body atom subsumed by another one (pattern-redundant)"),
+    "NT006": ("warning", "part with no head atoms and no children"),
+    "NT007": ("warning", "child part whose body only repeats ancestor atoms"),
+    "NT008": ("warning", "constant inside a head term"),
+    "NT009": ("info", "dependency subsumed by another one in the set"),
+    "NT010": ("info", "existential variable used only in descendant parts"),
+    "TD001": ("error", "dependency set is not weakly acyclic"),
+    "EG001": ("info", "egd equates a variable with itself (trivial)"),
+    "EG002": ("warning", "egd body is disconnected"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a stable code, severity, location, message, fix hint."""
+
+    code: str
+    severity: str
+    dependency: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        """A JSON-serializable view of the finding."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "dependency": self.dependency,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The full output of :func:`analyze`: findings plus the termination verdict."""
+
+    findings: tuple[Finding, ...]
+    termination: TerminationReport | None
+    dependency_count: int
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        """The findings with severity ``error``."""
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        """The findings with severity ``warning``."""
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """True if no error-severity finding was reported (the sanitizer gate)."""
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable view of the whole report."""
+        return {
+            "dependency_count": self.dependency_count,
+            "ok": self.ok,
+            "termination": None if self.termination is None else self.termination.to_dict(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document (``repro lint --json``)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """The report as human-readable text (``repro lint``)."""
+        lines: list[str] = []
+        if self.termination is not None:
+            t = self.termination
+            if t.weakly_acyclic:
+                lines.append(
+                    f"termination: weakly acyclic (max rank {t.max_rank}, "
+                    f"chase depth bound {t.depth_bound})"
+                )
+            else:
+                lines.append("termination: NOT weakly acyclic -- the chase may diverge")
+        for finding in self.findings:
+            where = f" ({finding.location})" if finding.location else ""
+            lines.append(
+                f"{finding.severity:<7} {finding.code} {finding.dependency}{where}: "
+                f"{finding.message}"
+            )
+            if finding.hint:
+                lines.append(f"        hint: {finding.hint}")
+        lines.append(
+            f"{self.dependency_count} dependencies: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.findings) - len(self.errors) - len(self.warnings)} info"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------- part-level view
+
+
+@dataclass(frozen=True)
+class _PartView:
+    """A uniform view of one tgd part / SO clause for the lint passes."""
+
+    location: str
+    own_universal: tuple[Variable, ...]
+    inherited: frozenset[Variable]
+    body: tuple[Atom, ...]
+    exist_vars: tuple[Variable, ...]
+    head: tuple[Atom, ...]
+    child_count: int
+    ancestor_body: tuple[Atom, ...] = ()
+    #: heads of this part and all descendants (scope of its existentials).
+    scope_heads: tuple[Atom, ...] = ()
+    #: bodies of all descendants (descendants may reuse our universals).
+    scope_bodies: tuple[Atom, ...] = ()
+    is_child: bool = False
+
+
+def _atom_var_occurrences(atoms: Iterable[Atom]) -> dict[Variable, int]:
+    counts: dict[Variable, int] = {}
+    for atom in atoms:
+        for arg in atom.args:
+            if isinstance(arg, Variable):
+                counts[arg] = counts.get(arg, 0) + 1
+            elif isinstance(arg, FuncTerm):
+                for var in term_variables(arg):
+                    counts[var] = counts.get(var, 0) + 1
+    return counts
+
+
+def _part_views(dep: STTgd | NestedTgd | SOTgd) -> Iterator[_PartView]:
+    if isinstance(dep, STTgd):
+        yield _PartView(
+            location="",
+            own_universal=dep.universal_variables,
+            inherited=frozenset(),
+            body=dep.body,
+            exist_vars=dep.existential_variables,
+            head=dep.head,
+            child_count=0,
+            scope_heads=dep.head,
+        )
+        return
+    if isinstance(dep, SOTgd):
+        for index, clause in enumerate(dep.clauses, start=1):
+            yield _PartView(
+                location=f"clause {index}" if len(dep.clauses) > 1 else "",
+                own_universal=clause.universal_variables,
+                inherited=frozenset(),
+                body=clause.body,
+                exist_vars=(),
+                head=clause.head,
+                child_count=0,
+                scope_heads=clause.head,
+            )
+        return
+    for pid in dep.part_ids():
+        part = dep.part(pid)
+        ancestor_body = tuple(
+            atom for anc in dep.ancestors(pid) for atom in dep.part(anc).body
+        )
+        descendants = dep.descendants(pid)
+        yield _PartView(
+            location=f"part {pid}" if dep.part_count > 1 else "",
+            own_universal=part.universal_vars,
+            inherited=frozenset(dep.inherited_universal_vars(pid))
+            | {v for anc in dep.ancestors(pid) for v in dep.part(anc).exist_vars},
+            body=part.body,
+            exist_vars=part.exist_vars,
+            head=part.head,
+            child_count=len(dep.children_of(pid)),
+            ancestor_body=ancestor_body,
+            scope_heads=part.head
+            + tuple(atom for d in descendants for atom in dep.part(d).head),
+            scope_bodies=tuple(atom for d in descendants for atom in dep.part(d).body),
+            is_child=dep.parent(pid) is not None,
+        )
+
+
+# ----------------------------------------------------------------- the lints
+
+
+def _finding(code: str, dependency: str, location: str, message: str, hint: str = "") -> Finding:
+    severity, _ = LINT_CATALOG[code]
+    return Finding(
+        code=code, severity=severity, dependency=dependency,
+        location=location, message=message, hint=hint,
+    )
+
+
+def _connected_components(atoms: Sequence[Atom], anchors: frozenset[Variable]) -> int:
+    """Count variable-sharing components; atoms touching *anchors* fuse into one."""
+    if not atoms:
+        return 0
+    parent = list(range(len(atoms) + 1))  # index len(atoms) is the anchor node
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    seen: dict[Variable, int] = {}
+    for index, atom in enumerate(atoms):
+        for var in atom.variables():
+            if var in anchors:
+                union(index, len(atoms))
+            elif var in seen:
+                union(index, seen[var])
+            else:
+                seen[var] = index
+    return len({find(i) for i in range(len(atoms))})
+
+
+def _atom_subsumed(beta: Atom, alpha: Atom, free: frozenset[Variable]) -> bool:
+    """True if *beta* maps onto *alpha* by binding only its *free* variables."""
+    if beta.relation != alpha.relation or beta.arity != alpha.arity:
+        return False
+    binding: dict[Variable, object] = {}
+    for b, a in zip(beta.args, alpha.args):
+        if b == a:
+            continue
+        if b not in free:
+            return False
+        seen = binding.get(b)
+        if seen is None:
+            binding[b] = a
+        elif seen != a:
+            return False
+    return True
+
+
+def _lint_part(view: _PartView, label: str) -> Iterator[Finding]:
+    # Every place a variable of this part can legally occur: its own body and
+    # head, descendant bodies and heads (scope_heads includes the own head),
+    # plus ancestor bodies (for inherited variables used here).
+    occurrences = _atom_var_occurrences(
+        view.ancestor_body + view.body + view.scope_bodies + view.scope_heads
+    )
+
+    # NT001: universal variable occurring exactly once in its whole scope.
+    for var in view.own_universal:
+        if occurrences.get(var, 0) == 1:
+            yield _finding(
+                "NT001", label, view.location,
+                f"universal variable {var} is used exactly once -- it only "
+                "guards the trigger",
+                hint="intended? a single-use variable never constrains a join "
+                "and never reaches the head",
+            )
+
+    # NT002 / NT010: existential variables never used, or used only deeper.
+    head_vars = {v for atom in view.head for v in atom.variables()}
+    scope_head_vars = {v for atom in view.scope_heads for v in atom.variables()}
+    for var in view.exist_vars:
+        if var not in scope_head_vars:
+            yield _finding(
+                "NT002", label, view.location,
+                f"existential variable {var} is declared but never used in a head",
+                hint="drop the quantifier (it asserts nothing)",
+            )
+        elif var not in head_vars:
+            yield _finding(
+                "NT010", label, view.location,
+                f"existential variable {var} is used only in descendant parts",
+                hint="if one witness per inner trigger is intended, declare it "
+                "at the part that uses it (note: that weakens the dependency)",
+            )
+
+    # NT003: disconnected body.
+    if len(view.body) > 1:
+        components = _connected_components(view.body, view.inherited)
+        if components > 1:
+            yield _finding(
+                "NT003", label, view.location,
+                f"body falls into {components} unconnected groups of atoms -- "
+                "the trigger is a cartesian product",
+                hint="intended? unconnected atom groups multiply the number of "
+                "triggers",
+            )
+
+    # NT004: duplicate atoms.
+    for what, atoms in (("body", view.body), ("head", view.head)):
+        seen: set[Atom] = set()
+        for atom in atoms:
+            if atom in seen:
+                yield _finding(
+                    "NT004", label, view.location,
+                    f"duplicate {what} atom {atom}",
+                    hint="remove the repeated atom",
+                )
+                break
+            seen.add(atom)
+
+    # NT005: body atom subsumed by another via its otherwise-unused variables.
+    subsumers: dict[int, list[int]] = {}
+    for bi, beta in enumerate(view.body):
+        free = frozenset(
+            v for v in beta.variables()
+            if occurrences.get(v, 0) == sum(1 for a in beta.args if a == v)
+        )
+        if not free:
+            continue
+        found = [ai for ai, alpha in enumerate(view.body)
+                 if ai != bi and _atom_subsumed(beta, alpha, free)]
+        if found:
+            subsumers[bi] = found
+    for bi, found in subsumers.items():
+        # For mutually-subsuming pairs report only the later atom, so a pair
+        # of interchangeable atoms yields one finding, not two.
+        if not any(ai < bi or ai not in subsumers for ai in found):
+            continue
+        yield _finding(
+            "NT005", label, view.location,
+            f"body atom {view.body[bi]} is subsumed by another body atom "
+            "(its extra variables are used nowhere else)",
+            hint="drop the atom; `repro optimize` performs the exact "
+            "(implication-checked) minimization",
+        )
+
+    # NT006: part asserting nothing.
+    if not view.head and view.child_count == 0:
+        yield _finding(
+            "NT006", label, view.location,
+            "part has no head atoms and no children -- it asserts nothing",
+            hint="remove the part",
+        )
+
+    # NT007: child body only repeats ancestor atoms.
+    if view.is_child and view.body and set(view.body) <= set(view.ancestor_body):
+        yield _finding(
+            "NT007", label, view.location,
+            "child part's body only repeats atoms of its ancestors -- it fires "
+            "exactly when its parent does",
+            hint="merge the part into its parent",
+        )
+
+    # NT008: constants inside head terms.
+    for atom in view.head:
+        for term in atom.args:
+            constants = _term_constants(term)
+            if constants:
+                yield _finding(
+                    "NT008", label, view.location,
+                    f"head atom {atom} contains constant(s) "
+                    f"{', '.join(sorted(map(str, constants)))}",
+                    hint="dependencies in the paper are constant-free; move the "
+                    "constant into the source instance",
+                )
+                break
+
+
+def _term_constants(term: object) -> set[Constant]:
+    if isinstance(term, Constant):
+        return {term}
+    if isinstance(term, FuncTerm):
+        result: set[Constant] = set()
+        for arg in term.args:
+            result |= _term_constants(arg)
+        return result
+    return set()
+
+
+def _lint_egd(egd: Egd, label: str) -> Iterator[Finding]:
+    if egd.left == egd.right:
+        yield _finding(
+            "EG001", label, "",
+            f"egd equates {egd.left} with itself -- it is always satisfied",
+            hint="remove the egd",
+        )
+    if len(egd.body) > 1 and _connected_components(egd.body, frozenset()) > 1:
+        yield _finding(
+            "EG002", label, "",
+            "egd body falls into unconnected groups of atoms",
+            hint="intended? the equality then links values across unrelated "
+            "triggers",
+        )
+
+
+def _dep_label(dep: object, index: int) -> str:
+    name = getattr(dep, "name", None)
+    return name if name else f"#{index + 1}"
+
+
+def analyze(
+    dependencies: object,
+    source_egds: Sequence[Egd] = (),
+    *,
+    check_termination: bool = True,
+    check_subsumption: bool = True,
+) -> AnalysisReport:
+    """Statically analyze a dependency program; return an :class:`AnalysisReport`.
+
+    *dependencies* may be a single dependency or an iterable mixing s-t
+    tgds, nested tgds, SO tgds, and egds (egds may also be passed separately
+    via *source_egds*).  ``check_termination=False`` skips the position-graph
+    pass; ``check_subsumption=False`` skips the quadratic NT009 pass.
+    """
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
+        dependencies = [dependencies]
+    deps = list(dependencies)
+    egds = [dep for dep in deps if isinstance(dep, Egd)] + list(source_egds)
+    tgds = [dep for dep in deps if not isinstance(dep, Egd)]
+    for dep in tgds:
+        if not isinstance(dep, (STTgd, NestedTgd, SOTgd)):
+            raise DependencyError(f"cannot analyze dependency {dep!r}")
+
+    findings: list[Finding] = []
+    termination: TerminationReport | None = None
+    if check_termination:
+        termination = termination_report(tgds + egds)
+        if not termination.weakly_acyclic:
+            cycle = termination.witness_cycle or ()
+            rendered = " -> ".join(format_position(p) for p in cycle)
+            findings.append(_finding(
+                "TD001", "*", "position graph",
+                f"the dependency set is not weakly acyclic: cycle {rendered} "
+                "passes through a special (null-creating) edge",
+                hint="the chase may diverge; fixpoint_chase refuses to run "
+                "without an explicit max_rounds bound",
+            ))
+
+    for index, dep in enumerate(tgds):
+        label = _dep_label(dep, index)
+        for view in _part_views(dep):
+            findings.extend(_lint_part(view, label))
+
+    if check_subsumption:
+        for i, weaker in enumerate(tgds):
+            for j, stronger in enumerate(tgds):
+                if i != j and subsumes(stronger, weaker):
+                    if subsumes(weaker, stronger) and i < j:
+                        continue  # report mutual subsumption once, on the later dep
+                    findings.append(_finding(
+                        "NT009", _dep_label(weaker, i), "",
+                        "dependency is implied by "
+                        f"{_dep_label(stronger, j)} (syntactic subsumption)",
+                        hint="remove it, or run `repro optimize` for the exact "
+                        "minimization",
+                    ))
+                    break
+
+    for index, egd in enumerate(egds):
+        findings.extend(_lint_egd(egd, _dep_label(egd, index)))
+
+    findings.sort(key=lambda f: (_SEVERITIES[f.severity], f.code, f.dependency, f.location))
+    return AnalysisReport(
+        findings=tuple(findings),
+        termination=termination,
+        dependency_count=len(deps) + len(list(source_egds)),
+    )
+
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "LINT_CATALOG",
+    "analyze",
+]

@@ -1,0 +1,246 @@
+"""Cheap syntactic subsumption between dependencies: a sound pre-pass for IMPLIES.
+
+The k-pattern sweep of IMPLIES is non-elementary in the nesting depth of the
+right-hand side (Section 6 of the paper), yet many implication queries in
+practice are *trivial*: the right-hand side is a variable-renamed copy of a
+left-hand-side member, or a plain weakening of one (drop a head atom,
+specialize a body).  This module decides a sound, incomplete syntactic
+fragment of implication in polynomial time:
+
+- :func:`alpha_equivalent` -- equality of (nested) tgds up to a consistent
+  renaming of bound variables;
+- :func:`subsumes` -- ``sigma |= tau`` by a variable-to-variable
+  homomorphism argument between flat tgds, applied to a nested left-hand
+  side through its per-part flat projections (the single-branch pattern tgds
+  of its unfoldings).
+
+``subsumes(sigma, tau)`` returning True *guarantees* ``sigma |= tau`` (the
+differential tests check this against the full IMPLIES procedure); returning
+False means nothing.  ``core/implication.py`` runs :func:`trivially_implied`
+before enumerating patterns and records skips in :mod:`repro.perf` under
+``implies.subsumption_checks`` / ``implies.subsumption_skips``.
+
+    >>> from repro.logic.parser import parse_tgd
+    >>> subsumes(parse_tgd("S(x,y) -> R(x,y)"), parse_tgd("S(x,y) -> exists z . R(x,z)"))
+    True
+    >>> subsumes(parse_tgd("S(x,y) -> exists z . R(x,z)"), parse_tgd("S(x,y) -> R(x,y)"))
+    False
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from repro.logic.atoms import Atom
+from repro.logic.nested import NestedTgd, Part
+from repro.logic.tgds import STTgd
+from repro.logic.values import Variable
+
+#: Bodies/heads larger than this skip the (backtracking) subsumption check;
+#: the pre-pass must stay negligible next to a single pattern chase.
+MAX_SUBSUMPTION_ATOMS = 24
+
+
+# --------------------------------------------------------- alpha equivalence
+
+
+def _canonical_part(
+    part: Part, mapping: dict[Variable, Variable], counter: Iterator[int]
+) -> Part:
+    for var in part.universal_vars:
+        mapping[var] = Variable(f"u{next(counter)}")
+    for var in part.exist_vars:
+        mapping[var] = Variable(f"e{next(counter)}")
+    return Part(
+        universal_vars=tuple(mapping[v] for v in part.universal_vars),
+        body=tuple(atom.substitute(mapping) for atom in part.body),
+        exist_vars=tuple(mapping[v] for v in part.exist_vars),
+        head=tuple(atom.substitute(mapping) for atom in part.head),
+        children=tuple(_canonical_part(c, mapping, counter) for c in part.children),
+    )
+
+
+def _canonical_root(tgd: NestedTgd | STTgd) -> Part:
+    """The root part of *tgd* with bound variables renamed canonically.
+
+    Variables are renamed in preorder traversal order (universals before
+    existentials per part); two tgds are alpha-equivalent iff their canonical
+    roots are equal.  s-t tgds are canonicalized through an equivalent
+    single-part view (built directly, so tgds sharing source and target
+    relations are supported too).
+    """
+    if isinstance(tgd, STTgd):
+        root = Part(
+            universal_vars=tgd.universal_variables,
+            body=tgd.body,
+            exist_vars=tgd.existential_variables,
+            head=tgd.head,
+            children=(),
+        )
+    else:
+        root = tgd.root
+    return _canonical_part(root, {}, itertools.count())
+
+
+def alpha_equivalent(left: NestedTgd | STTgd, right: NestedTgd | STTgd) -> bool:
+    """True if the two tgds are equal up to renaming of bound variables.
+
+        >>> from repro.logic.parser import parse_nested_tgd
+        >>> a = parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+        >>> b = parse_nested_tgd("S(u1,u2) -> exists w . (R(w,u2) & (S(u1,u3) -> R(w,u3)))")
+        >>> alpha_equivalent(a, b)
+        True
+    """
+    if not isinstance(left, (NestedTgd, STTgd)) or not isinstance(right, (NestedTgd, STTgd)):
+        return False
+    return _canonical_root(left) == _canonical_root(right)
+
+
+# ------------------------------------------------------- flat subsumption
+
+
+def _flat_views(dep: NestedTgd | STTgd) -> Iterator[tuple[tuple[Atom, ...], tuple[Atom, ...]]]:
+    """Yield ``(body, head)`` flat projections implied by *dep*.
+
+    For an s-t tgd the projection is the tgd itself.  A nested tgd implies,
+    for every part with a non-empty head, the flat tgd whose body collects
+    the ancestors' bodies plus the part's own and whose head is the part's
+    head (the single-branch pattern tgds of its unfoldings): any witness for
+    the nested tgd witnesses each projection.
+    """
+    if isinstance(dep, STTgd):
+        yield dep.body, dep.head
+        return
+    for pid in dep.part_ids():
+        part = dep.part(pid)
+        if not part.head:
+            continue
+        body: list[Atom] = []
+        for anc in dep.ancestors(pid):
+            body.extend(dep.part(anc).body)
+        body.extend(part.body)
+        yield tuple(body), part.head
+
+
+def _flat_subsumes(
+    sigma_body: tuple[Atom, ...],
+    sigma_head: tuple[Atom, ...],
+    tau_body: tuple[Atom, ...],
+    tau_head: tuple[Atom, ...],
+) -> bool:
+    """Sound check that the flat tgd ``sigma`` implies the flat tgd ``tau``.
+
+    Searches for a variable map ``m`` from sigma's universals into tau's
+    universals with ``m(body sigma) ⊆ body tau``, together with a witness
+    choice ``W`` assigning each existential of tau a sigma-side variable so
+    that every head atom of tau is ``(m, W)``-matched by some head atom of
+    sigma.  Whenever both exist, any source match of tau's body extends to a
+    match of sigma's body, and sigma's (skolem) witnesses instantiate tau's
+    existentials -- hence ``sigma |= tau``.
+    """
+    if (
+        len(sigma_body) + len(sigma_head) > MAX_SUBSUMPTION_ATOMS
+        or len(tau_body) + len(tau_head) > MAX_SUBSUMPTION_ATOMS
+    ):
+        return False
+    tau_universal = {v for atom in tau_body for v in atom.variables()}
+
+    def match_head(index: int, m: dict[Variable, Variable],
+                   witness: dict[Variable, Variable]) -> bool:
+        if index == len(tau_head):
+            return True
+        atom = tau_head[index]
+        for candidate in sigma_head:
+            if candidate.relation != atom.relation or candidate.arity != atom.arity:
+                continue
+            extended = dict(witness)
+            ok = True
+            for sigma_arg, tau_arg in zip(candidate.args, atom.args):
+                if tau_arg in tau_universal:
+                    # tau asserts a universally-bound value here: sigma must
+                    # place a universal variable mapped onto it.
+                    if m.get(sigma_arg) != tau_arg:
+                        ok = False
+                        break
+                else:
+                    # tau's existential: witnessed by whatever sigma places
+                    # here -- consistently across all occurrences.
+                    seen = extended.get(tau_arg)
+                    if seen is None:
+                        extended[tau_arg] = sigma_arg
+                    elif seen != sigma_arg:
+                        ok = False
+                        break
+            if ok and match_head(index + 1, m, extended):
+                return True
+        return False
+
+    def match_body(index: int, m: dict[Variable, Variable]) -> bool:
+        if index == len(sigma_body):
+            return match_head(0, m, {})
+        atom = sigma_body[index]
+        for fact in tau_body:
+            if fact.relation != atom.relation or fact.arity != atom.arity:
+                continue
+            extended = dict(m)
+            ok = True
+            for sigma_arg, tau_arg in zip(atom.args, fact.args):
+                seen = extended.get(sigma_arg)
+                if seen is None:
+                    extended[sigma_arg] = tau_arg
+                elif seen != tau_arg:
+                    ok = False
+                    break
+            if ok and match_body(index + 1, extended):
+                return True
+        return False
+
+    return match_body(0, {})
+
+
+def subsumes(sigma: object, tau: object) -> bool:
+    """Sound, incomplete check that dependency *sigma* implies *tau*.
+
+    Handles s-t tgds and nested tgds (other formalisms return False).  A
+    nested right-hand side is only recognized when alpha-equivalent to
+    *sigma*; a flat right-hand side is matched against every flat projection
+    of *sigma*.
+
+        >>> from repro.logic.parser import parse_nested_tgd, parse_tgd
+        >>> nested = parse_nested_tgd("S(x1) -> exists y . (T(x2) -> R(y, x2))")
+        >>> subsumes(nested, parse_tgd("S(x1) & T(x2) -> exists y . R(y, x2)"))
+        True
+    """
+    if not isinstance(sigma, (NestedTgd, STTgd)) or not isinstance(tau, (NestedTgd, STTgd)):
+        return False
+    if alpha_equivalent(sigma, tau):
+        return True
+    if isinstance(tau, NestedTgd):
+        if not tau.is_flat():
+            return False
+        tau_body, tau_head = tau.root.body, tau.root.head
+    else:
+        tau_body, tau_head = tau.body, tau.head
+    return any(
+        _flat_subsumes(body, head, tau_body, tau_head)
+        for body, head in _flat_views(sigma)
+    )
+
+
+def trivially_implied(sigma_set: Iterable[object], tau: object) -> bool:
+    """True if some member of *sigma_set* syntactically subsumes *tau*.
+
+    This is the IMPLIES pre-pass: verdict-preserving because
+    :func:`subsumes` is sound and IMPLIES is complete -- a True answer here
+    agrees with the sweep, and a False answer just falls through to it.
+    """
+    return any(subsumes(dep, tau) for dep in sigma_set)
+
+
+__all__ = [
+    "MAX_SUBSUMPTION_ATOMS",
+    "alpha_equivalent",
+    "subsumes",
+    "trivially_implied",
+]

@@ -1,0 +1,267 @@
+"""Chase-termination analysis: position graphs, weak acyclicity, depth bounds.
+
+The decision procedures of the paper chase canonical instances, and the
+engine's fixpoint chase (:mod:`repro.engine.fixpoint_chase`) iterates
+dependencies over their own output.  Whether those chases terminate is
+undecidable in general, but the classic *weak acyclicity* test of Fagin,
+Kolaitis, Miller, and Popa (the position/dependency graph with special
+edges) gives a broad decidable sufficient condition, and this module
+implements it for every formalism of the library.
+
+Every dependency is first Skolemized (s-t tgds via
+:meth:`repro.logic.tgds.STTgd.skolem_head`, nested tgds via
+:meth:`repro.logic.nested.NestedTgd.skolemize`, SO tgds clause-wise), so one
+uniform clause shape ``body atoms -> head atoms over terms`` feeds the graph
+construction.  The *position graph* has a node ``(R, i)`` for every position
+of every relation and, for each clause and each universal variable ``x``
+occurring at body position ``p``:
+
+- a **regular** edge ``p -> q`` for every head position ``q`` where ``x``
+  itself occurs (the value is copied), and
+- a **special** edge ``p -> q`` for every head position ``q`` holding a
+  Skolem term over ``x`` (a fresh null is created from the value).
+
+A set of dependencies is *weakly acyclic* iff no cycle of the position graph
+contains a special edge.  When it is, every position has a finite *rank*
+(the maximum number of special edges on any path into it), and the oblivious
+chase only ever creates nulls whose Skolem-term nesting depth is at most the
+maximum rank -- the ``depth_bound`` reported here and verified by the tests
+against :func:`repro.engine.fixpoint_chase.fixpoint_chase`.
+
+    >>> from repro.logic.parser import parse_tgd
+    >>> termination_report([parse_tgd("S(x,y) -> R(x,y)")]).weakly_acyclic
+    True
+    >>> report = termination_report([parse_tgd("E(x,y) -> E(y,z)")])
+    >>> report.weakly_acyclic
+    False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.errors import DependencyError
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd
+from repro.logic.nested import NestedTgd
+from repro.logic.sotgd import SOTgd
+from repro.logic.terms import term_variables
+from repro.logic.tgds import STTgd
+from repro.logic.values import Variable
+
+#: A position is a (relation name, 0-based argument index) pair.
+Position = tuple[str, int]
+
+
+def format_position(position: Position) -> str:
+    """Render a position as ``R.i`` for messages and JSON reports."""
+    relation, index = position
+    return f"{relation}.{index}"
+
+
+@dataclass(frozen=True)
+class TerminationReport:
+    """The verdict of the weak-acyclicity analysis over a dependency set.
+
+    ``max_rank`` and ``depth_bound`` are ``None`` when the set is not weakly
+    acyclic; otherwise ``depth_bound`` bounds the nesting depth of every
+    Skolem-term null the oblivious chase can create (0 for full tgds, which
+    create no nulls at all).  ``witness_cycle`` is a position cycle through a
+    special edge proving non-termination risk.
+    """
+
+    weakly_acyclic: bool
+    position_count: int
+    edge_count: int
+    special_edge_count: int
+    max_rank: int | None = None
+    depth_bound: int | None = None
+    witness_cycle: tuple[Position, ...] | None = None
+
+    def __bool__(self) -> bool:
+        return self.weakly_acyclic
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable summary of the verdict."""
+        return {
+            "weakly_acyclic": self.weakly_acyclic,
+            "position_count": self.position_count,
+            "edge_count": self.edge_count,
+            "special_edge_count": self.special_edge_count,
+            "max_rank": self.max_rank,
+            "depth_bound": self.depth_bound,
+            "witness_cycle": (
+                None
+                if self.witness_cycle is None
+                else [format_position(p) for p in self.witness_cycle]
+            ),
+        }
+
+
+def _skolem_clauses(dep: object, index: int) -> list[tuple[tuple[Atom, ...], tuple[Atom, ...]]]:
+    """Normalize one dependency into Skolemized ``(body, head)`` clauses.
+
+    s-t tgds are Skolemized directly (they may legally share source and
+    target relations -- that is what makes divergence expressible); nested
+    tgds and SO tgds contribute one clause per part/clause.
+    """
+    if isinstance(dep, STTgd):
+        return [(dep.body, dep.skolem_head(lambda var: f"d{index}_f_{var.name}"))]
+    if isinstance(dep, NestedTgd):
+        skolemized = dep.skolemize(function_prefix=f"d{index}_")
+        return [(clause.body, clause.head) for clause in skolemized.clauses]
+    if isinstance(dep, SOTgd):
+        return [(clause.body, clause.head) for clause in dep.clauses]
+    raise DependencyError(f"cannot analyze termination of dependency {dep!r}")
+
+
+def position_graph(dependencies: Iterable[object]) -> "nx.DiGraph":
+    """Build the position graph of a dependency set.
+
+    Nodes are :data:`Position` pairs; each edge carries a boolean ``special``
+    attribute (a parallel regular+special pair collapses to one edge with
+    ``special=True``).  Egds contribute positions but no edges: they create
+    no nulls, and weak acyclicity of the tgds is the standard sufficient
+    condition for termination of the combined tgd+egd chase.
+    """
+    graph = nx.DiGraph()
+    for index, dep in enumerate(dependencies):
+        if isinstance(dep, Egd):
+            for atom in dep.body:
+                for i in range(atom.arity):
+                    graph.add_node((atom.relation, i))
+            continue
+        for body, head in _skolem_clauses(dep, index):
+            occurrences: dict[Variable, list[Position]] = {}
+            for atom in body:
+                for i, arg in enumerate(atom.args):
+                    graph.add_node((atom.relation, i))
+                    if isinstance(arg, Variable):
+                        occurrences.setdefault(arg, []).append((atom.relation, i))
+            for atom in head:
+                for i, term in enumerate(atom.args):
+                    target: Position = (atom.relation, i)
+                    graph.add_node(target)
+                    if isinstance(term, Variable):
+                        special = False
+                        variables: Iterable[Variable] = (term,)
+                    else:
+                        special = True
+                        variables = term_variables(term)
+                    for var in variables:
+                        for source in occurrences.get(var, ()):
+                            if graph.has_edge(source, target):
+                                graph[source][target]["special"] |= special
+                            else:
+                                graph.add_edge(source, target, special=special)
+    return graph
+
+
+def _witness_cycle(graph: "nx.DiGraph", component: set[Position]) -> tuple[Position, ...]:
+    """A cycle through a special edge inside a strongly connected component."""
+    subgraph = graph.subgraph(component)
+    for source, target, special in subgraph.edges(data="special"):
+        if special:
+            path: list[Position] = nx.shortest_path(subgraph, target, source)
+            return tuple([source] + path)
+    raise AssertionError("component has no special edge")  # pragma: no cover
+
+
+def termination_report(dependencies: object) -> TerminationReport:
+    """Decide weak acyclicity of a dependency set and bound the chase depth.
+
+    *dependencies* may be a single dependency or an iterable mixing s-t
+    tgds, nested tgds, SO tgds, and egds.
+
+        >>> from repro.logic.parser import parse_so_tgd
+        >>> report = termination_report([parse_so_tgd("S(x,y) -> R(f(x), f(y))")])
+        >>> report.weakly_acyclic, report.depth_bound
+        (True, 1)
+    """
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
+        dependencies = [dependencies]
+    deps = list(dependencies)
+    cached = _cached_report(tuple(repr(dep) for dep in deps))
+    if cached is not None:
+        return cached
+
+    graph = position_graph(deps)
+    special_edges = sum(1 for *_, special in graph.edges(data="special") if special)
+    base = dict(
+        position_count=graph.number_of_nodes(),
+        edge_count=graph.number_of_edges(),
+        special_edge_count=special_edges,
+    )
+
+    components = list(nx.strongly_connected_components(graph))
+    for component in components:
+        if any(
+            graph[u][v]["special"]
+            for u, v in graph.subgraph(component).edges()
+        ):
+            report = TerminationReport(
+                weakly_acyclic=False,
+                witness_cycle=_witness_cycle(graph, component),
+                **base,
+            )
+            _store_report(tuple(repr(dep) for dep in deps), report)
+            return report
+
+    # Weakly acyclic: rank every strongly connected component along the
+    # condensation DAG, counting special edges (all intra-component edges are
+    # regular here, so every node of a component shares one rank).
+    condensation = nx.condensation(graph, components)
+    rank: dict[int, int] = {}
+    for node in nx.topological_sort(condensation):
+        best = 0
+        members = condensation.nodes[node]["members"]
+        for member in members:
+            for pred in graph.predecessors(member):
+                if pred in members:
+                    continue
+                pred_component = condensation.graph["mapping"][pred]
+                weight = 1 if graph[pred][member]["special"] else 0
+                best = max(best, rank[pred_component] + weight)
+        rank[node] = best
+    max_rank = max(rank.values(), default=0)
+    report = TerminationReport(
+        weakly_acyclic=True, max_rank=max_rank, depth_bound=max_rank, **base
+    )
+    _store_report(tuple(repr(dep) for dep in deps), report)
+    return report
+
+
+# ------------------------------------------------------------- verdict cache
+
+#: Memoized verdicts keyed by the dependency reprs (reprs are total and
+#: stable, see ``_sigma_fingerprint`` in :mod:`repro.core.implication`).
+_REPORT_CACHE: dict[tuple[str, ...], TerminationReport] = {}
+_REPORT_CACHE_LIMIT = 256
+
+
+def _cached_report(key: tuple[str, ...]) -> TerminationReport | None:
+    return _REPORT_CACHE.get(key)
+
+
+def _store_report(key: tuple[str, ...], report: TerminationReport) -> None:
+    if len(_REPORT_CACHE) >= _REPORT_CACHE_LIMIT:
+        _REPORT_CACHE.clear()
+    _REPORT_CACHE[key] = report
+
+
+def clear_termination_cache() -> None:
+    """Drop all memoized termination verdicts (used by benchmarks)."""
+    _REPORT_CACHE.clear()
+
+
+__all__ = [
+    "Position",
+    "TerminationReport",
+    "clear_termination_cache",
+    "format_position",
+    "position_graph",
+    "termination_report",
+]

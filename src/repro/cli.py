@@ -9,6 +9,7 @@ glav        decide equivalence to a GLAV mapping; print one if it exists
 patterns    enumerate the k-patterns of a nested tgd
 profile     f-block / f-degree / path-length profile along a family
 optimize    redundancy removal + tgd normalization
+lint        static analysis: termination verdict + structural lints
 
 Dependencies are given as text (see repro/logic/parser.py); s-t tgds and
 nested tgds are auto-detected, SO tgds are recognized by function terms or
@@ -20,21 +21,29 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ParseError, ReproError
+from repro.errors import DependencyError, ParseError, ReproError
 from repro.logic.parser import (
     parse_egd,
     parse_instance,
     parse_nested_tgd,
     parse_so_tgd,
+    parse_tgd,
 )
 
 
 def parse_dependency(text: str):
-    """Parse a dependency, auto-detecting nested tgd vs SO tgd syntax."""
+    """Parse a dependency, auto-detecting nested tgd vs SO tgd syntax.
+
+    A flat tgd whose source and target relations overlap is rejected by the
+    nested-tgd validator but is a legal s-t tgd (and is exactly what the
+    termination analyzer exists to vet), so fall back to :func:`parse_tgd`.
+    """
     try:
         return parse_nested_tgd(text)
     except ParseError:
         return parse_so_tgd(text)
+    except DependencyError:
+        return parse_tgd(text)
 
 
 def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +207,18 @@ def cmd_certain(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.static import analyze
+
+    deps = _dependencies(args)
+    report = analyze(deps, source_egds=_egds(args))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_optimize(args) -> int:
     from repro.core.normalization import optimize
 
@@ -252,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument("--sizes", default="2,4,6,8")
     profile_parser.set_defaults(func=cmd_profile)
+
+    lint_parser = sub.add_parser(
+        "lint", help="static analysis: termination verdict + structural lints"
+    )
+    _add_dependency_arguments(lint_parser)
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     optimize_parser = sub.add_parser("optimize", help="minimize a mapping")
     _add_dependency_arguments(optimize_parser)

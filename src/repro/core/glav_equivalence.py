@@ -123,7 +123,7 @@ def to_glav(
         if implies(candidate, nested, source_egds=list(source_egds)):
             return candidate
     raise UndecidedError(
-        f"no equivalent GLAV mapping found with patterns of at most "
+        "no equivalent GLAV mapping found with patterns of at most "
         f"{max_pattern_nodes} nodes (increase max_pattern_nodes)"
     )
 

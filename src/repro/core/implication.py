@@ -272,6 +272,7 @@ def implies_tgd(
     max_patterns: int | None = 1_000_000,
     *,
     parallel: int | None = None,
+    subsumption: bool = True,
 ) -> ImplicationResult:
     """Run the procedure IMPLIES and return a result with diagnostics.
 
@@ -279,6 +280,13 @@ def implies_tgd(
     processes; the result (verdict, pattern count, diagnostics) is identical
     to the serial sweep, and the sweep early-exits once a failing pattern is
     found.
+
+    With ``subsumption=True`` (the default), a sound syntactic subsumption
+    pre-pass (:mod:`repro.analysis.subsumption`) answers trivially implied
+    right-hand sides -- alpha-renamed copies and flat weakenings of a
+    left-hand-side member -- without enumerating a single pattern.  The
+    pre-pass is verdict-preserving; ``implies.subsumption_checks`` and
+    ``implies.subsumption_skips`` in :mod:`repro.perf` count its work.
 
         >>> from repro.logic.parser import parse_nested_tgd, parse_tgd
         >>> tau = parse_nested_tgd("S1(x1) -> exists y . (S2(x2) -> R(x2, y))")
@@ -295,6 +303,13 @@ def implies_tgd(
         # Syntactic membership short-circuit: Sigma trivially implies its own
         # members, and the full k-pattern sweep can be non-elementary.
         return ImplicationResult(holds=True, k=k, patterns_checked=0)
+    if subsumption:
+        from repro.analysis.subsumption import trivially_implied
+
+        perf.incr("implies.subsumption_checks")
+        if trivially_implied(lhs, rhs):
+            perf.incr("implies.subsumption_skips")
+            return ImplicationResult(holds=True, k=k, patterns_checked=0)
     patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
     source_egds = list(source_egds)
     fingerprint = _sigma_fingerprint(lhs)
@@ -311,6 +326,7 @@ def implies(
     max_patterns: int | None = 1_000_000,
     *,
     parallel: int | None = None,
+    subsumption: bool = True,
 ) -> bool:
     """Decide ``Sigma |= Sigma'`` for finite sets of (nested) tgds.
 
@@ -323,7 +339,7 @@ def implies(
     return all(
         implies_tgd(
             sigma_set, sigma, source_egds=source_egds, max_patterns=max_patterns,
-            parallel=parallel,
+            parallel=parallel, subsumption=subsumption,
         ).holds
         for sigma in sigma_prime_set
     )
@@ -336,14 +352,15 @@ def equivalent(
     max_patterns: int | None = 1_000_000,
     *,
     parallel: int | None = None,
+    subsumption: bool = True,
 ) -> bool:
     """Decide logical equivalence of two finite sets of nested tgds (Corollary 3.11)."""
     return implies(
         sigma_set, sigma_prime_set, source_egds=source_egds,
-        max_patterns=max_patterns, parallel=parallel,
+        max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
     ) and implies(
         sigma_prime_set, sigma_set, source_egds=source_egds,
-        max_patterns=max_patterns, parallel=parallel,
+        max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
     )
 
 
@@ -369,7 +386,6 @@ def implies_semantic_bounded(
     """
     from repro.core.fblock_analysis import enumerate_source_instances
     from repro.engine.egd_chase import satisfies_egds
-    from repro.logic.schema import Schema
 
     lhs = _normalize_lhs(sigma_set if not isinstance(sigma_set, (STTgd, NestedTgd, SOTgd))
                          else [sigma_set])

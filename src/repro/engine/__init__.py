@@ -10,6 +10,8 @@
 - :mod:`repro.engine.nested_chase` -- recursive-triggering chase for nested tgds
   with materialized chase forests (Section 3 of the paper);
 - :mod:`repro.engine.egd_chase` -- egd chase on source instances;
+- :mod:`repro.engine.fixpoint_chase` -- oblivious chase iterated to a fixpoint,
+  gated by the static weak-acyclicity verdict;
 - :mod:`repro.engine.model_check` -- ``(I, J) |= sigma`` for every formalism.
 """
 
@@ -32,6 +34,7 @@ from repro.engine.gaifman import (
 from repro.engine.chase import chase, chase_so_tgd, chase_st_tgds
 from repro.engine.nested_chase import ChaseForest, ChaseTree, Triggering, chase_nested
 from repro.engine.egd_chase import chase_egds
+from repro.engine.fixpoint_chase import FixpointChaseResult, fixpoint_chase
 from repro.engine.model_check import satisfies
 
 __all__ = [
@@ -55,5 +58,7 @@ __all__ = [
     "ChaseTree",
     "Triggering",
     "chase_egds",
+    "FixpointChaseResult",
+    "fixpoint_chase",
     "satisfies",
 ]

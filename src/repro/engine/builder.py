@@ -21,7 +21,7 @@ hand-off).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Collection, Iterable, Iterator
 
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
@@ -104,17 +104,17 @@ class InstanceBuilder:
 
     # ----------------------------------------------------------------- lookups
 
-    def facts_of(self, relation: str):
+    def facts_of(self, relation: str) -> Collection[Atom]:
         """Return the facts of *relation* (live view; do not mutate)."""
         bucket = self._by_relation.get(relation)
         return bucket.keys() if bucket is not None else _EMPTY
 
-    def facts_with(self, relation: str, position: int, value):
+    def facts_with(self, relation: str, position: int, value: object) -> Collection[Atom]:
         """Return the facts of *relation* with *value* at *position* (live view)."""
         slot = self._by_position.get((relation, position, value))
         return slot.keys() if slot is not None else _EMPTY
 
-    def facts_containing(self, value) -> frozenset[Atom]:
+    def facts_containing(self, value: object) -> frozenset[Atom]:
         """Return the facts with *value* as a (top-level) argument."""
         holder = self._by_value.get(value)
         return frozenset(holder) if holder else frozenset()

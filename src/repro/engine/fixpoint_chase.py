@@ -1,0 +1,152 @@
+"""The oblivious fixpoint chase, guided by the static termination verdict.
+
+The single-pass engines of :mod:`repro.engine.chase` only ever match bodies
+against the *source* instance -- correct for the source-to-target setting of
+the paper, where a dependency's output can never re-trigger it.  This engine
+iterates the oblivious chase over its own output until a fixpoint, which is
+what general (target or same-schema) tgds need -- e.g. transitive closure, or
+the deliberately diverging programs exercised by the analyzer tests.
+
+Before chasing, the engine consults
+:func:`repro.analysis.termination.termination_report`:
+
+- **weakly acyclic** program: the chase is guaranteed to terminate, so it
+  runs to the natural fixpoint (no round bound needed); the verdict's
+  ``depth_bound`` caps the Skolem-nesting depth of every null created, which
+  the tests verify.
+- **not weakly acyclic**: the chase may diverge.  Without an explicit
+  ``max_rounds`` the engine refuses with a :class:`~repro.errors.ChaseError`
+  pointing at the ``TD001`` finding; with one, it runs at most that many
+  rounds and reports whether a fixpoint was actually reached.
+
+Nulls are ground Skolem terms, exactly as in the single-pass engines, so
+re-firing a trigger re-derives the *same* fact and the fixpoint is
+well-defined.
+
+    >>> from repro.logic.parser import parse_instance, parse_tgd
+    >>> tc = parse_tgd("E(x,y) & E(y,z) -> E(x,z)")
+    >>> result = fixpoint_chase(parse_instance("E(a,b), E(b,c), E(c,d)"), [tc])
+    >>> result.reached_fixpoint, len(result.instance)
+    (True, 6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro import perf
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.sotgd import SOClause, SOTgd
+from repro.logic.terms import substitute_term
+from repro.logic.tgds import STTgd
+from repro.engine.builder import InstanceBuilder
+from repro.engine.chase import _rename_functions_apart
+from repro.engine.matching import find_matches
+
+if TYPE_CHECKING:
+    from repro.analysis.termination import TerminationReport
+
+
+@dataclass(frozen=True)
+class FixpointChaseResult:
+    """The outcome of a fixpoint chase run.
+
+    ``instance`` contains the input facts plus everything derived;
+    ``reached_fixpoint`` is False only when ``max_rounds`` cut the run short.
+    ``termination`` is the static verdict the engine consulted.
+    """
+
+    instance: Instance
+    rounds: int
+    reached_fixpoint: bool
+    termination: TerminationReport
+
+    def __iter__(self) -> "Iterator[Atom]":
+        return iter(self.instance)
+
+
+def _clauses_of(dependencies: Sequence[object]) -> list[SOClause]:
+    """Normalize tgds of any formalism into Skolemized clauses, renamed apart."""
+    clauses: list[SOClause] = []
+    for index, dep in enumerate(dependencies):
+        if isinstance(dep, STTgd):
+            head = dep.skolem_head(lambda var: f"d{index}_f_{var.name}")
+            clauses.append(SOClause(body=dep.body, equalities=(), head=head))
+        elif isinstance(dep, NestedTgd):
+            clauses.extend(dep.skolemize(function_prefix=f"d{index}_").clauses)
+        elif isinstance(dep, SOTgd):
+            clauses.extend(_rename_functions_apart(dep, f"d{index}_").clauses)
+        else:
+            raise ChaseError(f"fixpoint chase cannot run dependency {dep!r}")
+    return clauses
+
+
+def fixpoint_chase(
+    instance: Instance,
+    dependencies: "STTgd | NestedTgd | SOTgd | Iterable[object]",
+    *,
+    max_rounds: int | None = None,
+) -> FixpointChaseResult:
+    """Chase *instance* with tgds of any formalism until a fixpoint.
+
+    *dependencies* may be a single dependency or an iterable mixing s-t
+    tgds (which, unlike nested/SO tgds, may share source and target
+    relations), nested tgds, and SO tgds.  The result instance contains the
+    input facts.
+
+    The static termination verdict gates the run: a weakly acyclic program
+    runs unbounded (termination is guaranteed); otherwise *max_rounds* is
+    required and the result's ``reached_fixpoint`` records whether the bound
+    was actually reached.
+    """
+    from repro.analysis.termination import termination_report
+
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd)):
+        dependencies = [dependencies]
+    deps = list(dependencies)
+    verdict = termination_report(deps)
+    if not verdict.weakly_acyclic and max_rounds is None:
+        raise ChaseError(
+            "the dependency set is not weakly acyclic (lint finding TD001): "
+            "the fixpoint chase may diverge.  Pass max_rounds=... to run a "
+            "bounded number of rounds anyway, or inspect the witness cycle "
+            "with repro.analysis.static.analyze / `repro lint`."
+        )
+
+    clauses = _clauses_of(deps)
+    builder = InstanceBuilder(instance)
+    rounds = 0
+    changed = True
+    while changed and (max_rounds is None or rounds < max_rounds):
+        changed = False
+        rounds += 1
+        perf.incr("chase.fixpoint_rounds")
+        for clause in clauses:
+            # Materialize the matches before adding facts: a round fires the
+            # triggers visible at its start (plus, harmlessly, any observed
+            # mid-round -- the oblivious chase is confluent here because head
+            # facts are determined by the assignment alone).
+            for assignment in list(find_matches(clause.body, builder)):
+                if any(
+                    substitute_term(left, assignment) != substitute_term(right, assignment)
+                    for left, right in clause.equalities
+                ):
+                    continue
+                for atom in clause.head:
+                    args = tuple(substitute_term(t, assignment) for t in atom.args)
+                    if builder.add(Atom(atom.relation, args)):
+                        changed = True
+                        perf.incr("chase.facts")
+    return FixpointChaseResult(
+        instance=builder.freeze(),
+        rounds=rounds,
+        reached_fixpoint=not changed,
+        termination=verdict,
+    )
+
+
+__all__ = ["FixpointChaseResult", "fixpoint_chase"]

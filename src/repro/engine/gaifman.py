@@ -127,7 +127,7 @@ def longest_simple_path(graph: nx.Graph, cutoff: int | None = None) -> int:
 
     adjacency = {node: set(graph.adj[node]) for node in nodes}
 
-    def dfs(node, visited: set, length: int) -> int:
+    def dfs(node: object, visited: set, length: int) -> int:
         nonlocal best
         if length > best:
             best = length

@@ -26,14 +26,33 @@ class DependencyError(ReproError):
 
 
 class ParseError(ReproError):
-    """The textual syntax of a dependency or instance could not be parsed."""
+    """The textual syntax of a dependency or instance could not be parsed.
 
-    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+    Carries the error location for tooling: ``position`` is the 0-based
+    character offset of the offending token in ``text``, ``line`` and
+    ``column`` are the 1-based coordinates derived from it, and ``token`` is
+    the offending token itself (``None`` at end of input).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        text: str | None = None,
+        token: str | None = None,
+    ):
         self.position = position
         self.text = text
+        self.token = token
+        self.line: int | None = None
+        self.column: int | None = None
         if position is not None and text is not None:
+            prefix = text[:position]
+            self.line = prefix.count("\n") + 1
+            self.column = position - (prefix.rfind("\n") + 1) + 1
             snippet = text[max(0, position - 20):position + 20]
-            message = f"{message} (at position {position}: ...{snippet!r}...)"
+            where = f"at line {self.line}, column {self.column}, position {position}"
+            message = f"{message} ({where}: ...{snippet!r}...)"
         super().__init__(message)
 
 

@@ -65,7 +65,9 @@ class _Tokens:
         while pos < len(text):
             match = _TOKEN_RE.match(text, pos)
             if match is None:
-                raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+                raise ParseError(
+                    f"unexpected character {text[pos]!r}", pos, text, token=text[pos]
+                )
             if match.lastgroup != "ws":
                 self.tokens.append((match.group(), match.start()))
             pos = match.end()
@@ -89,9 +91,10 @@ class _Tokens:
         return token
 
     def expect(self, token: str) -> None:
+        pos = self.position()
         got = self.next()
         if got != token:
-            raise ParseError(f"expected {token!r}, got {got!r}", self.position(), self.text)
+            raise ParseError(f"expected {token!r}, got {got!r}", pos, self.text, token=got)
 
     def try_take(self, token: str) -> bool:
         if self.peek() == token:
@@ -119,9 +122,10 @@ def _is_term_name(token: str) -> bool:
 
 def _parse_term(tokens: _Tokens):
     """Parse a variable or functional term (used in SO tgd heads/equalities)."""
+    pos = tokens.position()
     name = tokens.next()
     if not _is_term_name(name):
-        raise ParseError(f"expected a term, got {name!r}", tokens.position(), tokens.text)
+        raise ParseError(f"expected a term, got {name!r}", pos, tokens.text, token=name)
     if tokens.try_take("("):
         args = [_parse_term(tokens)]
         while tokens.try_take(","):
@@ -132,12 +136,14 @@ def _parse_term(tokens: _Tokens):
 
 
 def _parse_atom(tokens: _Tokens, allow_terms: bool) -> Atom:
+    pos = tokens.position()
     name = tokens.next()
     if not _is_relation_name(name):
         raise ParseError(
             f"expected a relation name (upper-case), got {name!r}",
-            tokens.position(),
+            pos,
             tokens.text,
+            token=name,
         )
     tokens.expect("(")
     args: list = []
@@ -150,12 +156,13 @@ def _parse_atom(tokens: _Tokens, allow_terms: bool) -> Atom:
 
 
 def _parse_plain_variable(tokens: _Tokens) -> Variable:
+    pos = tokens.position()
     name = tokens.next()
     if not _is_term_name(name):
-        raise ParseError(f"expected a variable, got {name!r}", tokens.position(), tokens.text)
+        raise ParseError(f"expected a variable, got {name!r}", pos, tokens.text, token=name)
     if tokens.peek() == "(":
         raise ParseError(
-            f"function term {name!r}(...) not allowed here", tokens.position(), tokens.text
+            f"function term {name!r}(...) not allowed here", pos, tokens.text, token=name
         )
     return Variable(name)
 
@@ -423,10 +430,11 @@ def parse_instance(text: str) -> Instance:
     if tokens.at_end():
         return Instance()
     while True:
+        pos = tokens.position()
         name = tokens.next()
         if not _is_relation_name(name):
             raise ParseError(
-                f"expected a relation name, got {name!r}", tokens.position(), text
+                f"expected a relation name, got {name!r}", pos, text, token=name
             )
         tokens.expect("(")
         args: list = []

@@ -16,12 +16,16 @@ Counter names are dotted strings, grouped by subsystem:
 ``chase.triggers``        triggers fired (standard chase) / triggerings
                           created (nested chase)
 ``chase.facts``           facts emitted by the oblivious chase engines
+``chase.fixpoint_rounds``  rounds run by ``engine.fixpoint_chase``
 ``match.memo_hits``       nested-chase child-match memoization hits
 ``hom.backtracks``        candidate facts rejected during homomorphism search
 ``implies.patterns``      k-patterns checked by ``implies_tgd``
 ``implies.cache_hits``    chase-cache hits inside ``implies_tgd``
 ``implies.cache_misses``  chase-cache misses inside ``implies_tgd``
 ``implies.parallel_chunks``  pattern chunks dispatched to the worker pool
+``implies.subsumption_checks``  syntactic-subsumption pre-passes attempted
+``implies.subsumption_skips``   pattern sweeps skipped: the rhs was
+                          trivially implied (``analysis.subsumption``)
 ========================  =====================================================
 
 The overhead is one dict update per recorded event; events are recorded at

@@ -151,3 +151,42 @@ class TestInstanceEnumeration:
         for i, left in enumerate(instances):
             for right in instances[i + 1:]:
                 assert not left.isomorphic(right, rename_constants=True)
+
+
+class TestEdgeCases:
+    """Empty schemas, all-constant cores, and single-null blocks."""
+
+    def test_enumeration_of_empty_schema_is_empty(self):
+        assert list(enumerate_source_instances(Schema(), 3, 3)) == []
+
+    def test_enumeration_with_zero_facts_is_empty(self):
+        schema = Schema([("Q", 1)])
+        assert list(enumerate_source_instances(schema, 0, 2)) == []
+
+    def test_enumerated_instances_are_all_constant(self):
+        schema = Schema([("S", 2)])
+        for instance in enumerate_source_instances(schema, 2, 2):
+            assert not instance.nulls()
+
+    def test_ground_tgd_gives_all_constant_singleton_blocks(self):
+        # no existentials: the chase output is all-constant, bound 1
+        verdict = decide_bounded_fblock_size([parse_tgd("S(x,y) -> R(x,y)")])
+        assert verdict.bounded
+        assert verdict.bound == 1
+        assert decide_bounded_fblock_size_exhaustive(
+            [parse_tgd("S(x,y) -> R(x,y)")], bound=1, anchor=1, max_constants=2
+        )
+
+    def test_single_null_block_bound_counts_both_facts(self):
+        # each trigger makes one null shared by two facts: bound 2
+        verdict = decide_bounded_fblock_size(
+            [parse_tgd("S(x) -> R(x,y) & T(y)")]
+        )
+        assert verdict.bounded
+        assert verdict.bound == 2
+
+    def test_threshold_of_ground_mapping_is_one(self):
+        assert fblock_threshold([parse_tgd("S(x,y) -> R(x,y)")]) == 1
+
+    def test_anchor_witness_is_at_least_one(self):
+        assert bounded_anchor_witness([parse_tgd("S(x,y) -> R(x,y)")]) >= 1

@@ -104,3 +104,65 @@ class TestLongestSimplePath:
         import networkx as nx
 
         assert longest_simple_path(nx.path_graph(10), cutoff=3) >= 3
+
+
+class TestEdgeCases:
+    """Empty instances, all-constant instances, and single-null blocks."""
+
+    def test_empty_instance_metrics(self):
+        empty = parse_instance("")
+        assert list(fact_blocks(empty)) == []
+        assert fact_block_size(empty) == 0
+        assert is_connected(empty)  # vacuously
+        assert fblock_degree(empty) == 0
+        assert null_path_length(empty) == 0
+        assert fact_graph(empty).number_of_nodes() == 0
+        assert full_fact_graph(empty).number_of_nodes() == 0
+        assert null_graph(empty).number_of_nodes() == 0
+
+    def test_empty_graph_longest_path(self):
+        import networkx as nx
+
+        assert longest_simple_path(nx.Graph()) == 0
+
+    def test_all_constant_instance_is_fully_disconnected(self):
+        inst = parse_instance("R(a,b), R(b,c), T(a), T(c)")
+        blocks = list(fact_blocks(inst))
+        assert len(blocks) == 4
+        assert all(len(block) == 1 for block in blocks)
+        assert fact_block_size(inst) == 1
+        assert not is_connected(inst)
+        assert fblock_degree(inst) == 0
+        assert full_fact_graph(inst).number_of_edges() == 0
+        assert null_graph(inst).number_of_nodes() == 0
+        assert null_path_length(inst) == 0
+
+    def test_all_constant_singleton_is_connected(self):
+        # one ground fact: a single (trivially connected) singleton block
+        inst = parse_instance("R(a,b)")
+        assert is_connected(inst)
+        assert fact_block_size(inst) == 1
+
+    def test_single_null_star_block(self):
+        # one null shared by three facts: one block, star degree 2 per leaf
+        inst = parse_instance("R(a,_u), S(b,_u), T(c,_u)")
+        blocks = list(fact_blocks(inst))
+        assert len(blocks) == 1
+        assert fact_block_size(inst) == 3
+        assert fblock_degree(inst) == 2  # complete sharing graph on 3 facts
+        assert null_path_length(inst) == 0  # a single null: no null-graph edge
+
+    def test_single_null_single_fact_block(self):
+        inst = parse_instance("R(a,_u), T(b)")
+        null_fact = next(fact for fact in inst if fact.relation == "R")
+        assert fact_block_of(inst, null_fact) == frozenset([null_fact])
+        assert fact_block_size(inst) == 1
+
+    def test_repeated_null_in_one_fact(self):
+        # _u occurs twice in one fact: still one node, no self-loop
+        inst = parse_instance("R(_u,_u)")
+        graph = null_graph(inst)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+        assert null_path_length(inst) == 0
+        assert fact_block_size(inst) == 1

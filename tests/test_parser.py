@@ -124,3 +124,57 @@ class TestErrorPositions:
     def test_unexpected_character(self):
         with pytest.raises(ParseError):
             parse_atom("S(x%)")
+
+
+class TestErrorLocations:
+    """Parse errors carry line, column, and the offending token."""
+
+    def test_atom_reports_offending_token(self):
+        with pytest.raises(ParseError) as info:
+            parse_atom("S(x y)")
+        error = info.value
+        assert (error.line, error.column, error.position) == (1, 5, 4)
+        assert error.token == "y"
+        assert "line 1, column 5" in str(error)
+
+    def test_nested_tgd_truncated_input(self):
+        with pytest.raises(ParseError) as info:
+            parse_nested_tgd("S(x,y) -> exists z .")
+        error = info.value
+        assert "unexpected end of input" in str(error)
+        assert error.token is None
+        assert error.position == len("S(x,y) -> exists z .")
+
+    def test_nested_tgd_bad_character_token(self):
+        with pytest.raises(ParseError) as info:
+            parse_nested_tgd("S(x,y) -> R(x % y)")
+        error = info.value
+        assert error.token == "%"
+        assert error.column == 15
+
+    def test_nested_tgd_bad_existential_name(self):
+        with pytest.raises(ParseError) as info:
+            parse_nested_tgd("S(x,y) -> exists 3 . R(x,z)")
+        assert info.value.token == "3"
+
+    def test_nested_tgd_unclosed_parenthesis(self):
+        text = "S(x1) -> exists y . (R(y,x1) & (S(x2) -> R(y,x2))"
+        with pytest.raises(ParseError) as info:
+            parse_nested_tgd(text)
+        assert info.value.position == len(text)
+
+    def test_multiline_input_reports_line_and_column(self):
+        text = "S(x1,x2) ->\n  exists y .\n  (R(y,x2) & & (S(x1,x3) -> R(y,x3)))"
+        with pytest.raises(ParseError) as info:
+            parse_nested_tgd(text)
+        error = info.value
+        assert (error.line, error.column) == (3, 14)
+        assert error.token == "&"
+        assert "line 3, column 14" in str(error)
+
+    def test_missing_arrow_names_the_token_found(self):
+        with pytest.raises(ParseError) as info:
+            parse_tgd("S(x,y) R(x,y)")
+        error = info.value
+        assert error.token == "R"
+        assert "expected '->'" in str(error)
