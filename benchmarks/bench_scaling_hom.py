@@ -1,0 +1,204 @@
+"""SCALE-HOM -- indexed homomorphism kernel and core engine vs the seed baselines.
+
+Three workloads, each with a predictable asymptotic gap:
+
+- **pinpoint**: n independent single-null blocks ``R(c_i, _x_i)`` against n
+  ground facts ``R(c_i, d_i)``.  The kernel seeds each block's candidates
+  from the per-(relation, position, value) index (O(1) per block); the naive
+  finder scans every fact of ``R`` per source fact (O(n) per fact, O(n^2)
+  total).
+- **hub / hub-unsat**: a star of m spokes ``R(_h, _x_i)`` whose hub null is
+  pinned by a single ``T(_h, c)`` fact, against g candidate hubs.  AC-3
+  propagation intersects the hub's domain to one value (or none, in the
+  unsatisfiable variant) before any search; the naive backtracker re-binds
+  the hub g times and re-scans g candidates per spoke.
+- **core**: the core of the chase of a star source under the introduction's
+  nested tgd -- n isomorphic f-blocks of n facts each that must fold into
+  one.  The block-memoizing worklist engine
+  (:func:`repro.engine.core_instance.core`) against the seed loop preserved
+  as :func:`repro.engine.naive.core_naive` (restricted immutable instance
+  per candidate null, restart per elimination).
+
+Run as a script to record the comparison in ``BENCH_hom.json``::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_hom.py [--smoke] [--json PATH]
+
+Acceptance: the pinpoint workload must show a >= 10x kernel-vs-naive speedup
+at the largest size.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.chase import chase
+from repro.engine.core_instance import clear_fold_cache, core
+from repro.engine.homomorphism import find_homomorphism, is_homomorphism
+from repro.engine.naive import core_naive, find_homomorphism_naive
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.parser import parse_nested_tgd
+from repro.logic.values import Constant, Null
+
+NESTED = parse_nested_tgd("S(x1,x2) -> exists y . (R(y,x2) & (S(x1,x3) -> R(y,x3)))")
+
+HOM_SIZES = [100, 200, 400]
+SMOKE_HOM_SIZES = [30, 60, 120]
+CORE_SIZES = [6, 9, 12]
+SMOKE_CORE_SIZES = [4, 6, 8]
+
+HUB_SPOKES = 10
+
+
+def pinpoint_instances(n: int) -> tuple[Instance, Instance]:
+    """n independent single-null blocks, each with exactly one image fact."""
+    source = Instance(Atom("R", (Constant(f"c{i}"), Null(f"x{i}"))) for i in range(n))
+    target = Instance(Atom("R", (Constant(f"c{i}"), Constant(f"d{i}"))) for i in range(n))
+    return source, target
+
+
+def hub_instances(g: int, satisfiable: bool = True) -> tuple[Instance, Instance]:
+    """One block: a hub null with HUB_SPOKES spokes, g candidate hub values.
+
+    A single ``T(_h, c0)`` fact pins the hub to the last candidate; in the
+    unsatisfiable variant the pinning fact has no image at all.
+    """
+    hub = Null("h")
+    source_facts = [Atom("R", (hub, Null(f"x{i}"))) for i in range(HUB_SPOKES)]
+    source_facts.append(Atom("T", (hub, Constant("c0"))))
+    target_facts = [
+        Atom("R", (Constant(f"h{j}"), Constant(f"y{j}"))) for j in range(g)
+    ]
+    pin = Constant("c0") if satisfiable else Constant("c1")
+    target_facts.append(Atom("T", (Constant(f"h{g - 1}"), pin)))
+    return Instance(source_facts), Instance(target_facts)
+
+
+def star_chase(n: int) -> Instance:
+    """Chase of an n-spoke star under NESTED: n isomorphic blocks of n facts."""
+    star = Instance(Atom("S", (Constant("hub"), Constant(f"v{i}"))) for i in range(n))
+    return chase(star, NESTED)
+
+
+def _best_of(func, *args, repeats: int = 3, **kwargs):
+    """Minimum wall time of *repeats* runs, and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def compare_hom(workload: str, n: int) -> dict:
+    """Time the indexed kernel against the naive finder on one workload."""
+    if workload == "pinpoint":
+        source, target = pinpoint_instances(n)
+        expect = True
+    elif workload == "hub":
+        source, target = hub_instances(n, satisfiable=True)
+        expect = True
+    elif workload == "hub_unsat":
+        source, target = hub_instances(n, satisfiable=False)
+        expect = False
+    else:
+        raise ValueError(workload)
+    kernel_s, kernel_map = _best_of(find_homomorphism, source, target)
+    naive_s, naive_map = _best_of(find_homomorphism_naive, source, target)
+    assert (kernel_map is not None) == expect, workload
+    assert (naive_map is not None) == expect, workload
+    if expect:
+        assert is_homomorphism(kernel_map, source, target)
+        assert is_homomorphism(naive_map, source, target)
+    return {"workload": workload, "n": n, "kernel_s": kernel_s,
+            "naive_s": naive_s, "speedup": naive_s / kernel_s}
+
+
+def _cold_core(instance: Instance) -> Instance:
+    """Run the new core engine with an emptied fold cache (cold-start timing)."""
+    clear_fold_cache()
+    return core(instance)
+
+
+def compare_core(n: int) -> dict:
+    """Time the block-memoizing core engine against the seed elimination loop."""
+    chased = star_chase(n)
+    kernel_s, folded = _best_of(_cold_core, chased)
+    naive_s, folded_naive = _best_of(core_naive, chased)
+    assert len(folded) == len(folded_naive) == n  # one block of n facts survives
+    assert find_homomorphism(folded, folded_naive) is not None
+    assert find_homomorphism(folded_naive, folded) is not None
+    return {"n": n, "chase_facts": len(chased), "kernel_s": kernel_s,
+            "naive_s": naive_s, "speedup": naive_s / kernel_s}
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_scale_hom_pinpoint(benchmark, n):
+    source, target = pinpoint_instances(n)
+    mapping = benchmark(find_homomorphism, source, target)
+    assert mapping is not None
+
+
+@pytest.mark.parametrize("g", [50, 100, 200])
+def test_scale_hom_hub(benchmark, g):
+    source, target = hub_instances(g)
+    mapping = benchmark(find_homomorphism, source, target)
+    assert mapping is not None and mapping[Null("h")] == Constant(f"h{g - 1}")
+
+
+@pytest.mark.parametrize("n", CORE_SIZES)
+def test_scale_core_star(benchmark, n):
+    chased = star_chase(n)
+    folded = benchmark(_cold_core, chased)
+    assert len(folded) == n
+
+
+def test_hom_kernel_speedup():
+    """Acceptance: >= 10x over the naive finder at the largest pinpoint size."""
+    row = compare_hom("pinpoint", HOM_SIZES[-1])
+    assert row["speedup"] >= 10.0, row
+
+
+def main(argv=None) -> dict:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller sizes (CI smoke run)")
+    parser.add_argument("--json", metavar="PATH", default="BENCH_hom.json",
+                        help="where to write the results (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    hom_sizes = SMOKE_HOM_SIZES if args.smoke else HOM_SIZES
+    core_sizes = SMOKE_CORE_SIZES if args.smoke else CORE_SIZES
+    report = {
+        "benchmark": "scale-hom-kernel",
+        "smoke": args.smoke,
+        "pinpoint": [compare_hom("pinpoint", n) for n in hom_sizes],
+        "hub": [compare_hom("hub", n) for n in hom_sizes],
+        "hub_unsat": [compare_hom("hub_unsat", n) for n in hom_sizes],
+        "core": [compare_core(n) for n in core_sizes],
+    }
+    report["largest_pinpoint_speedup"] = report["pinpoint"][-1]["speedup"]
+    report["largest_hub_speedup"] = report["hub"][-1]["speedup"]
+    report["largest_core_speedup"] = report["core"][-1]["speedup"]
+
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for key in ("pinpoint", "hub", "hub_unsat"):
+        for row in report[key]:
+            print(f"{key:9s} n={row['n']:4d}  kernel {row['kernel_s']:.4f}s  "
+                  f"naive {row['naive_s']:.4f}s  speedup {row['speedup']:.1f}x")
+    for row in report["core"]:
+        print(f"core      n={row['n']:4d}  kernel {row['kernel_s']:.4f}s  "
+              f"naive {row['naive_s']:.4f}s  speedup {row['speedup']:.1f}x")
+    print(f"wrote {args.json}")
+    if not args.smoke:
+        assert report["largest_pinpoint_speedup"] >= 10.0
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -30,8 +30,8 @@ from repro.logic.egds import Egd
 from repro.logic.instances import Instance
 from repro.logic.nested import nested_tgds_from
 from repro.core.canonical import canonical_instances, legal_canonical_instances
+from repro.core.implication import cached_chase
 from repro.core.patterns import patterns_up_to_size
-from repro.engine.chase import chase
 from repro.engine.core_instance import core
 from repro.engine.egd_chase import satisfies_egds
 from repro.engine.homomorphism import homomorphically_equivalent
@@ -70,14 +70,16 @@ def cq_refute(
 
     A returned instance I witnesses that the mappings are **not**
     CQ-equivalent: their cores are not hom-equivalent on I, so some CQ has
-    different certain answers.
+    different certain answers.  Both chases go through the IMPLIES chase
+    cache: the canonical test family deliberately repeats sources across the
+    two mappings and across calls.
     """
     deps_a, deps_b = _normalize(mapping_a), _normalize(mapping_b)
     for source in sources:
         if source_egds and not satisfies_egds(source, list(source_egds)):
             continue
-        core_a = core(chase(source, deps_a))
-        core_b = core(chase(source, deps_b))
+        core_a = core(cached_chase(source, deps_a))
+        core_b = core(cached_chase(source, deps_b))
         if not homomorphically_equivalent(core_a, core_b):
             return source
     return None

@@ -36,8 +36,8 @@ from repro.logic.nested import NestedTgd, nested_tgds_from
 from repro.logic.schema import Schema
 from repro.logic.values import Constant
 from repro.core.canonical import canonical_instances, legal_canonical_instances
+from repro.core.implication import cached_chase
 from repro.core.patterns import Pattern, one_patterns
-from repro.engine.chase import chase
 from repro.engine.core_instance import core
 from repro.engine.egd_chase import satisfies_egds
 from repro.engine.gaifman import fact_block_size
@@ -70,8 +70,17 @@ def _self_bound(tgd: NestedTgd) -> int:
     return tgd.skolem_function_count() * tgd.universal_variable_count() + 1
 
 
-def _core_fblock_size(source: Instance, dependencies: Sequence) -> int:
-    return fact_block_size(core(chase(source, list(dependencies))))
+def _core_fblock_size(
+    source: Instance, dependencies: Sequence, parallel: int | None = None
+) -> int:
+    """``fact_block_size(core(chase(source, M)))`` -- the growth-test probe.
+
+    The chase goes through the IMPLIES chase cache (clone rounds re-derive
+    the same canonical sources constantly) and the core computation can fan
+    block folding out over *parallel* worker processes.
+    """
+    chased = cached_chase(source, list(dependencies))
+    return fact_block_size(core(chased, parallel=parallel))
 
 
 def _paths_of(pattern: Pattern) -> Iterator[tuple[int, ...]]:
@@ -107,6 +116,7 @@ def decide_bounded_fblock_size(
     source_egds: Sequence[Egd] = (),
     clone_limit: int | None = None,
     max_patterns: int | None = 100_000,
+    parallel: int | None = None,
 ) -> FBlockVerdict:
     """Decide whether a nested GLAV mapping has bounded f-block size.
 
@@ -117,6 +127,9 @@ def decide_bounded_fblock_size(
     instance of the cloned pattern.  Strictly monotone growth through the
     whole range witnesses unboundedness (the extension argument of Theorem
     4.4); otherwise the maximum observed size is an effective bound.
+
+    ``parallel=N`` fans the core computation's block folding out over N
+    worker processes (the verdict is identical to the serial run).
 
         >>> from repro.logic.parser import parse_nested_tgd, parse_tgd
         >>> decide_bounded_fblock_size([parse_tgd("S(x,y) -> R(x,z)")]).bounded
@@ -138,7 +151,7 @@ def decide_bounded_fblock_size(
         limit = clone_limit if clone_limit is not None else _self_bound(tgd) + 1
         for pattern in one_patterns(tgd, max_patterns=max_patterns):
             base_size = _core_fblock_size(
-                _canonical_source(pattern, tgd, source_egds), all_deps
+                _canonical_source(pattern, tgd, source_egds), all_deps, parallel
             )
             best_bound = max(best_bound, base_size)
             tried_subtrees: set[tuple] = set()
@@ -153,7 +166,7 @@ def decide_bounded_fblock_size(
                 for copies in range(1, limit + 1):
                     cloned = pattern.with_clones(path, copies)
                     size = _core_fblock_size(
-                        _canonical_source(cloned, tgd, source_egds), all_deps
+                        _canonical_source(cloned, tgd, source_egds), all_deps, parallel
                     )
                     sizes.append(size)
                     best_bound = max(best_bound, size)

@@ -35,8 +35,12 @@ from repro.core.patterns import patterns_up_to_size
 def is_equivalent_to_glav(
     dependencies,
     source_egds: Sequence[Egd] = (),
+    parallel: int | None = None,
 ) -> bool:
     """Decide whether a nested GLAV mapping is logically equivalent to a GLAV mapping.
+
+    ``parallel=N`` is forwarded to the boundedness analysis (core folding on
+    N worker processes; same verdict as the serial run).
 
         >>> from repro.logic.parser import parse_nested_tgd
         >>> sigma = parse_nested_tgd(
@@ -44,7 +48,9 @@ def is_equivalent_to_glav(
         >>> is_equivalent_to_glav([sigma])   # the paper's running counterexample
         False
     """
-    verdict = decide_bounded_fblock_size(dependencies, source_egds=source_egds)
+    verdict = decide_bounded_fblock_size(
+        dependencies, source_egds=source_egds, parallel=parallel
+    )
     return verdict.bounded
 
 
@@ -86,12 +92,16 @@ def to_glav(
     dependencies,
     source_egds: Sequence[Egd] = (),
     max_pattern_nodes: int = 8,
+    parallel: int | None = None,
 ) -> list[STTgd]:
     """Construct a GLAV mapping logically equivalent to the given nested GLAV mapping.
 
     Raises :class:`UndecidedError` when the mapping has unbounded f-block size
     (no equivalent GLAV mapping exists, Theorem 4.1) or when the search bound
     *max_pattern_nodes* is exhausted before the implication closes.
+    ``parallel=N`` is forwarded to both the boundedness analysis (parallel
+    core folding) and the closing IMPLIES sweep (parallel pattern checks);
+    the construction is unchanged.
 
         >>> from repro.logic.parser import parse_nested_tgd
         >>> sigma = parse_nested_tgd("S1(x1) -> (S2(x2) -> T(x1, x2))")
@@ -100,7 +110,9 @@ def to_glav(
         1
     """
     nested = nested_tgds_from(dependencies)
-    verdict: FBlockVerdict = decide_bounded_fblock_size(nested, source_egds=source_egds)
+    verdict: FBlockVerdict = decide_bounded_fblock_size(
+        nested, source_egds=source_egds, parallel=parallel
+    )
     if not verdict.bounded:
         raise UndecidedError(
             "the mapping has unbounded f-block size and is therefore not logically "
@@ -120,7 +132,7 @@ def to_glav(
         candidate = list(dict.fromkeys(candidate))
         # The nested mapping always implies its pattern tgds; equivalence holds
         # as soon as the pattern tgds imply the nested mapping back.
-        if implies(candidate, nested, source_egds=list(source_egds)):
+        if implies(candidate, nested, source_egds=list(source_egds), parallel=parallel):
             return candidate
     raise UndecidedError(
         "no equivalent GLAV mapping found with patterns of at most "

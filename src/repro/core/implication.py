@@ -160,6 +160,18 @@ def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...])
     return result
 
 
+def cached_chase(source: Instance, dependencies: Sequence) -> Instance:
+    """``chase(source, dependencies)`` through the process-wide LRU cache.
+
+    Public entry point to the IMPLIES chase cache for the other Section-4
+    procedures (``decide_bounded_fblock_size``, ``cq_refute``) that re-chase
+    the same canonical sources across growth rounds or mapping pairs.  Sound
+    because the chase is deterministic given (source, dependencies); the
+    cache key uses the dependencies' reprs, which are total.
+    """
+    return _cached_chase(source, list(dependencies), _sigma_fingerprint(dependencies))
+
+
 def _check_pattern(
     pattern: Pattern,
     lhs: Sequence,
@@ -405,6 +417,7 @@ def implies_semantic_bounded(
 
 __all__ = [
     "ImplicationResult",
+    "cached_chase",
     "clear_chase_cache",
     "implication_bound",
     "implies_tgd",

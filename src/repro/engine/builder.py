@@ -3,10 +3,11 @@
 :class:`Instance` is immutable: every ``union`` re-indexes all facts, so a
 fixpoint loop that grows a target one trigger at a time pays quadratic index
 maintenance.  :class:`InstanceBuilder` is the mutable companion the chase
-engines use instead: it maintains the same two indexes -- per-relation and
-per-(relation, position, value) -- under insertion (and deletion, for the
-egd chase's merge rewrites) in amortized constant time per fact, and freezes
-into an :class:`Instance` in one linear pass without re-indexing.
+engines use instead: it maintains the same three indexes -- per-relation,
+per-(relation, position, value), and the per-value reverse index -- under
+insertion (and deletion, for the egd chase's merge rewrites and the core
+engine's retractions) in amortized constant time per fact, and freezes into
+an :class:`Instance` in one linear pass without re-indexing.
 
 A builder is duck-type compatible with the read API the matching and
 homomorphism engines use (``facts_of`` / ``facts_with`` / iteration /
@@ -163,6 +164,7 @@ class InstanceBuilder:
             frozenset(self._facts),
             {rel: tuple(fs) for rel, fs in self._by_relation.items()},
             {key: tuple(fs) for key, fs in self._by_position.items()},
+            {val: tuple(fs) for val, fs in self._by_value.items()},
             frozenset(nulls),
             frozenset(constants),
         )

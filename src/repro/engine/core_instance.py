@@ -1,4 +1,4 @@
-"""Core computation.
+"""Core computation by iterative f-block retraction.
 
 The core of an instance J is the smallest subinstance of J homomorphically
 equivalent to J; it is unique up to isomorphism (Section 2, citing Hell &
@@ -20,32 +20,254 @@ Note that merely searching for a homomorphism that maps ``x`` to another
 value would be wrong: such a homomorphism can be an automorphism (e.g.
 rotating the nulls of a symmetric cycle), whose application does not shrink
 the instance.
+
+Engine structure (the seed loop -- restricted instance per candidate null,
+restart per elimination -- is preserved as
+:func:`repro.engine.naive.core_naive` for differential testing):
+
+- **One mutable target.**  The instance lives in an
+  :class:`~repro.engine.builder.InstanceBuilder`; an elimination *discards*
+  the block facts that left the image instead of rebuilding an immutable
+  instance, and "J minus the facts containing x" is expressed as a
+  ``forbidden`` fact set (from the per-value reverse index) passed to the
+  homomorphism kernel, never materialized.
+- **Block worklist.**  Blocks are processed independently.  An elimination
+  only removes facts of the processed block (every image fact already exists
+  in J), so other blocks are unaffected; the surviving facts are split into
+  connected components and re-enqueued.  A block with no eliminable null is
+  *rigid* and never revisited: eliminating homomorphisms only lose candidate
+  facts as J shrinks, so rigidity is monotone under eliminations.
+- **Block-local folding is context-free and memoized.**  A homomorphism from
+  block B into ``B minus facts(x)`` is in particular one into
+  ``J minus facts(x)``, so a local fold is a valid elimination in any
+  enclosing instance.  Folds are memoized process-wide in an LRU keyed by a
+  *canonical labeling* of the block (nulls renamed along degree-profile
+  groups), so the isomorphic blocks that chase outputs are full of fold
+  once -- across blocks and across core calls.  Overly symmetric blocks
+  (too many tie-break permutations) skip the cache and fold directly.
+- **Isomorphic duplicate blocks drop wholesale.**  If B2 is isomorphic to a
+  disjoint block B1 of the same instance, the isomorphism maps B2 into
+  ``J minus facts(x)`` for every null x of B2 (distinct blocks share no
+  nulls), so all of B2 is eliminated by one retraction.  Duplicates are
+  detected by equal canonical forms.
+- **Parallel local folding** (``core(instance, parallel=N)``): uncached
+  block folds are dispatched to a fork-based process pool (mirroring the
+  IMPLIES pattern sweep); results land in the shared LRU.  A fold is a
+  deterministic function of the canonical form, so parallel and serial runs
+  return identical cores.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import OrderedDict, deque
+from typing import Iterable, Sequence
+
+from repro import perf
+from repro.engine.builder import InstanceBuilder
 from repro.engine.gaifman import fact_blocks
-from repro.engine.homomorphism import _block_homomorphism
+from repro.engine.hom_kernel import block_homomorphism
+from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
-from repro.logic.values import is_null
+from repro.logic.values import Null, is_null
+
+#: Maximum number of tie-break permutations tried when canonically labeling
+#: the nulls of a block; blocks more symmetric than this skip the fold cache.
+_CANON_PERMUTATION_LIMIT = 120
+
+#: Process-wide LRU of block-local folds: canonical fact tuple -> folded
+#: canonical fact tuple.  Sound because a fold is context-free (see module
+#: docstring) and deterministic given the canonical form.
+_FOLD_CACHE: OrderedDict[tuple[Atom, ...], tuple[Atom, ...]] = OrderedDict()
+_FOLD_CACHE_MAX = 1024
 
 
-def _try_eliminate(instance: Instance) -> Instance | None:
-    """Eliminate one null via a folding retract; return None if J is a core."""
-    for block in fact_blocks(instance):
-        block_facts = list(block)
-        block_nulls = sorted(
-            {arg for fact in block_facts for arg in fact.args if is_null(arg)}, key=repr
-        )
-        for null in block_nulls:
-            target = instance.restrict(lambda fact: null not in fact.args)
-            mapping = _block_homomorphism(block_facts, target, {})
-            if mapping is not None:
-                return instance.map_values(mapping)
+def clear_fold_cache() -> None:
+    """Empty the process-wide block-fold cache (mainly for tests)."""
+    _FOLD_CACHE.clear()
+
+
+def _store_fold(key: tuple[Atom, ...], folded: tuple[Atom, ...]) -> None:
+    _FOLD_CACHE[key] = folded
+    _FOLD_CACHE.move_to_end(key)
+    while len(_FOLD_CACHE) > _FOLD_CACHE_MAX:
+        _FOLD_CACHE.popitem(last=False)
+
+
+def _has_nulls(facts: Iterable[Atom]) -> bool:
+    return any(is_null(arg) for fact in facts for arg in fact.args)
+
+
+def _block_nulls(facts: Iterable[Atom]) -> list:
+    """The nulls of a block, sorted by repr for deterministic elimination order."""
+    return sorted({null for fact in facts for null in fact.nulls()}, key=repr)
+
+
+def _null_components(facts: Sequence[Atom]) -> list[list[Atom]]:
+    """Split facts into connected components linked by shared (top-level) nulls."""
+    anchor_of: dict = {}
+    parent = list(range(len(facts)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for index, fact in enumerate(facts):
+        for null in fact.nulls():
+            anchor = anchor_of.setdefault(null, index)
+            if anchor != index:
+                root_a, root_b = find(anchor), find(index)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+    groups: dict[int, list[Atom]] = {}
+    for index, fact in enumerate(facts):
+        groups.setdefault(find(index), []).append(fact)
+    return list(groups.values())
+
+
+def _eliminating_hom(block: Sequence[Atom], target) -> dict | None:
+    """Find a retraction of *block* into *target* eliminating one of its nulls.
+
+    Tries each null x of the block in repr order; "target minus the facts
+    containing x" is expressed by passing those facts (looked up in the
+    per-value reverse index) to the kernel as a forbidden set.  The nulls of
+    a block occur in no other block, so the lookup returns block facts only.
+    """
+    for null in _block_nulls(block):
+        forbidden = frozenset(target.facts_containing(null))
+        mapping = block_homomorphism(block, target, None, forbidden)
+        if mapping is not None:
+            return mapping
     return None
 
 
-def core(instance: Instance) -> Instance:
+def _process_blocks(builder: InstanceBuilder, pending: deque[list[Atom]]) -> None:
+    """Drain the block worklist, applying eliminations to *builder* in place.
+
+    Every image fact of an eliminating homomorphism already exists in the
+    target, so applying it means discarding the block facts that left the
+    image; the surviving facts may disconnect and are re-enqueued as fresh
+    components.  Blocks with no eliminable null are rigid and leave the
+    queue permanently (rigidity is monotone as the target shrinks).
+    """
+    while pending:
+        block = pending.popleft()
+        mapping = _eliminating_hom(block, builder)
+        if mapping is None:
+            perf.incr("core.rigid_blocks")
+            continue
+        perf.incr("core.eliminations")
+        images = {fact.rename_values(mapping) for fact in block}
+        survivors: list[Atom] = []
+        for fact in block:
+            if fact in images:
+                survivors.append(fact)
+            else:
+                builder.discard(fact)
+        if survivors:
+            pending.extend(_null_components(survivors))
+
+
+def _fold_facts(facts: Iterable[Atom]) -> tuple[Atom, ...]:
+    """Fold a block against itself until no null is locally eliminable.
+
+    A pure, deterministic function of the fact set (it is the fold-cache
+    value computation and the parallel worker); returns repr-sorted facts.
+    """
+    builder = InstanceBuilder(facts)
+    pending: deque[list[Atom]] = deque(_null_components(list(builder)))
+    _process_blocks(builder, pending)
+    return tuple(sorted(builder, key=repr))
+
+
+def _canonical_block(facts: Sequence[Atom]) -> tuple[tuple[Atom, ...], dict] | None:
+    """Canonically label the nulls of a block, or None if too symmetric.
+
+    Nulls are grouped by degree profile (multiset of (relation, position)
+    occurrences -- an isomorphism invariant) and renamed to ``Null(("#",
+    i))``; ties within a profile group are broken by trying every
+    within-group permutation and keeping the lexicographically least fact
+    tuple, so isomorphic blocks get identical canonical forms.  Returns the
+    canonical fact tuple and the null -> canonical-null labeling, or None
+    when the tie groups would need more than ``_CANON_PERMUTATION_LIMIT``
+    permutations.
+    """
+    profiles: dict = {}
+    for fact in facts:
+        for pos, arg in enumerate(fact.args):
+            if is_null(arg):
+                profile = profiles.setdefault(arg, {})
+                key = (fact.relation, pos)
+                profile[key] = profile.get(key, 0) + 1
+    groups: dict = {}
+    for null, profile in profiles.items():
+        groups.setdefault(tuple(sorted(profile.items())), []).append(null)
+    total = 1
+    for members in groups.values():
+        for i in range(2, len(members) + 1):
+            total *= i
+            if total > _CANON_PERMUTATION_LIMIT:
+                return None
+    ordered_groups = [sorted(members, key=repr) for __, members in sorted(groups.items())]
+    best: tuple[Atom, ...] | None = None
+    best_key: list[str] = []
+    best_labeling: dict = {}
+    for orderings in itertools.product(
+        *(itertools.permutations(members) for members in ordered_groups)
+    ):
+        labeling: dict = {}
+        for members in orderings:
+            for null in members:
+                labeling[null] = Null(("#", len(labeling)))
+        relabeled = tuple(sorted((f.rename_values(labeling) for f in facts), key=repr))
+        relabeled_key = [repr(f) for f in relabeled]
+        if best is None or relabeled_key < best_key:
+            best = relabeled
+            best_key = relabeled_key
+            best_labeling = labeling
+    assert best is not None
+    return best, best_labeling
+
+
+def _fold_block(
+    block: Sequence[Atom], canon: tuple[tuple[Atom, ...], dict] | None
+) -> tuple[Atom, ...]:
+    """Fold one block locally, through the canonical-form cache when possible."""
+    if canon is None:
+        return _fold_facts(block)
+    key, labeling = canon
+    cached = _FOLD_CACHE.get(key)
+    if cached is not None:
+        _FOLD_CACHE.move_to_end(key)
+        perf.incr("core.memo_hits")
+    else:
+        perf.incr("core.memo_misses")
+        cached = _fold_facts(key)
+        _store_fold(key, cached)
+    inverse = {label: null for null, label in labeling.items()}
+    return tuple(fact.rename_values(inverse) for fact in cached)
+
+
+def _prefold_parallel(keys: list[tuple[Atom, ...]], workers: int) -> None:
+    """Fold uncached canonical blocks across a fork-based process pool."""
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return
+    perf.incr("core.parallel_blocks", len(keys))
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        for key, folded in zip(keys, pool.map(_fold_facts, keys)):
+            _store_fold(key, folded)
+
+
+def core(instance: Instance, parallel: int | None = None) -> Instance:
     """Return the core of *instance*.
 
         >>> from repro.logic.parser import parse_instance
@@ -53,20 +275,61 @@ def core(instance: Instance) -> Instance:
         Instance{R(a, b)}
 
     The result contains the same constants as the input and a subset of its
-    nulls; it is homomorphically equivalent to the input and no proper
-    subinstance of it is.
+    facts; it is homomorphically equivalent to the input and no proper
+    subinstance of it is.  With ``parallel=N``, block-local folding runs on
+    a pool of N worker processes (same result as the serial run).
     """
-    current = instance
-    while True:
-        folded = _try_eliminate(current)
-        if folded is None:
-            return current
-        current = folded
+    builder = InstanceBuilder()
+    null_blocks: list[list[Atom]] = []
+    for block in fact_blocks(instance):
+        block_facts = sorted(block, key=repr)
+        if _has_nulls(block_facts):
+            null_blocks.append(block_facts)
+        else:
+            builder.add_all(block_facts)
+    perf.incr("core.blocks", len(null_blocks))
+    null_blocks.sort(key=lambda facts: [repr(f) for f in facts])
+
+    # Drop isomorphic duplicates (equal canonical form => the isomorphism is
+    # a wholesale eliminating retraction into the kept representative).
+    kept: list[tuple[list[Atom], tuple[tuple[Atom, ...], dict] | None]] = []
+    seen_keys: set[tuple[Atom, ...]] = set()
+    for block_facts in null_blocks:
+        canon = _canonical_block(block_facts)
+        if canon is not None:
+            if canon[0] in seen_keys:
+                perf.incr("core.iso_folds")
+                continue
+            seen_keys.add(canon[0])
+        kept.append((block_facts, canon))
+
+    if parallel and parallel > 1:
+        uncached = [
+            canon[0]
+            for __, canon in kept
+            if canon is not None and canon[0] not in _FOLD_CACHE
+        ]
+        if len(uncached) > 1:
+            _prefold_parallel(uncached, parallel)
+
+    pending: deque[list[Atom]] = deque()
+    for block_facts, canon in kept:
+        folded = _fold_block(block_facts, canon)
+        builder.add_all(folded)
+        pending.extend(_null_components(list(folded)))
+    _process_blocks(builder, pending)
+    return builder.freeze()
 
 
 def is_core(instance: Instance) -> bool:
     """Return True if *instance* equals its own core (no null is eliminable)."""
-    return _try_eliminate(instance) is None
+    for block in fact_blocks(instance):
+        block_facts = sorted(block, key=repr)
+        if not _has_nulls(block_facts):
+            continue
+        if _eliminating_hom(block_facts, instance) is not None:
+            return False
+    return True
 
 
-__all__ = ["core", "is_core"]
+__all__ = ["core", "is_core", "clear_fold_cache"]

@@ -7,6 +7,8 @@ indexes, with a greedy "most bound variables first" atom ordering.
 
 from __future__ import annotations
 
+import heapq
+from collections import defaultdict
 from typing import Iterator, Mapping, Sequence
 
 from repro.logic.atoms import Atom
@@ -15,22 +17,47 @@ from repro.logic.values import Variable
 
 
 def _order_atoms(atoms: Sequence[Atom], bound: set[Variable]) -> list[Atom]:
-    """Greedily order atoms so that each one shares variables with earlier ones."""
-    remaining = list(atoms)
-    ordered: list[Atom] = []
+    """Greedily order atoms so that each one shares variables with earlier ones.
+
+    Most bound variables first, fewest new variables as tie-break.  Variable
+    sets are computed once per atom and scores live in a lazy max-heap, so an
+    atom is rescored only when one of its variables becomes bound: the
+    ordering is near-linear in the total number of variable occurrences
+    instead of quadratic in the atom count.
+    """
+    var_sets = [atom.variable_set() for atom in atoms]
+    atoms_of_var: dict[Variable, list[int]] = defaultdict(list)
+    for index, variables in enumerate(var_sets):
+        for var in variables:
+            atoms_of_var[var].append(index)
     known = set(bound)
-    while remaining:
-        best_index = 0
-        best_score = (-1, 0)
-        for index, atom in enumerate(remaining):
-            atom_vars = atom.variable_set()
-            score = (len(atom_vars & known), -len(atom_vars - known))
-            if score > best_score:
-                best_score = score
-                best_index = index
-        chosen = remaining.pop(best_index)
-        ordered.append(chosen)
-        known |= chosen.variable_set()
+    known_counts = [len(variables & known) for variables in var_sets]
+
+    def entry(index: int) -> tuple[int, int, int]:
+        return (-known_counts[index], len(var_sets[index]) - known_counts[index], index)
+
+    heap = [entry(index) for index in range(len(atoms))]
+    heapq.heapify(heap)
+    placed = [False] * len(atoms)
+    ordered: list[Atom] = []
+    while heap:
+        popped = heapq.heappop(heap)
+        index = popped[2]
+        if placed[index]:
+            continue
+        if popped != entry(index):
+            # Stale score: a fresher (better) entry for this atom is queued.
+            continue
+        placed[index] = True
+        ordered.append(atoms[index])
+        for var in var_sets[index]:
+            if var in known:
+                continue
+            known.add(var)
+            for other in atoms_of_var[var]:
+                if not placed[other]:
+                    known_counts[other] += 1
+                    heapq.heappush(heap, entry(other))
     return ordered
 
 

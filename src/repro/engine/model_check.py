@@ -29,12 +29,42 @@ from repro.engine.egd_chase import satisfies_egds
 from repro.engine.matching import find_matches
 
 
+# ------------------------------------------------------------- shared state
+
+
+class _CheckContext:
+    """Per-(source, target) state shared across all dependencies of a check.
+
+    Checking a mapping means checking every dependency of Sigma against the
+    same pair (I, J); the sorted active domains (the witness candidate pools
+    of both checkers) depend only on the pair, so they are computed once here
+    instead of once per dependency.
+    """
+
+    __slots__ = ("target_adom", "joint_adom")
+
+    def __init__(self, source: Instance, target: Instance):
+        self.target_adom = sorted(target.active_domain(), key=repr) or [
+            Constant("__dummy__")
+        ]
+        self.joint_adom = sorted(
+            set(source.active_domain()) | set(target.active_domain()), key=repr
+        )
+
+
 # --------------------------------------------------------------- nested tgds
 
 
-def satisfies_nested(source: Instance, target: Instance, tgd: NestedTgd) -> bool:
+def satisfies_nested(
+    source: Instance,
+    target: Instance,
+    tgd: NestedTgd,
+    context: _CheckContext | None = None,
+) -> bool:
     """First-order model checking of a nested tgd on (source, target)."""
-    adom = sorted(target.active_domain(), key=repr) or [Constant("__dummy__")]
+    if context is None:
+        context = _CheckContext(source, target)
+    adom = context.target_adom
 
     def check_part(pid: int, assignment: dict) -> bool:
         part = tgd.part(pid)
@@ -94,7 +124,12 @@ class _FunctionTable:
         return term, None
 
 
-def satisfies_so(source: Instance, target: Instance, so_tgd: SOTgd) -> bool:
+def satisfies_so(
+    source: Instance,
+    target: Instance,
+    so_tgd: SOTgd,
+    context: _CheckContext | None = None,
+) -> bool:
     """Second-order model checking: search for witnessing function interpretations.
 
     Candidate values for each function point are the active domains of source
@@ -108,9 +143,9 @@ def satisfies_so(source: Instance, target: Instance, so_tgd: SOTgd) -> bool:
         for match in find_matches(clause.body, source):
             obligations.append((clause, match))
 
-    base_candidates = sorted(
-        set(source.active_domain()) | set(target.active_domain()), key=repr
-    )
+    if context is None:
+        context = _CheckContext(source, target)
+    base_candidates = context.joint_adom
     table = _FunctionTable()
 
     def check_obligation(index: int) -> bool:
@@ -185,15 +220,16 @@ def satisfies(source: Instance, target: Instance, dependencies) -> bool:
     """
     if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
         dependencies = [dependencies]
+    context = _CheckContext(source, target)
     for dep in dependencies:
         if isinstance(dep, STTgd):
-            if not satisfies_nested(source, target, dep.to_nested()):
+            if not satisfies_nested(source, target, dep.to_nested(), context):
                 return False
         elif isinstance(dep, NestedTgd):
-            if not satisfies_nested(source, target, dep):
+            if not satisfies_nested(source, target, dep, context):
                 return False
         elif isinstance(dep, SOTgd):
-            if not satisfies_so(source, target, dep):
+            if not satisfies_so(source, target, dep, context):
                 return False
         elif isinstance(dep, Egd):
             if not satisfies_egds(source, [dep]):

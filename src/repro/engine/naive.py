@@ -8,6 +8,9 @@ performance-critical procedures:
 - :func:`find_homomorphism_naive` -- homomorphism search without f-block
   decomposition and without candidate seeding (backtracking over the raw
   fact list);
+- :func:`core_naive` -- core computation that rebuilds a restricted
+  immutable instance per candidate null and restarts the scan after every
+  elimination (no block memoization, no forbidden-set targets);
 - :func:`standard_chase_naive` -- the standard chase growing its target with
   one immutable ``Instance.union`` per fired trigger (full re-indexing each
   time: quadratic index maintenance);
@@ -112,6 +115,43 @@ def find_homomorphism_naive(
     return search(0)
 
 
+def core_naive(instance: Instance) -> Instance:
+    """Core computation by the seed elimination loop (pre-kernel baseline).
+
+    Semantically the same stopping condition as
+    :func:`repro.engine.core_instance.core` -- null ``x`` is eliminable when
+    its f-block maps into the instance minus the facts containing ``x`` --
+    but implemented the way the seed did: a *restricted immutable instance*
+    is rebuilt per candidate null (full re-indexing), the legacy ordered
+    backtracker searches it, and each elimination restarts the whole scan.
+    Kept as the oracle for differential tests (cores agree up to isomorphism)
+    and as the baseline of ``benchmarks/bench_scaling_hom.py``.
+    """
+    from repro.engine.gaifman import fact_blocks
+    from repro.engine.homomorphism import _block_homomorphism
+
+    def try_eliminate(current: Instance) -> Instance | None:
+        for block in fact_blocks(current):
+            block_facts = list(block)
+            block_nulls = sorted(
+                {arg for fact in block_facts for arg in fact.args if is_null(arg)},
+                key=repr,
+            )
+            for null in block_nulls:
+                target = current.restrict(lambda fact: null not in fact.args)
+                mapping = _block_homomorphism(block_facts, target, {})
+                if mapping is not None:
+                    return current.map_values(mapping)
+        return None
+
+    current = instance
+    while True:
+        folded = try_eliminate(current)
+        if folded is None:
+            return current
+        current = folded
+
+
 def standard_chase_naive(source: Instance, tgds: Sequence, max_rounds: int = 100) -> Instance:
     """The standard chase with immutable-union target growth (seed baseline).
 
@@ -178,6 +218,7 @@ def chase_egds_naive(
 __all__ = [
     "find_matches_naive",
     "find_homomorphism_naive",
+    "core_naive",
     "standard_chase_naive",
     "chase_egds_naive",
 ]

@@ -27,7 +27,7 @@ from repro.logic.tgds import STTgd
 from repro.logic.values import Null, Variable
 from repro.engine.builder import InstanceBuilder
 from repro.engine.core_instance import core
-from repro.engine.homomorphism import _block_homomorphism
+from repro.engine.hom_kernel import block_homomorphism
 from repro.engine.matching import find_matches
 
 
@@ -48,7 +48,7 @@ def _conclusion_satisfied(
             else:
                 args.append(arg)
         facts.append(Atom(atom.relation, tuple(args)))
-    return _block_homomorphism(facts, target, {}) is not None
+    return block_homomorphism(facts, target) is not None
 
 
 def standard_chase(

@@ -1,13 +1,16 @@
 """Finite relational instances.
 
 An instance is a finite set of facts (Section 2).  :class:`Instance` stores
-the facts in a frozen set and maintains two indexes used throughout the
+the facts in a frozen set and maintains three indexes used throughout the
 engine:
 
 - a per-relation index (``facts_of``), used by conjunctive-query matching and
   the chase;
 - a per-(relation, position, value) index (``facts_with``), used to seed
-  backtracking joins.
+  backtracking joins;
+- a per-value reverse index (``facts_containing``), used by the core engine
+  to exclude the facts of a null being eliminated without rebuilding the
+  instance.
 
 Both indexes store (and return) *tuples*: callers receive the index entries
 themselves, and immutability guarantees they cannot corrupt them.
@@ -34,24 +37,33 @@ _EMPTY: tuple = ()
 class Instance:
     """An immutable finite set of facts with lookup indexes."""
 
-    __slots__ = ("_facts", "_by_relation", "_by_position", "_nulls", "_constants", "_hash")
+    __slots__ = (
+        "_facts", "_by_relation", "_by_position", "_by_value", "_nulls",
+        "_constants", "_hash",
+    )
 
     def __init__(self, facts: Iterable[Atom] = ()):
         self._facts: frozenset[Atom] = frozenset(facts)
         by_relation: dict[str, list[Atom]] = defaultdict(list)
         by_position: dict[tuple, list[Atom]] = defaultdict(list)
+        by_value: dict[object, list[Atom]] = defaultdict(list)
         nulls: set = set()
         constants: set = set()
         for fact in self._facts:
             by_relation[fact.relation].append(fact)
+            seen_args: set = set()
             for pos, value in enumerate(fact.args):
                 by_position[(fact.relation, pos, value)].append(fact)
+                if value not in seen_args:
+                    seen_args.add(value)
+                    by_value[value].append(fact)
                 if isinstance(value, Constant):
                     constants.add(value)
                 else:
                     nulls.add(value)
         self._by_relation = {rel: tuple(fs) for rel, fs in by_relation.items()}
         self._by_position = {key: tuple(fs) for key, fs in by_position.items()}
+        self._by_value = {val: tuple(fs) for val, fs in by_value.items()}
         self._nulls = frozenset(nulls)
         self._constants = frozenset(constants)
         self._hash: int | None = None
@@ -62,6 +74,7 @@ class Instance:
         facts: frozenset[Atom],
         by_relation: dict[str, tuple[Atom, ...]],
         by_position: dict[tuple, tuple[Atom, ...]],
+        by_value: dict[object, tuple[Atom, ...]],
         nulls: frozenset,
         constants: frozenset,
     ) -> "Instance":
@@ -74,6 +87,7 @@ class Instance:
         instance._facts = facts
         instance._by_relation = by_relation
         instance._by_position = by_position
+        instance._by_value = by_value
         instance._nulls = nulls
         instance._constants = constants
         instance._hash = None
@@ -129,6 +143,10 @@ class Instance:
     def facts_with(self, relation: str, position: int, value) -> tuple[Atom, ...]:
         """Return the facts of *relation* whose argument at *position* is *value*."""
         return self._by_position.get((relation, position, value), _EMPTY)
+
+    def facts_containing(self, value) -> tuple[Atom, ...]:
+        """Return the facts with *value* as a (top-level) argument, each once."""
+        return self._by_value.get(value, _EMPTY)
 
     def active_domain(self) -> frozenset:
         """Return all values occurring in some fact."""

@@ -18,7 +18,22 @@ Counter names are dotted strings, grouped by subsystem:
 ``chase.facts``           facts emitted by the oblivious chase engines
 ``chase.fixpoint_rounds``  rounds run by ``engine.fixpoint_chase``
 ``match.memo_hits``       nested-chase child-match memoization hits
-``hom.backtracks``        candidate facts rejected during homomorphism search
+``hom.backtracks``        value choices undone during homomorphism search
+                          (kernel) / candidate facts rejected (legacy
+                          backtracker)
+``hom.kernel_calls``      calls into the indexed homomorphism kernel
+``hom.ac3_revisions``     per-fact candidate revisions during AC-3
+                          propagation
+``hom.ac3_wipeouts``      searches refuted by propagation alone (an emptied
+                          domain or candidate list)
+``hom.search_nodes``      nodes visited by the most-constrained-null search
+``core.blocks``           null-containing f-blocks seen by ``core``
+``core.iso_folds``        duplicate blocks dropped as isomorphic copies
+``core.memo_hits``        block folds answered by the canonical-form cache
+``core.memo_misses``      block folds computed and cached
+``core.eliminations``     eliminating retractions applied
+``core.rigid_blocks``     blocks proven rigid (no eliminable null)
+``core.parallel_blocks``  block folds dispatched to the worker pool
 ``implies.patterns``      k-patterns checked by ``implies_tgd``
 ``implies.cache_hits``    chase-cache hits inside ``implies_tgd``
 ``implies.cache_misses``  chase-cache misses inside ``implies_tgd``

@@ -1,10 +1,12 @@
-"""Hypothesis strategies for randomly generated nested tgds.
+"""Hypothesis strategies for randomly generated nested tgds and instances.
 
-The generator builds well-formed part trees directly (respecting the
+The tgd generator builds well-formed part trees directly (respecting the
 grammar's scoping rules: universal variables occur in their own part's body,
 bodies use only universal variables in scope, heads may also use existential
 variables in scope), so every generated tgd passes NestedTgd validation by
-construction.
+construction.  The instance generator draws facts over a small shared pool of
+constants and nulls, so drawn instances overlap enough for homomorphisms to
+exist (and fail) in interesting ways.
 """
 
 from __future__ import annotations
@@ -12,8 +14,9 @@ from __future__ import annotations
 import hypothesis.strategies as st
 
 from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
 from repro.logic.nested import NestedTgd, Part
-from repro.logic.values import Variable
+from repro.logic.values import Constant, Null, Variable
 
 
 SOURCE_RELATIONS = [("S", 2), ("T", 2), ("Q", 1)]
@@ -81,4 +84,41 @@ def nested_tgds(draw, max_depth: int = 3, max_children: int = 2):
     return NestedTgd(build_part(1, (), ()))
 
 
-__all__ = ["nested_tgds", "SOURCE_RELATIONS", "TARGET_RELATIONS"]
+#: Relations used by :func:`instances` (reusing the target schema keeps drawn
+#: instances homomorphism-comparable with chase results).
+INSTANCE_RELATIONS = [("R", 2), ("P", 1), ("U", 3)]
+
+
+@st.composite
+def instances(
+    draw,
+    max_facts: int = 8,
+    max_constants: int = 4,
+    max_nulls: int = 4,
+    min_facts: int = 0,
+):
+    """Generate a random :class:`Instance` over a small value pool.
+
+    Values are drawn from shared pools (``a0..``, ``_n0..``) so that two
+    independently drawn instances share constants -- the interesting regime
+    for differential homomorphism tests.  ``max_nulls=0`` yields ground
+    instances.
+    """
+    values = [Constant(f"a{i}") for i in range(max_constants)]
+    values += [Null(f"n{i}") for i in range(max_nulls)]
+    n_facts = draw(st.integers(min_facts, max_facts))
+    facts = []
+    for __ in range(n_facts):
+        name, arity = draw(st.sampled_from(INSTANCE_RELATIONS))
+        args = tuple(draw(st.sampled_from(values)) for __ in range(arity))
+        facts.append(Atom(name, args))
+    return Instance(facts)
+
+
+__all__ = [
+    "nested_tgds",
+    "instances",
+    "SOURCE_RELATIONS",
+    "TARGET_RELATIONS",
+    "INSTANCE_RELATIONS",
+]
