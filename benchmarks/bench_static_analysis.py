@@ -1,0 +1,137 @@
+"""BENCH-STATIC -- analyzer runtime over representative workload families.
+
+The value proposition of the static layer is that its verdicts cost
+microseconds-to-milliseconds while the dynamic work they gate (an unbounded
+chase, a non-elementary IMPLIES sweep) costs seconds to forever.  This
+benchmark times the three analysis passes -- hierarchy classification
+(`classify_termination`), the chase cost model (`chase_cost`), and the full
+lint driver (`analyze`) -- over workload families of growing size, with all
+memoization caches cleared between runs so the numbers are cold-path.
+
+Families:
+
+- ``chain(n)``: n weakly-acyclic copy tgds ``S_i(x,y) -> R_i(x,y)`` (the
+  cheap common case the analyzer must not slow down);
+- ``cycle(n)``: an n-relation existential cycle ``E_i(x,y) -> exists z .
+  E_{i+1}(y,z)`` (not certified by any rung: the analyzer walks the whole
+  hierarchy including the bounded MFA chase);
+- ``hierarchy``: the four rung witness sets of
+  ``examples/termination_hierarchy.py`` combined;
+- ``sigma_star``: the paper's deep-nesting workhorse (CC001 territory).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_static_analysis.py [--json PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.analysis.acyclicity import classify_termination, clear_acyclicity_cache
+from repro.analysis.cost import chase_cost, sweep_cost
+from repro.analysis.static import analyze
+from repro.analysis.termination import clear_termination_cache
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+SIGMA_STAR = parse_nested_tgd(
+    "S1(x1) -> exists y1 . ((S2(x2) -> R2(y1,x2)) & (S3(x1,x3) -> R3(y1,x3) "
+    "& (S4(x3,x4) -> exists y2 . R4(y2,x4))))"
+)
+
+
+def chain(n: int) -> list:
+    return [parse_tgd(f"S{i}(x,y) -> R{i}(x,y)") for i in range(n)]
+
+
+def cycle(n: int) -> list:
+    return [
+        parse_tgd(f"E{i}(x,y) -> exists z . E{(i + 1) % n}(y,z)") for i in range(n)
+    ]
+
+
+def hierarchy() -> list:
+    return [
+        parse_tgd("P(x,y) -> Q(x,y)"),
+        parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)"),
+        parse_tgd("S(x) -> exists y, z . R(y,z) & R(z,y)"),
+        parse_tgd("R(u,u) -> exists w . S(w)"),
+        parse_tgd("A(x) -> exists y . L(x,y)"),
+        parse_tgd("L(x,y) & B(y) -> exists w . A(w)"),
+    ]
+
+
+def _timed(fn, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        clear_acyclicity_cache()
+        clear_termination_cache()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark() -> dict:
+    families = {
+        "chain-8": chain(8),
+        "chain-32": chain(32),
+        "cycle-4": cycle(4),
+        "cycle-8": cycle(8),
+        "hierarchy": hierarchy(),
+        "sigma_star": [SIGMA_STAR],
+    }
+    results = []
+    for name, deps in families.items():
+        classify_s = _timed(lambda deps=deps: classify_termination(deps))
+        cost_s = _timed(lambda deps=deps: chase_cost(deps))
+        analyze_s = _timed(lambda deps=deps: analyze(deps))
+        clear_acyclicity_cache()
+        clear_termination_cache()
+        verdict = classify_termination(deps)
+        results.append(
+            {
+                "family": name,
+                "dependencies": len(deps),
+                "termination_class": verdict.cls.value,
+                "classify_ms": classify_s * 1000,
+                "chase_cost_ms": cost_s * 1000,
+                "analyze_ms": analyze_s * 1000,
+            }
+        )
+    # the CC001 prediction must be cheap even though the sweep it prevents
+    # is non-elementary
+    sweep_s = _timed(lambda: sweep_cost([SIGMA_STAR], SIGMA_STAR))
+    return {
+        "benchmark": "BENCH-STATIC",
+        "families": results,
+        "sigma_star_sweep_prediction_ms": sweep_s * 1000,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", help="write the summary as JSON")
+    args = parser.parse_args(argv)
+    summary = run_benchmark()
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+    header = f"{'family':12s} {'deps':>4s} {'class':24s} {'classify':>9s} {'cost':>8s} {'analyze':>8s}"
+    print(header)
+    for row in summary["families"]:
+        print(
+            f"{row['family']:12s} {row['dependencies']:4d} "
+            f"{row['termination_class']:24s} {row['classify_ms']:8.2f}m "
+            f"{row['chase_cost_ms']:7.2f}m {row['analyze_ms']:7.2f}m"
+        )
+    print(
+        "sigma* sweep prediction: "
+        f"{summary['sigma_star_sweep_prediction_ms']:.3f} ms "
+        "(the sweep itself would be non-elementary)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

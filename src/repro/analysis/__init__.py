@@ -8,12 +8,17 @@ used both as test oracles and as analysis tools for user-supplied mappings.
 
 It also hosts the *static analyzer* over dependency programs:
 
-- :mod:`repro.analysis.termination` -- position graphs, the weak-acyclicity
-  test, and chase depth bounds;
+- :mod:`repro.analysis.termination` -- the shared dependency-graph IR,
+  position graphs, the weak-acyclicity test, and chase depth bounds;
+- :mod:`repro.analysis.acyclicity` -- the termination hierarchy (joint /
+  super-weak / model-faithful acyclicity) as a lattice verdict;
+- :mod:`repro.analysis.cost` -- the static cost model (chase-size degree
+  bounds and IMPLIES sweep budgets);
 - :mod:`repro.analysis.subsumption` -- sound syntactic subsumption between
   dependencies (the IMPLIES pre-pass);
 - :mod:`repro.analysis.static` -- the lint driver producing structured
-  :class:`~repro.analysis.static.AnalysisReport` objects (``repro lint``).
+  :class:`~repro.analysis.static.AnalysisReport` objects (``repro lint``);
+- :mod:`repro.analysis.sarif` -- SARIF 2.1.0 serialization of lint reports.
 """
 
 from repro.analysis.properties import (
@@ -29,10 +34,24 @@ from repro.analysis.characterization import (
     glav_modularity_bound,
 )
 from repro.analysis.termination import (
+    DependencyGraphIR,
     TerminationReport,
     clear_termination_cache,
+    dependency_graph_ir,
     position_graph,
     termination_report,
+)
+from repro.analysis.acyclicity import (
+    TerminationClass,
+    TerminationVerdict,
+    classify_termination,
+    clear_acyclicity_cache,
+)
+from repro.analysis.cost import (
+    ChaseCostEstimate,
+    SweepCostEstimate,
+    chase_cost,
+    sweep_cost,
 )
 from repro.analysis.subsumption import (
     alpha_equivalent,
@@ -44,7 +63,10 @@ from repro.analysis.static import (
     Finding,
     LINT_CATALOG,
     analyze,
+    apply_baseline,
+    baseline_fingerprints,
 )
+from repro.analysis.sarif import sarif_json, sarif_report
 
 __all__ = [
     "check_admits_universal_solutions",
@@ -55,10 +77,20 @@ __all__ = [
     "check_n_modular",
     "ModularityReport",
     "glav_modularity_bound",
+    "DependencyGraphIR",
     "TerminationReport",
     "clear_termination_cache",
+    "dependency_graph_ir",
     "position_graph",
     "termination_report",
+    "TerminationClass",
+    "TerminationVerdict",
+    "classify_termination",
+    "clear_acyclicity_cache",
+    "ChaseCostEstimate",
+    "SweepCostEstimate",
+    "chase_cost",
+    "sweep_cost",
     "alpha_equivalent",
     "subsumes",
     "trivially_implied",
@@ -66,4 +98,8 @@ __all__ = [
     "Finding",
     "LINT_CATALOG",
     "analyze",
+    "apply_baseline",
+    "baseline_fingerprints",
+    "sarif_json",
+    "sarif_report",
 ]

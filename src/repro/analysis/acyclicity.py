@@ -1,0 +1,613 @@
+"""The chase-termination hierarchy: weak ⊂ joint ⊂ super-weak ⊂ MFA.
+
+Weak acyclicity (:mod:`repro.analysis.termination`) is the classic but
+coarsest decidable termination guarantee for the Skolem chase.  Following
+the acyclicity hierarchy mapped out by Krötzsch/Rudolph, Marnette, and
+Cuenca Grau et al. (and pushed further by "Chase Termination Beyond
+Polynomial Time"), this module climbs three strictly wider rungs, all
+computed over the shared :class:`~repro.analysis.termination.DependencyGraphIR`
+so they are faithful to the exact Skolemized clauses
+:mod:`repro.engine.fixpoint_chase` executes:
+
+- **Joint acyclicity** (JA): instead of single position-graph edges, track
+  the full *set* of positions each Skolem function's nulls can reach
+  (``Mov``), requiring a variable's *every* body occurrence to be reachable
+  before its null propagates.  The function-dependency graph has an edge
+  ``f -> g`` when ``f``-nulls can feed an argument of ``g``; acyclicity of
+  that graph bounds the nesting depth of every null.
+- **Super-weak acyclicity** (SWA, Marnette): refine JA's position sets to
+  *places* (atom occurrences) and filter propagation through first-order
+  unification of head atoms against body atoms, so nulls only "move" along
+  joins that can actually fire.  ``f`` *triggers* ``g`` when some argument
+  variable of ``g`` has all of its body places reachable from ``f``'s
+  output places; SWA holds when the trigger graph is acyclic.
+- **Model-faithful acyclicity** (MFA, Cuenca Grau et al.): run the Skolem
+  chase of the *critical instance* (every relation filled with the single
+  constant ``*``) via :func:`repro.engine.fixpoint_chase.fixpoint_chase`,
+  bounded, and certify termination if it reaches a fixpoint without ever
+  deriving a *cyclic* term (a Skolem function nested below itself).  For
+  the constant-free dependencies of this library every chase of every
+  instance maps homomorphically into the critical chase, so the observed
+  Skolem-nesting depth bounds the depth on all instances.
+
+:func:`classify_termination` returns the *widest* rung that certifies the
+set as a :class:`TerminationClass` lattice verdict, which
+``engine/fixpoint_chase.py`` consults to run unbounded and ``repro lint``
+surfaces as the findings ``TD001`` (no rung) and ``TD002``-``TD004``
+(which rung admitted the set).
+
+    >>> from repro.logic.parser import parse_tgd
+    >>> classify_termination([parse_tgd("S(x,y) -> R(x,y)")]).cls.name
+    'WEAKLY_ACYCLIC'
+    >>> classify_termination(
+    ...     [parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)")]
+    ... ).cls.name
+    'JOINTLY_ACYCLIC'
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import networkx as nx
+
+from repro.logic.atoms import Atom
+from repro.logic.egds import Egd
+from repro.logic.instances import Instance
+from repro.logic.nested import NestedTgd
+from repro.logic.sotgd import SOTgd
+from repro.logic.terms import FuncTerm, Term
+from repro.logic.tgds import STTgd
+from repro.logic.values import Constant, Variable
+from repro.analysis.termination import (
+    DependencyGraphIR,
+    Position,
+    TerminationReport,
+    dependency_graph_ir,
+    termination_report,
+)
+
+
+class TerminationClass(enum.Enum):
+    """The lattice of chase-termination certificates, widest rung last.
+
+    The classes form a chain ``WEAKLY_ACYCLIC < JOINTLY_ACYCLIC <
+    SUPER_WEAKLY_ACYCLIC < MODEL_FAITHFUL < NOT_GUARANTEED``: every set
+    certified at a rung is also certified at every later rung, and
+    ``NOT_GUARANTEED`` means no rung of the hierarchy admits the set.
+    """
+
+    WEAKLY_ACYCLIC = "weakly-acyclic"
+    JOINTLY_ACYCLIC = "jointly-acyclic"
+    SUPER_WEAKLY_ACYCLIC = "super-weakly-acyclic"
+    MODEL_FAITHFUL = "model-faithful-acyclic"
+    NOT_GUARANTEED = "not-guaranteed"
+
+    @property
+    def rank(self) -> int:
+        """Position in the chain (0 = weakly acyclic, 4 = not guaranteed)."""
+        return list(TerminationClass).index(self)
+
+    @property
+    def guarantees_termination(self) -> bool:
+        """True if the Skolem chase terminates on every instance."""
+        return self is not TerminationClass.NOT_GUARANTEED
+
+    def __le__(self, other: "TerminationClass") -> bool:
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "TerminationClass") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class TerminationVerdict:
+    """The hierarchy verdict for a dependency set.
+
+    ``depth_bound`` bounds the Skolem-nesting depth of every null the
+    chase can create whenever some rung certified the set (``None``
+    otherwise).  The ``*_cycle`` witnesses name the Skolem functions on a
+    cycle of the rung's dependency graph, proving why the narrower rung
+    failed; ``mfa_cyclic_term`` renders the cyclic term that refuted MFA.
+    ``mfa_conclusive`` is False when the bounded critical-instance chase
+    ran out of budget before reaching either a fixpoint or a cyclic term.
+    """
+
+    cls: TerminationClass
+    weak: TerminationReport
+    depth_bound: int | None
+    ja_cycle: tuple[str, ...] | None = None
+    swa_cycle: tuple[str, ...] | None = None
+    mfa_cyclic_term: str | None = None
+    mfa_facts: int | None = None
+    mfa_conclusive: bool = True
+
+    @property
+    def guarantees_termination(self) -> bool:
+        return self.cls.guarantees_termination
+
+    def __bool__(self) -> bool:
+        return self.guarantees_termination
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable summary of the verdict."""
+        return {
+            "class": self.cls.value,
+            "guarantees_termination": self.guarantees_termination,
+            "depth_bound": self.depth_bound,
+            "weakly_acyclic": self.weak.weakly_acyclic,
+            "ja_cycle": None if self.ja_cycle is None else list(self.ja_cycle),
+            "swa_cycle": None if self.swa_cycle is None else list(self.swa_cycle),
+            "mfa_cyclic_term": self.mfa_cyclic_term,
+            "mfa_facts": self.mfa_facts,
+            "mfa_conclusive": self.mfa_conclusive,
+        }
+
+
+# ------------------------------------------------------------ joint acyclicity
+
+
+def _function_occurrences(
+    ir: DependencyGraphIR,
+) -> dict[str, list[tuple[int, tuple[Variable, ...], tuple[Position, ...]]]]:
+    """Group Skolem functions by name across clauses (nested tgds repeat them).
+
+    Each occurrence is a (clause index, argument variables, head positions)
+    triple.
+    """
+    result: dict[str, list[tuple[int, tuple[Variable, ...], tuple[Position, ...]]]] = {}
+    for ci, clause in enumerate(ir.clauses):
+        for skolem in clause.skolems:
+            result.setdefault(skolem.function, []).append(
+                (ci, skolem.args, skolem.head_positions)
+            )
+    return result
+
+
+def _ja_movement(ir: DependencyGraphIR, start: set[Position]) -> set[Position]:
+    """``Mov``: all positions a null created at *start* positions can reach.
+
+    A value propagates through a clause via a universal variable ``x`` only
+    if *every* body position of ``x`` is already reachable (a single trigger
+    binds ``x`` to one value, which must match at all occurrences); it then
+    appears at every top-level head position of ``x``.
+    """
+    moved = set(start)
+    changed = True
+    while changed:
+        changed = False
+        for clause in ir.clauses:
+            for var, head_positions in clause.head_positions.items():
+                body_positions = clause.body_positions.get(var, ())
+                if not body_positions:
+                    continue
+                if all(p in moved for p in body_positions):
+                    for position in head_positions:
+                        if position not in moved:
+                            moved.add(position)
+                            changed = True
+    return moved
+
+
+def _cycle_witness(graph: "nx.DiGraph") -> tuple[str, ...] | None:
+    """A node cycle of *graph*, or None if it is acyclic."""
+    try:
+        cycle_edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return tuple(str(source) for source, _target in cycle_edges)
+
+
+def _depth_from_dag(graph: "nx.DiGraph") -> int:
+    """Skolem-nesting depth bound from an acyclic function-dependency graph.
+
+    An edge ``f -> g`` means ``g``-terms can nest ``f``-terms one level
+    deeper, so the depth is bounded by the longest path (in nodes).
+    """
+    if graph.number_of_nodes() == 0:
+        return 0
+    return nx.dag_longest_path_length(graph) + 1
+
+
+def jointly_acyclic(
+    ir: DependencyGraphIR,
+) -> tuple[bool, tuple[str, ...] | None, int]:
+    """Decide joint acyclicity; return (verdict, witness cycle, depth bound)."""
+    functions = _function_occurrences(ir)
+    movement = {
+        fn: _ja_movement(
+            ir, {p for _clause, _args, positions in occs for p in positions}
+        )
+        for fn, occs in functions.items()
+    }
+    graph = nx.DiGraph()
+    graph.add_nodes_from(functions)
+    for source, moved in movement.items():
+        for target, occs in functions.items():
+            for ci, args, _positions in occs:
+                clause = ir.clauses[ci]
+                if any(
+                    clause.body_positions.get(x)
+                    and all(p in moved for p in clause.body_positions[x])
+                    for x in args
+                ):
+                    graph.add_edge(source, target)
+                    break
+    cycle = _cycle_witness(graph)
+    if cycle is not None:
+        return False, cycle, 0
+    return True, None, _depth_from_dag(graph)
+
+
+# ------------------------------------------------------- super-weak acyclicity
+
+#: A place is (clause index, "B"/"H", atom index, argument index).
+_Place = tuple[int, str, int, int]
+
+
+def _unifiable(left: Sequence[Term], right: Sequence[Term]) -> bool:
+    """First-order unifiability of two argument tuples (renamed apart by caller)."""
+    substitution: dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in substitution:
+            term = substitution[term]
+        return term
+
+    def occurs(var: Variable, term: Term) -> bool:
+        term = resolve(term)
+        if term == var:
+            return True
+        if isinstance(term, FuncTerm):
+            return any(occurs(var, arg) for arg in term.args)
+        return False
+
+    def unify(a: Term, b: Term) -> bool:
+        a, b = resolve(a), resolve(b)
+        if a == b:
+            return True
+        if isinstance(a, Variable):
+            if occurs(a, b):
+                return False
+            substitution[a] = b
+            return True
+        if isinstance(b, Variable):
+            return unify(b, a)
+        if isinstance(a, FuncTerm) and isinstance(b, FuncTerm):
+            if a.function != b.function or len(a.args) != len(b.args):
+                return False
+            return all(unify(x, y) for x, y in zip(a.args, b.args))
+        return False
+
+    return all(unify(a, b) for a, b in zip(left, right))
+
+
+def _rename_apart(atom: Atom, tag: int) -> tuple[Term, ...]:
+    """The argument tuple of *atom* with variables tagged by clause index."""
+
+    def rename(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return Variable(f"c{tag}~{term.name}")
+        if isinstance(term, FuncTerm):
+            return FuncTerm(term.function, tuple(rename(arg) for arg in term.args))
+        return term
+
+    return tuple(rename(arg) for arg in atom.args)
+
+
+class _PlaceGraph:
+    """Precomputed place machinery shared by the per-function SWA closures."""
+
+    def __init__(self, ir: DependencyGraphIR):
+        self.ir = ir
+        self.clauses = ir.clauses
+        #: body places of each variable, per clause index.
+        self.body_places: list[dict[Variable, list[_Place]]] = []
+        #: top-level head places of each variable, per clause index.
+        self.head_places: list[dict[Variable, list[_Place]]] = []
+        for ci, clause in enumerate(self.clauses):
+            body: dict[Variable, list[_Place]] = {}
+            for ai, atom in enumerate(clause.body):
+                for pi, arg in enumerate(atom.args):
+                    if isinstance(arg, Variable):
+                        body.setdefault(arg, []).append((ci, "B", ai, pi))
+            head: dict[Variable, list[_Place]] = {}
+            for ai, atom in enumerate(clause.head):
+                for pi, arg in enumerate(atom.args):
+                    if isinstance(arg, Variable):
+                        head.setdefault(arg, []).append((ci, "H", ai, pi))
+            self.body_places.append(body)
+            self.head_places.append(head)
+        self._unifiable_cache: dict[tuple[int, int, int, int], bool] = {}
+
+    def _head_body_unifiable(self, ci: int, ai: int, cj: int, aj: int) -> bool:
+        key = (ci, ai, cj, aj)
+        cached = self._unifiable_cache.get(key)
+        if cached is None:
+            head_atom = self.clauses[ci].head[ai]
+            body_atom = self.clauses[cj].body[aj]
+            cached = head_atom.relation == body_atom.relation and _unifiable(
+                _rename_apart(head_atom, ci), _rename_apart(body_atom, len(self.clauses) + cj)
+            )
+            self._unifiable_cache[key] = cached
+        return cached
+
+    def move(self, start: Iterable[_Place]) -> set[_Place]:
+        """Marnette's ``Move``: all places a null at *start* places can reach."""
+        moved: set[_Place] = set()
+        queue = list(start)
+        while queue:
+            place = queue.pop()
+            if place in moved:
+                continue
+            moved.add(place)
+            ci, kind, ai, pi = place
+            if kind == "H":
+                # The null sits at a fact position; it can match any body atom
+                # of any clause whose atom unifies with this head atom.
+                for cj, clause in enumerate(self.clauses):
+                    for aj, body_atom in enumerate(clause.body):
+                        if pi < body_atom.arity and self._head_body_unifiable(
+                            ci, ai, cj, aj
+                        ):
+                            queue.append((cj, "B", aj, pi))
+            else:
+                # A trigger binds the variable at this body place to a single
+                # value, which must then occur at *every* body place of the
+                # variable; only once all of them are reachable does the value
+                # flow to the variable's top-level head places.
+                var = self.clauses[ci].body[ai].args[pi]
+                if isinstance(var, Variable):
+                    in_places = self.body_places[ci].get(var, ())
+                    if all(p in moved for p in in_places):
+                        queue.extend(self.head_places[ci].get(var, ()))
+        return moved
+
+    def out_places(self, function: str) -> list[_Place]:
+        """Head places where a term rooted at *function* occurs."""
+        places = []
+        for ci, clause in enumerate(self.clauses):
+            for ai, atom in enumerate(clause.head):
+                for pi, arg in enumerate(atom.args):
+                    if isinstance(arg, FuncTerm) and arg.function == function:
+                        places.append((ci, "H", ai, pi))
+        return places
+
+
+def super_weakly_acyclic(
+    ir: DependencyGraphIR,
+) -> tuple[bool, tuple[str, ...] | None, int]:
+    """Decide super-weak acyclicity; return (verdict, witness cycle, depth bound)."""
+    places = _PlaceGraph(ir)
+    functions = _function_occurrences(ir)
+    movement = {fn: places.move(places.out_places(fn)) for fn in functions}
+    graph = nx.DiGraph()
+    graph.add_nodes_from(functions)
+    for source, moved in movement.items():
+        for target, occs in functions.items():
+            triggered = False
+            for ci, args, _positions in occs:
+                for x in args:
+                    in_places = places.body_places[ci].get(x, ())
+                    if in_places and all(p in moved for p in in_places):
+                        triggered = True
+                        break
+                if triggered:
+                    break
+            if triggered:
+                graph.add_edge(source, target)
+    cycle = _cycle_witness(graph)
+    if cycle is not None:
+        return False, cycle, 0
+    return True, None, _depth_from_dag(graph)
+
+
+# ------------------------------------------------- model-faithful acyclicity
+
+#: The single constant of the critical instance.
+_STAR = Constant("*")
+
+
+class _CyclicTermFound(Exception):
+    def __init__(self, term: FuncTerm):
+        self.term = term
+        super().__init__(str(term))
+
+
+class _MFABudgetExhausted(Exception):
+    pass
+
+
+def _term_depth(term: Term) -> int:
+    if isinstance(term, FuncTerm):
+        return 1 + max((_term_depth(arg) for arg in term.args), default=0)
+    return 0
+
+
+def _cyclic_subterm(term: Term, seen: tuple[str, ...] = ()) -> FuncTerm | None:
+    """The outermost subterm whose Skolem function recurs below itself, if any."""
+    if not isinstance(term, FuncTerm):
+        return None
+    if term.function in seen:
+        return term
+    nested = seen + (term.function,)
+    for arg in term.args:
+        found = _cyclic_subterm(arg, nested)
+        if found is not None:
+            # Report the whole enclosing term so the witness exhibits the
+            # function nested below itself, not just the inner recurrence.
+            return term if not seen else found
+    return None
+
+
+def critical_instance(ir: DependencyGraphIR) -> Instance:
+    """The critical instance: every relation filled with ``*`` everywhere."""
+    arities: dict[str, int] = {}
+    for relation, index in ir.positions:
+        arities[relation] = max(arities.get(relation, 0), index + 1)
+    return Instance(
+        Atom(relation, (_STAR,) * arity) for relation, arity in sorted(arities.items())
+    )
+
+
+def model_faithful_acyclic(
+    dependencies: Sequence[object],
+    ir: DependencyGraphIR,
+    *,
+    max_rounds: int = 32,
+    max_facts: int = 50_000,
+) -> tuple[bool | None, str | None, int | None, int | None]:
+    """The bounded critical-instance chase deciding MFA.
+
+    Returns ``(verdict, cyclic term, depth, facts)``: verdict True certifies
+    MFA (with the observed Skolem depth bounding every chase), False means a
+    cyclic term was derived, and None means the budget ran out first
+    (inconclusive -- the caller must treat the set as not certified).
+    """
+    from repro.engine.fixpoint_chase import fixpoint_chase
+
+    tgds = [dep for dep in dependencies if not isinstance(dep, Egd)]
+    if not tgds:
+        return True, None, 0, 0
+    counter = {"facts": 0}
+
+    def hook(fact: Atom) -> None:
+        counter["facts"] += 1
+        if counter["facts"] > max_facts:
+            raise _MFABudgetExhausted
+        for arg in fact.args:
+            cyclic = _cyclic_subterm(arg)
+            if cyclic is not None:
+                raise _CyclicTermFound(cyclic)
+
+    try:
+        result = fixpoint_chase(
+            critical_instance(ir), tgds, max_rounds=max_rounds, fact_hook=hook
+        )
+    except _CyclicTermFound as found:
+        return False, str(found.term), None, counter["facts"]
+    except _MFABudgetExhausted:
+        return None, None, None, counter["facts"]
+    if not result.reached_fixpoint:
+        return None, None, None, counter["facts"]
+    depth = max(
+        (_term_depth(arg) for fact in result.instance for arg in fact.args),
+        default=0,
+    )
+    return True, None, depth, counter["facts"]
+
+
+# ------------------------------------------------------------- classification
+
+
+def classify_termination(
+    dependencies: object,
+    *,
+    weak: TerminationReport | None = None,
+    mfa_max_rounds: int = 32,
+    mfa_max_facts: int = 50_000,
+) -> TerminationVerdict:
+    """Classify a dependency set on the termination hierarchy.
+
+    Tries the rungs narrowest-first (each is strictly cheaper than the next)
+    and stops at the first certificate; *weak* lets callers that already ran
+    the weak-acyclicity test pass its report in.
+
+        >>> from repro.logic.parser import parse_tgd
+        >>> classify_termination([parse_tgd("E(x,y) -> exists z . E(y,z)")]).cls.name
+        'NOT_GUARANTEED'
+    """
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
+        dependencies = [dependencies]
+    deps = list(dependencies)
+    key = tuple(repr(dep) for dep in deps)
+    cached = _VERDICT_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    report = weak if weak is not None else termination_report(deps)
+    if report.weakly_acyclic:
+        verdict = TerminationVerdict(
+            cls=TerminationClass.WEAKLY_ACYCLIC,
+            weak=report,
+            depth_bound=report.depth_bound,
+        )
+        return _store_verdict(key, verdict)
+
+    ir = dependency_graph_ir(deps)
+    ja, ja_cycle, ja_depth = jointly_acyclic(ir)
+    if ja:
+        verdict = TerminationVerdict(
+            cls=TerminationClass.JOINTLY_ACYCLIC,
+            weak=report,
+            depth_bound=ja_depth,
+        )
+        return _store_verdict(key, verdict)
+
+    swa, swa_cycle, swa_depth = super_weakly_acyclic(ir)
+    if swa:
+        verdict = TerminationVerdict(
+            cls=TerminationClass.SUPER_WEAKLY_ACYCLIC,
+            weak=report,
+            depth_bound=swa_depth,
+            ja_cycle=ja_cycle,
+        )
+        return _store_verdict(key, verdict)
+
+    mfa, cyclic_term, mfa_depth, mfa_facts = model_faithful_acyclic(
+        deps, ir, max_rounds=mfa_max_rounds, max_facts=mfa_max_facts
+    )
+    if mfa:
+        verdict = TerminationVerdict(
+            cls=TerminationClass.MODEL_FAITHFUL,
+            weak=report,
+            depth_bound=mfa_depth,
+            ja_cycle=ja_cycle,
+            swa_cycle=swa_cycle,
+            mfa_facts=mfa_facts,
+        )
+        return _store_verdict(key, verdict)
+
+    verdict = TerminationVerdict(
+        cls=TerminationClass.NOT_GUARANTEED,
+        weak=report,
+        depth_bound=None,
+        ja_cycle=ja_cycle,
+        swa_cycle=swa_cycle,
+        mfa_cyclic_term=cyclic_term,
+        mfa_facts=mfa_facts,
+        mfa_conclusive=mfa is not None,
+    )
+    return _store_verdict(key, verdict)
+
+
+# ------------------------------------------------------------- verdict cache
+
+_VERDICT_CACHE: dict[tuple[str, ...], TerminationVerdict] = {}
+_VERDICT_CACHE_LIMIT = 256
+
+
+def _store_verdict(key: tuple[str, ...], verdict: TerminationVerdict) -> TerminationVerdict:
+    if len(_VERDICT_CACHE) >= _VERDICT_CACHE_LIMIT:
+        _VERDICT_CACHE.clear()
+    _VERDICT_CACHE[key] = verdict
+    return verdict
+
+
+def clear_acyclicity_cache() -> None:
+    """Drop all memoized hierarchy verdicts (used by benchmarks)."""
+    _VERDICT_CACHE.clear()
+
+
+__all__ = [
+    "TerminationClass",
+    "TerminationVerdict",
+    "classify_termination",
+    "clear_acyclicity_cache",
+    "critical_instance",
+    "jointly_acyclic",
+    "model_faithful_acyclic",
+    "super_weakly_acyclic",
+]

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 serialization of lint reports (``repro lint --sarif``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is the
+lingua franca of static-analysis tooling: code-scanning UIs, CI annotation
+bots, and baseline diffing tools all consume it.  This module renders an
+:class:`~repro.analysis.static.AnalysisReport` as a single-run SARIF log:
+
+- every catalog code becomes a ``rule`` of the tool driver (stable
+  ``ruleIndex`` order: sorted by code), with the lint severity mapped onto
+  SARIF levels (``error``/``warning`` stay themselves, ``info`` becomes
+  ``note``);
+- every finding becomes a ``result`` with a logical location (dependency
+  label plus part/clause) and the finding's content-hash fingerprint under
+  ``partialFingerprints`` -- the key baseline-aware SARIF viewers match on;
+- the run's ``properties`` carry the termination/hierarchy/cost verdicts, so
+  the artifact is self-describing without the JSON report next to it.
+
+The output is deterministic: two runs over the same input are byte-identical
+(finding order is total, rules are sorted, no timestamps).
+
+    >>> from repro.logic.parser import parse_tgd
+    >>> from repro.analysis.static import analyze
+    >>> log = sarif_report(analyze([parse_tgd("S(x,y) -> R(y,y)")]))
+    >>> log["version"], log["runs"][0]["results"][0]["ruleId"]
+    ('2.1.0', 'NT001')
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.static import LINT_CATALOG, AnalysisReport, Finding
+
+#: SARIF schema location (pinned to 2.1.0).
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: lint severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: Stable rule order: catalog codes sorted lexicographically.
+_RULE_ORDER = sorted(LINT_CATALOG)
+
+
+def _rules() -> list[dict[str, Any]]:
+    rules = []
+    for code in _RULE_ORDER:
+        severity, description = LINT_CATALOG[code]
+        rules.append({
+            "id": code,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": _LEVELS[severity]},
+        })
+    return rules
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    qualified = finding.dependency
+    if finding.location:
+        qualified = f"{finding.dependency}/{finding.location}"
+    message = finding.message
+    if finding.hint:
+        message = f"{message}  Hint: {finding.hint}"
+    return {
+        "ruleId": finding.code,
+        "ruleIndex": _RULE_ORDER.index(finding.code),
+        "level": _LEVELS[finding.severity],
+        "message": {"text": message},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName": qualified,
+                "kind": "declaration",
+            }],
+        }],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+
+
+def sarif_report(report: AnalysisReport, *, tool_name: str = "repro-lint") -> dict[str, Any]:
+    """Render an :class:`AnalysisReport` as a SARIF 2.1.0 log ``dict``."""
+    properties: dict[str, Any] = {"dependencyCount": report.dependency_count}
+    if report.termination is not None:
+        properties["termination"] = report.termination.to_dict()
+    if report.hierarchy is not None:
+        properties["hierarchy"] = report.hierarchy.to_dict()
+    if report.cost is not None:
+        properties["cost"] = report.cost.to_dict()
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": "1.0.0",
+                    "rules": _rules(),
+                },
+            },
+            "results": [_result(finding) for finding in report.findings],
+            "properties": properties,
+            "columnKind": "unicodeCodePoints",
+        }],
+    }
+
+
+def sarif_json(report: AnalysisReport, *, indent: int = 2) -> str:
+    """The SARIF log as a JSON document (byte-identical across runs)."""
+    return json.dumps(sarif_report(report), indent=indent, sort_keys=True)
+
+
+__all__ = ["SARIF_SCHEMA", "sarif_json", "sarif_report"]

@@ -6,12 +6,19 @@ with stable codes, severities, locations, and fix hints -- JSON-serializable
 for tooling (``repro lint --json``, the CI self-check artifact) and
 renderable as text (``repro lint``).
 
-Pass 1 -- **termination** (:mod:`repro.analysis.termination`): the position
-graph with special edges decides weak acyclicity and bounds the chase depth;
-a non-weakly-acyclic program is reported as the error ``TD001`` with a
-witness cycle.
+Pass 1 -- **termination** (:mod:`repro.analysis.termination` and the
+hierarchy of :mod:`repro.analysis.acyclicity`): the position graph with
+special edges decides weak acyclicity and bounds the chase depth; a
+non-weakly-acyclic program is classified further on the termination
+hierarchy, reporting which rung admitted it (``TD002``-``TD004``) or the
+error ``TD001`` with a witness cycle when *no* rung certifies termination.
 
-Pass 2 -- **structural lints** over the parts of each (nested) tgd, the
+Pass 2 -- **cost** (:mod:`repro.analysis.cost`): the static cost model
+predicts the IMPLIES k-pattern sweep per dependency (``CC001`` when it is
+non-elementary) and the chase-size polynomial degree of the whole set
+(``CC002`` when it is beyond any practical budget).
+
+Pass 3 -- **structural lints** over the parts of each (nested) tgd, the
 clauses of each SO tgd, and each egd:
 
 =======  ========  ====================================================
@@ -28,7 +35,12 @@ NT008    warning   constant inside a head term (dependencies are
                    constant-free in the paper)
 NT009    info      dependency subsumed by another one in the set
 NT010    info      existential variable used only in descendant parts
-TD001    error     dependency set is not weakly acyclic
+TD001    error     no termination-hierarchy rung certifies the set
+TD002    info      set is jointly but not weakly acyclic
+TD003    info      set is super-weakly but not jointly acyclic
+TD004    warning   set is MFA-certified only (critical-instance chase)
+CC001    warning   predicted IMPLIES sweep is non-elementary
+CC002    warning   predicted chase-size bound is exponential
 EG001    info      egd equates a variable with itself (trivial)
 EG002    warning   egd body is disconnected
 =======  ========  ====================================================
@@ -43,8 +55,9 @@ EG002    warning   egd body is disconnected
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import DependencyError
@@ -55,6 +68,8 @@ from repro.logic.sotgd import SOTgd
 from repro.logic.terms import FuncTerm, term_variables
 from repro.logic.tgds import STTgd
 from repro.logic.values import Constant, Variable
+from repro.analysis.acyclicity import TerminationClass, TerminationVerdict, classify_termination
+from repro.analysis.cost import ChaseCostEstimate, chase_cost, sweep_cost
 from repro.analysis.subsumption import subsumes
 from repro.analysis.termination import TerminationReport, format_position, termination_report
 
@@ -73,9 +88,22 @@ LINT_CATALOG: dict[str, tuple[str, str]] = {
     "NT008": ("warning", "constant inside a head term"),
     "NT009": ("info", "dependency subsumed by another one in the set"),
     "NT010": ("info", "existential variable used only in descendant parts"),
-    "TD001": ("error", "dependency set is not weakly acyclic"),
+    "TD001": ("error", "no termination-hierarchy rung certifies the set"),
+    "TD002": ("info", "set is jointly but not weakly acyclic"),
+    "TD003": ("info", "set is super-weakly but not jointly acyclic"),
+    "TD004": ("warning", "set is certified only by MFA (critical-instance chase)"),
+    "CC001": ("warning", "predicted IMPLIES k-pattern sweep is non-elementary"),
+    "CC002": ("warning", "predicted chase-size bound is exponential"),
     "EG001": ("info", "egd equates a variable with itself (trivial)"),
     "EG002": ("warning", "egd body is disconnected"),
+}
+
+#: The hierarchy rung -> the finding code reporting it (weak acyclicity
+#: needs no finding; NOT_GUARANTEED is the error TD001).
+_HIERARCHY_CODES = {
+    TerminationClass.JOINTLY_ACYCLIC: "TD002",
+    TerminationClass.SUPER_WEAKLY_ACYCLIC: "TD003",
+    TerminationClass.MODEL_FAITHFUL: "TD004",
 }
 
 
@@ -90,6 +118,19 @@ class Finding:
     message: str
     hint: str = ""
 
+    @property
+    def fingerprint(self) -> str:
+        """A stable content hash of the finding, for ``--baseline`` suppression.
+
+        sha256 over the identifying fields (not Python's per-process
+        ``hash()``), so the same finding fingerprints identically across
+        runs, interpreters, and machines.
+        """
+        payload = "\x1f".join(
+            (self.code, self.dependency, self.location, self.message)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def to_dict(self) -> dict[str, str]:
         """A JSON-serializable view of the finding."""
         return {
@@ -99,16 +140,26 @@ class Finding:
             "location": self.location,
             "message": self.message,
             "hint": self.hint,
+            "fingerprint": self.fingerprint,
         }
 
 
 @dataclass(frozen=True)
 class AnalysisReport:
-    """The full output of :func:`analyze`: findings plus the termination verdict."""
+    """The full output of :func:`analyze`: findings plus the static verdicts.
+
+    ``termination`` is the weak-acyclicity report, ``hierarchy`` the full
+    lattice verdict of :func:`repro.analysis.acyclicity.classify_termination`,
+    and ``cost`` the chase-size estimate of
+    :func:`repro.analysis.cost.chase_cost` (each ``None`` when its pass was
+    skipped).
+    """
 
     findings: tuple[Finding, ...]
     termination: TerminationReport | None
     dependency_count: int
+    hierarchy: TerminationVerdict | None = None
+    cost: ChaseCostEstimate | None = None
 
     @property
     def errors(self) -> tuple[Finding, ...]:
@@ -134,6 +185,8 @@ class AnalysisReport:
             "dependency_count": self.dependency_count,
             "ok": self.ok,
             "termination": None if self.termination is None else self.termination.to_dict(),
+            "hierarchy": None if self.hierarchy is None else self.hierarchy.to_dict(),
+            "cost": None if self.cost is None else self.cost.to_dict(),
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -150,6 +203,11 @@ class AnalysisReport:
                 lines.append(
                     f"termination: weakly acyclic (max rank {t.max_rank}, "
                     f"chase depth bound {t.depth_bound})"
+                )
+            elif self.hierarchy is not None and self.hierarchy.guarantees_termination:
+                lines.append(
+                    f"termination: NOT weakly acyclic, but {self.hierarchy.cls.value} "
+                    f"(chase depth bound {self.hierarchy.depth_bound})"
                 )
             else:
                 lines.append("termination: NOT weakly acyclic -- the chase may diverge")
@@ -466,13 +524,15 @@ def analyze(
     *,
     check_termination: bool = True,
     check_subsumption: bool = True,
+    check_cost: bool = True,
 ) -> AnalysisReport:
     """Statically analyze a dependency program; return an :class:`AnalysisReport`.
 
     *dependencies* may be a single dependency or an iterable mixing s-t
     tgds, nested tgds, SO tgds, and egds (egds may also be passed separately
     via *source_egds*).  ``check_termination=False`` skips the position-graph
-    pass; ``check_subsumption=False`` skips the quadratic NT009 pass.
+    and hierarchy passes; ``check_subsumption=False`` skips the quadratic
+    NT009 pass; ``check_cost=False`` skips the CC001/CC002 cost model.
     """
     if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
         dependencies = [dependencies]
@@ -485,18 +545,81 @@ def analyze(
 
     findings: list[Finding] = []
     termination: TerminationReport | None = None
+    hierarchy: TerminationVerdict | None = None
     if check_termination:
         termination = termination_report(tgds + egds)
+        hierarchy = classify_termination(tgds + egds, weak=termination)
         if not termination.weakly_acyclic:
             cycle = termination.witness_cycle or ()
             rendered = " -> ".join(format_position(p) for p in cycle)
+            code = _HIERARCHY_CODES.get(hierarchy.cls)
+            if code is not None:
+                findings.append(_finding(
+                    code, "*", "position graph",
+                    f"the dependency set is not weakly acyclic (cycle {rendered} "
+                    "passes through a special edge) but is "
+                    f"{hierarchy.cls.value}: the chase terminates with Skolem "
+                    f"depth at most {hierarchy.depth_bound}",
+                    hint="fixpoint_chase runs this set unbounded; the weaker "
+                    "certificate gives a coarser depth bound than weak "
+                    "acyclicity would",
+                ))
+            else:
+                mfa_note = (
+                    f"; MFA derived the cyclic term {hierarchy.mfa_cyclic_term}"
+                    if hierarchy.mfa_cyclic_term is not None
+                    else "; the bounded MFA chase was inconclusive"
+                    if not hierarchy.mfa_conclusive
+                    else ""
+                )
+                findings.append(_finding(
+                    "TD001", "*", "position graph",
+                    f"the dependency set is not weakly acyclic: cycle {rendered} "
+                    "passes through a special (null-creating) edge, and no "
+                    f"wider hierarchy rung certifies it{mfa_note}",
+                    hint="the chase may diverge; fixpoint_chase refuses to run "
+                    "without an explicit max_rounds bound",
+                ))
+
+    cost: ChaseCostEstimate | None = None
+    if check_cost:
+        cost = chase_cost(
+            tgds + egds,
+            verdict=hierarchy
+            if hierarchy is not None
+            else classify_termination(tgds + egds),
+        )
+        if cost.degree is not None and cost.exponential:
+            rendered_degree = (
+                "astronomical" if cost.saturated else f"~n^{cost.degree}"
+            )
             findings.append(_finding(
-                "TD001", "*", "position graph",
-                f"the dependency set is not weakly acyclic: cycle {rendered} "
-                "passes through a special (null-creating) edge",
-                hint="the chase may diverge; fixpoint_chase refuses to run "
-                "without an explicit max_rounds bound",
+                "CC002", "*", "cost model",
+                f"the chase-size bound is {rendered_degree} in the instance "
+                f"size ({cost.skolem_function_count} Skolem function(s) of "
+                f"arity up to {cost.max_skolem_arity}, depth bound "
+                f"{cost.depth_bound})",
+                hint="pass budget= to fixpoint_chase to fail fast instead of "
+                "grinding through an exponential blowup",
             ))
+        for index, dep in enumerate(tgds):
+            if not isinstance(dep, (STTgd, NestedTgd)):
+                continue  # IMPLIES right-hand sides are (s-t or nested) tgds
+            estimate = sweep_cost(tgds, dep)
+            if estimate.non_elementary:
+                rendered_count = (
+                    "non-elementarily many"
+                    if estimate.saturated
+                    else f"~{estimate.pattern_count}"
+                )
+                findings.append(_finding(
+                    "CC001", _dep_label(dep, index), "cost model",
+                    f"checking implication of this dependency sweeps "
+                    f"{rendered_count} k-patterns (k={estimate.k})",
+                    hint="implies_tgd refuses such sweeps under budget=; the "
+                    "subsumption pre-pass may still answer trivial cases "
+                    "without enumerating",
+                ))
 
     for index, dep in enumerate(tgds):
         label = _dep_label(dep, index)
@@ -521,11 +644,43 @@ def analyze(
     for index, egd in enumerate(egds):
         findings.extend(_lint_egd(egd, _dep_label(egd, index)))
 
-    findings.sort(key=lambda f: (_SEVERITIES[f.severity], f.code, f.dependency, f.location))
+    # A *total* deterministic order (message and hint included): two runs
+    # over the same input must produce byte-identical reports for --baseline
+    # fingerprinting and artifact diffing.
+    findings.sort(key=lambda f: (
+        _SEVERITIES[f.severity], f.code, f.dependency, f.location, f.message, f.hint,
+    ))
     return AnalysisReport(
         findings=tuple(findings),
         termination=termination,
         dependency_count=len(deps) + len(list(source_egds)),
+        hierarchy=hierarchy,
+        cost=cost,
+    )
+
+
+# ------------------------------------------------------------------ baselines
+
+
+def baseline_fingerprints(report: AnalysisReport) -> list[str]:
+    """The sorted fingerprints of a report's findings (a ``--baseline`` file).
+
+    A baseline file is a JSON document ``{"fingerprints": [...]}``; findings
+    whose fingerprint appears in it are suppressed by
+    :func:`apply_baseline` (the `repro lint --baseline` workflow: record
+    today's findings, fail only on new ones).
+    """
+    return sorted({finding.fingerprint for finding in report.findings})
+
+
+def apply_baseline(report: AnalysisReport, fingerprints: Iterable[str]) -> AnalysisReport:
+    """Drop every finding whose fingerprint appears in *fingerprints*."""
+    suppressed = frozenset(fingerprints)
+    return replace(
+        report,
+        findings=tuple(
+            f for f in report.findings if f.fingerprint not in suppressed
+        ),
     )
 
 
@@ -534,4 +689,6 @@ __all__ = [
     "Finding",
     "LINT_CATALOG",
     "analyze",
+    "apply_baseline",
+    "baseline_fingerprints",
 ]

@@ -38,7 +38,7 @@ against :func:`repro.engine.fixpoint_chase.fixpoint_chase`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 import networkx as nx
@@ -48,7 +48,7 @@ from repro.logic.atoms import Atom
 from repro.logic.egds import Egd
 from repro.logic.nested import NestedTgd
 from repro.logic.sotgd import SOTgd
-from repro.logic.terms import term_variables
+from repro.logic.terms import FuncTerm, term_variables
 from repro.logic.tgds import STTgd
 from repro.logic.values import Variable
 
@@ -60,6 +60,131 @@ def format_position(position: Position) -> str:
     """Render a position as ``R.i`` for messages and JSON reports."""
     relation, index = position
     return f"{relation}.{index}"
+
+
+# ----------------------------------------------------- dependency-graph IR
+
+#: The shared intermediate representation of a dependency set: one
+#: :class:`ClauseIR` per Skolemized clause, with every variable/position
+#: relationship the static analyses need precomputed.  The weak-acyclicity
+#: position graph (this module), the joint/super-weak acyclicity tests
+#: (:mod:`repro.analysis.acyclicity`), and the cost model
+#: (:mod:`repro.analysis.cost`) are all views of this IR.
+
+
+@dataclass(frozen=True)
+class SkolemIR:
+    """One null-creating Skolem function of a clause.
+
+    ``args`` are the variables the function ranges over (the engine's
+    Skolemization passes all universals in scope, so these are exactly the
+    values a fresh null is keyed by), and ``head_positions`` are the
+    positions where a term *rooted* at the function occurs in the head.
+    """
+
+    function: str
+    args: tuple[Variable, ...]
+    head_positions: tuple[Position, ...]
+
+
+@dataclass(frozen=True)
+class ClauseIR:
+    """A Skolemized clause ``body -> head`` with its position indexes.
+
+    ``body_positions`` / ``head_positions`` map each universal variable to
+    its *top-level* occurrences (positions where the value itself sits, not
+    buried inside a Skolem term) -- top-level occurrences are exactly where
+    a value is copied verbatim by a chase step.
+    """
+
+    label: str
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    body_positions: dict[Variable, tuple[Position, ...]] = field(hash=False)
+    head_positions: dict[Variable, tuple[Position, ...]] = field(hash=False)
+    skolems: tuple[SkolemIR, ...] = ()
+
+
+@dataclass(frozen=True)
+class DependencyGraphIR:
+    """The shared IR of a dependency set: clauses plus the position universe.
+
+    ``positions`` includes positions contributed by egds (which create no
+    edges but belong to the schema of the analyzed program).
+    """
+
+    clauses: tuple[ClauseIR, ...]
+    positions: frozenset[Position]
+
+    @property
+    def skolem_functions(self) -> tuple[SkolemIR, ...]:
+        """All Skolem functions of all clauses (paired with their clauses)."""
+        return tuple(sk for clause in self.clauses for sk in clause.skolems)
+
+    @property
+    def max_skolem_arity(self) -> int:
+        """The largest number of variables any Skolem function ranges over."""
+        return max((len(sk.args) for sk in self.skolem_functions), default=0)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """All relation names of the analyzed program."""
+        return frozenset(relation for relation, _ in self.positions)
+
+
+def _positions_of(atoms: Iterable[Atom]) -> dict[Variable, tuple[Position, ...]]:
+    """Top-level variable occurrences of *atoms* as position tuples."""
+    result: dict[Variable, list[Position]] = {}
+    for atom in atoms:
+        for i, arg in enumerate(atom.args):
+            if isinstance(arg, Variable):
+                result.setdefault(arg, []).append((atom.relation, i))
+    return {var: tuple(positions) for var, positions in result.items()}
+
+
+def _clause_ir(label: str, body: tuple[Atom, ...], head: tuple[Atom, ...]) -> ClauseIR:
+    skolems: dict[str, tuple[tuple[Variable, ...], list[Position]]] = {}
+    for atom in head:
+        for i, term in enumerate(atom.args):
+            if isinstance(term, FuncTerm):
+                variables = tuple(dict.fromkeys(term_variables(term)))
+                args, positions = skolems.setdefault(term.function, (variables, []))
+                positions.append((atom.relation, i))
+    return ClauseIR(
+        label=label,
+        body=body,
+        head=head,
+        body_positions=_positions_of(body),
+        head_positions=_positions_of(head),
+        skolems=tuple(
+            SkolemIR(function=fn, args=args, head_positions=tuple(positions))
+            for fn, (args, positions) in sorted(skolems.items())
+        ),
+    )
+
+
+def dependency_graph_ir(dependencies: Iterable[object]) -> DependencyGraphIR:
+    """Build the shared dependency-graph IR of a dependency set.
+
+    Egds contribute positions only; tgds of every formalism are Skolemized
+    into clauses exactly as :mod:`repro.engine.fixpoint_chase` runs them, so
+    the analyses built on this IR are faithful to the engine's chase.
+    """
+    clauses: list[ClauseIR] = []
+    positions: set[Position] = set()
+    for index, dep in enumerate(dependencies):
+        if isinstance(dep, Egd):
+            for atom in dep.body:
+                for i in range(atom.arity):
+                    positions.add((atom.relation, i))
+            continue
+        for cid, (body, head) in enumerate(_skolem_clauses(dep, index)):
+            clauses.append(_clause_ir(f"d{index}.{cid}", body, head))
+    for clause in clauses:
+        for atom in clause.body + clause.head:
+            for i in range(atom.arity):
+                positions.add((atom.relation, i))
+    return DependencyGraphIR(clauses=tuple(clauses), positions=frozenset(positions))
 
 
 @dataclass(frozen=True)
@@ -118,8 +243,8 @@ def _skolem_clauses(dep: object, index: int) -> list[tuple[tuple[Atom, ...], tup
     raise DependencyError(f"cannot analyze termination of dependency {dep!r}")
 
 
-def position_graph(dependencies: Iterable[object]) -> "nx.DiGraph":
-    """Build the position graph of a dependency set.
+def position_graph_of_ir(ir: DependencyGraphIR) -> "nx.DiGraph":
+    """The weak-acyclicity position graph, derived from the shared IR.
 
     Nodes are :data:`Position` pairs; each edge carries a boolean ``special``
     attribute (a parallel regular+special pair collapses to one edge with
@@ -128,36 +253,63 @@ def position_graph(dependencies: Iterable[object]) -> "nx.DiGraph":
     condition for termination of the combined tgd+egd chase.
     """
     graph = nx.DiGraph()
-    for index, dep in enumerate(dependencies):
-        if isinstance(dep, Egd):
-            for atom in dep.body:
-                for i in range(atom.arity):
-                    graph.add_node((atom.relation, i))
-            continue
-        for body, head in _skolem_clauses(dep, index):
-            occurrences: dict[Variable, list[Position]] = {}
-            for atom in body:
-                for i, arg in enumerate(atom.args):
-                    graph.add_node((atom.relation, i))
-                    if isinstance(arg, Variable):
-                        occurrences.setdefault(arg, []).append((atom.relation, i))
-            for atom in head:
-                for i, term in enumerate(atom.args):
-                    target: Position = (atom.relation, i)
-                    graph.add_node(target)
-                    if isinstance(term, Variable):
-                        special = False
-                        variables: Iterable[Variable] = (term,)
-                    else:
-                        special = True
-                        variables = term_variables(term)
-                    for var in variables:
-                        for source in occurrences.get(var, ()):
-                            if graph.has_edge(source, target):
-                                graph[source][target]["special"] |= special
-                            else:
-                                graph.add_edge(source, target, special=special)
+    graph.add_nodes_from(ir.positions)
+
+    def add_edge(source: Position, target: Position, special: bool) -> None:
+        if graph.has_edge(source, target):
+            graph[source][target]["special"] |= special
+        else:
+            graph.add_edge(source, target, special=special)
+
+    for clause in ir.clauses:
+        for var, sources in clause.body_positions.items():
+            for target in clause.head_positions.get(var, ()):
+                for source in sources:
+                    add_edge(source, target, special=False)
+        for skolem in clause.skolems:
+            for var in skolem.args:
+                for target in skolem.head_positions:
+                    for source in clause.body_positions.get(var, ()):
+                        add_edge(source, target, special=True)
     return graph
+
+
+def position_graph(dependencies: Iterable[object]) -> "nx.DiGraph":
+    """Build the position graph of a dependency set (see :func:`position_graph_of_ir`)."""
+    return position_graph_of_ir(dependency_graph_ir(dependencies))
+
+
+def position_ranks(graph: "nx.DiGraph") -> dict[Position, int] | None:
+    """Rank every position of a weakly acyclic position graph; None otherwise.
+
+    The rank of a position is the maximum number of special edges on any
+    path into it -- the DP along the condensation DAG that both the
+    ``depth_bound`` of :func:`termination_report` and the degree bounds of
+    :mod:`repro.analysis.cost` are computed from.
+    """
+    components = list(nx.strongly_connected_components(graph))
+    for component in components:
+        if any(
+            graph[u][v]["special"] for u, v in graph.subgraph(component).edges()
+        ):
+            return None
+    condensation = nx.condensation(graph, components)
+    component_rank: dict[int, int] = {}
+    for node in nx.topological_sort(condensation):
+        best = 0
+        members = condensation.nodes[node]["members"]
+        for member in members:
+            for pred in graph.predecessors(member):
+                if pred in members:
+                    continue
+                pred_component = condensation.graph["mapping"][pred]
+                weight = 1 if graph[pred][member]["special"] else 0
+                best = max(best, component_rank[pred_component] + weight)
+        component_rank[node] = best
+    return {
+        position: component_rank[condensation.graph["mapping"][position]]
+        for position in graph.nodes
+    }
 
 
 def _witness_cycle(graph: "nx.DiGraph", component: set[Position]) -> tuple[Position, ...]:
@@ -196,37 +348,23 @@ def termination_report(dependencies: object) -> TerminationReport:
         special_edge_count=special_edges,
     )
 
-    components = list(nx.strongly_connected_components(graph))
-    for component in components:
-        if any(
-            graph[u][v]["special"]
-            for u, v in graph.subgraph(component).edges()
-        ):
-            report = TerminationReport(
-                weakly_acyclic=False,
-                witness_cycle=_witness_cycle(graph, component),
-                **base,
-            )
-            _store_report(tuple(repr(dep) for dep in deps), report)
-            return report
+    ranks = position_ranks(graph)
+    if ranks is None:
+        for component in nx.strongly_connected_components(graph):
+            if any(
+                graph[u][v]["special"]
+                for u, v in graph.subgraph(component).edges()
+            ):
+                report = TerminationReport(
+                    weakly_acyclic=False,
+                    witness_cycle=_witness_cycle(graph, component),
+                    **base,
+                )
+                _store_report(tuple(repr(dep) for dep in deps), report)
+                return report
+        raise AssertionError("unrankable graph has a special cycle")  # pragma: no cover
 
-    # Weakly acyclic: rank every strongly connected component along the
-    # condensation DAG, counting special edges (all intra-component edges are
-    # regular here, so every node of a component shares one rank).
-    condensation = nx.condensation(graph, components)
-    rank: dict[int, int] = {}
-    for node in nx.topological_sort(condensation):
-        best = 0
-        members = condensation.nodes[node]["members"]
-        for member in members:
-            for pred in graph.predecessors(member):
-                if pred in members:
-                    continue
-                pred_component = condensation.graph["mapping"][pred]
-                weight = 1 if graph[pred][member]["special"] else 0
-                best = max(best, rank[pred_component] + weight)
-        rank[node] = best
-    max_rank = max(rank.values(), default=0)
+    max_rank = max(ranks.values(), default=0)
     report = TerminationReport(
         weakly_acyclic=True, max_rank=max_rank, depth_bound=max_rank, **base
     )
@@ -258,10 +396,16 @@ def clear_termination_cache() -> None:
 
 
 __all__ = [
+    "ClauseIR",
+    "DependencyGraphIR",
     "Position",
+    "SkolemIR",
     "TerminationReport",
     "clear_termination_cache",
+    "dependency_graph_ir",
     "format_position",
     "position_graph",
+    "position_graph_of_ir",
+    "position_ranks",
     "termination_report",
 ]

@@ -37,13 +37,26 @@ def parse_dependency(text: str):
     A flat tgd whose source and target relations overlap is rejected by the
     nested-tgd validator but is a legal s-t tgd (and is exactly what the
     termination analyzer exists to vet), so fall back to :func:`parse_tgd`.
+
+    When *every* grammar rejects the text, re-raise the :class:`ParseError`
+    that got the furthest: the SO-tgd parser bails at the first function-free
+    token, so its (shallow) error would otherwise mask the nested parser's
+    line/column-corrected location of the actual typo.
     """
+    errors: list[ParseError] = []
     try:
         return parse_nested_tgd(text)
-    except ParseError:
-        return parse_so_tgd(text)
+    except ParseError as exc:
+        errors.append(exc)
     except DependencyError:
         return parse_tgd(text)
+    try:
+        return parse_so_tgd(text)
+    except ParseError as exc:
+        errors.append(exc)
+    raise max(
+        errors, key=lambda exc: -1 if exc.position is None else exc.position
+    )
 
 
 def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
@@ -208,11 +221,27 @@ def cmd_certain(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis.static import analyze
+    import json
+
+    from repro.analysis.sarif import sarif_json
+    from repro.analysis.static import analyze, apply_baseline, baseline_fingerprints
 
     deps = _dependencies(args)
     report = analyze(deps, source_egds=_egds(args))
-    if args.json:
+    if args.write_baseline:
+        fingerprints = baseline_fingerprints(report)
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump({"fingerprints": fingerprints}, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline: {len(fingerprints)} fingerprint(s) -> {args.write_baseline}")
+        return 0
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        report = apply_baseline(report, baseline.get("fingerprints", ()))
+    if args.sarif:
+        print(sarif_json(report))
+    elif args.json:
         print(report.to_json())
     else:
         print(report.render())
@@ -278,8 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static analysis: termination verdict + structural lints"
     )
     _add_dependency_arguments(lint_parser)
-    lint_parser.add_argument(
+    lint_format = lint_parser.add_mutually_exclusive_group()
+    lint_format.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+    lint_format.add_argument(
+        "--sarif", action="store_true", help="emit the report as SARIF 2.1.0"
+    )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings whose fingerprints appear in this baseline file",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings' fingerprints to FILE and exit 0",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

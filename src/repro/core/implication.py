@@ -133,6 +133,22 @@ def implication_bound(sigma_set: Sequence, sigma: NestedTgd) -> int:
 #: labels) and the cached instance can be shared freely.
 _CHASE_CACHE: "OrderedDict[tuple, Instance]" = OrderedDict()
 _CHASE_CACHE_LIMIT = 512
+_CHASE_CACHE_LIMIT_DEFAULT = 512
+_CHASE_CACHE_LIMIT_MAX = 8192
+
+
+def _presize_chase_cache(predicted_patterns: int) -> None:
+    """Grow the chase-cache LRU window toward a predicted sweep size.
+
+    A sweep of ``n`` patterns touches at most ``n`` canonical sources; an
+    LRU window smaller than that thrashes (every entry is evicted before its
+    re-use).  Growth is clamped and never shrinks below the default.
+    """
+    global _CHASE_CACHE_LIMIT
+    _CHASE_CACHE_LIMIT = max(
+        _CHASE_CACHE_LIMIT,
+        min(max(predicted_patterns, _CHASE_CACHE_LIMIT_DEFAULT), _CHASE_CACHE_LIMIT_MAX),
+    )
 
 
 def _sigma_fingerprint(lhs: Sequence) -> tuple[str, ...]:
@@ -142,7 +158,9 @@ def _sigma_fingerprint(lhs: Sequence) -> tuple[str, ...]:
 
 def clear_chase_cache() -> None:
     """Drop all cached chase results (used by benchmarks for cold-start runs)."""
+    global _CHASE_CACHE_LIMIT
     _CHASE_CACHE.clear()
+    _CHASE_CACHE_LIMIT = _CHASE_CACHE_LIMIT_DEFAULT
 
 
 def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...]) -> Instance:
@@ -285,6 +303,7 @@ def implies_tgd(
     *,
     parallel: int | None = None,
     subsumption: bool = True,
+    budget: int | None = None,
 ) -> ImplicationResult:
     """Run the procedure IMPLIES and return a result with diagnostics.
 
@@ -292,6 +311,13 @@ def implies_tgd(
     processes; the result (verdict, pattern count, diagnostics) is identical
     to the serial sweep, and the sweep early-exits once a failing pattern is
     found.
+
+    With ``budget=N``, the static cost model of
+    :func:`repro.analysis.cost.sweep_cost` predicts the sweep size *before*
+    enumerating anything; a predicted sweep above the budget raises
+    :class:`~repro.errors.BudgetExceeded` immediately (lint finding ``CC001``
+    makes the same prediction), and a predicted sweep that fits pre-sizes
+    the chase cache so the sweep does not thrash it.
 
     With ``subsumption=True`` (the default), a sound syntactic subsumption
     pre-pass (:mod:`repro.analysis.subsumption`) answers trivially implied
@@ -322,6 +348,22 @@ def implies_tgd(
         if trivially_implied(lhs, rhs):
             perf.incr("implies.subsumption_skips")
             return ImplicationResult(holds=True, k=k, patterns_checked=0)
+    if budget is not None:
+        from repro.analysis.cost import sweep_cost
+
+        estimate = sweep_cost(lhs, rhs, k=k)
+        if estimate.cost_units > budget:
+            from repro.errors import BudgetExceeded
+
+            raise BudgetExceeded(
+                "IMPLIES k-pattern sweep",
+                budget,
+                predicted=estimate.cost_units,
+                hint=f"k={estimate.k} yields ~{estimate.pattern_count} patterns "
+                "(lint finding CC001 predicts this).  Raise budget=, or prune "
+                "the right-hand side's nesting depth.",
+            )
+        _presize_chase_cache(estimate.pattern_count)
     patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
     source_egds = list(source_egds)
     fingerprint = _sigma_fingerprint(lhs)
@@ -339,6 +381,7 @@ def implies(
     *,
     parallel: int | None = None,
     subsumption: bool = True,
+    budget: int | None = None,
 ) -> bool:
     """Decide ``Sigma |= Sigma'`` for finite sets of (nested) tgds.
 
@@ -351,7 +394,7 @@ def implies(
     return all(
         implies_tgd(
             sigma_set, sigma, source_egds=source_egds, max_patterns=max_patterns,
-            parallel=parallel, subsumption=subsumption,
+            parallel=parallel, subsumption=subsumption, budget=budget,
         ).holds
         for sigma in sigma_prime_set
     )
@@ -365,14 +408,17 @@ def equivalent(
     *,
     parallel: int | None = None,
     subsumption: bool = True,
+    budget: int | None = None,
 ) -> bool:
     """Decide logical equivalence of two finite sets of nested tgds (Corollary 3.11)."""
     return implies(
         sigma_set, sigma_prime_set, source_egds=source_egds,
         max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
+        budget=budget,
     ) and implies(
         sigma_prime_set, sigma_set, source_egds=source_egds,
         max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
+        budget=budget,
     )
 
 

@@ -7,17 +7,26 @@ iterates the oblivious chase over its own output until a fixpoint, which is
 what general (target or same-schema) tgds need -- e.g. transitive closure, or
 the deliberately diverging programs exercised by the analyzer tests.
 
-Before chasing, the engine consults
-:func:`repro.analysis.termination.termination_report`:
+Before chasing, the engine consults the static termination analyses:
 
 - **weakly acyclic** program: the chase is guaranteed to terminate, so it
   runs to the natural fixpoint (no round bound needed); the verdict's
   ``depth_bound`` caps the Skolem-nesting depth of every null created, which
   the tests verify.
-- **not weakly acyclic**: the chase may diverge.  Without an explicit
-  ``max_rounds`` the engine refuses with a :class:`~repro.errors.ChaseError`
-  pointing at the ``TD001`` finding; with one, it runs at most that many
-  rounds and reports whether a fixpoint was actually reached.
+- **not weakly acyclic**: the engine climbs the termination hierarchy of
+  :func:`repro.analysis.acyclicity.classify_termination` (joint acyclicity,
+  super-weak acyclicity, MFA -- lint findings ``TD002``-``TD004``).  Any
+  rung that certifies the set lets the chase run unbounded; only when *no*
+  rung admits it does the engine refuse without an explicit ``max_rounds``,
+  with a :class:`~repro.errors.ChaseError` pointing at the ``TD001``
+  finding.  With ``max_rounds`` it runs at most that many rounds and
+  reports whether a fixpoint was actually reached.
+
+A ``budget=`` caps the total number of facts: when the static cost model
+(:func:`repro.analysis.cost.chase_cost`) already proves the chase fits, the
+cap costs nothing at runtime; otherwise every derived fact counts against
+it and crossing it raises :class:`~repro.errors.BudgetExceeded` immediately
+instead of grinding on a blowup (lint finding ``CC002`` predicts this).
 
 Nulls are ground Skolem terms, exactly as in the single-pass engines, so
 re-firing a trigger re-derives the *same* fact and the fixpoint is
@@ -33,10 +42,10 @@ well-defined.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro import perf
-from repro.errors import ChaseError
+from repro.errors import BudgetExceeded, ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.nested import NestedTgd
@@ -48,6 +57,7 @@ from repro.engine.chase import _rename_functions_apart
 from repro.engine.matching import find_matches
 
 if TYPE_CHECKING:
+    from repro.analysis.acyclicity import TerminationClass
     from repro.analysis.termination import TerminationReport
 
 
@@ -57,13 +67,16 @@ class FixpointChaseResult:
 
     ``instance`` contains the input facts plus everything derived;
     ``reached_fixpoint`` is False only when ``max_rounds`` cut the run short.
-    ``termination`` is the static verdict the engine consulted.
+    ``termination`` is the static weak-acyclicity verdict the engine
+    consulted, and ``termination_class`` the hierarchy rung that certified
+    the run (``None`` for a bounded run of an uncertified set).
     """
 
     instance: Instance
     rounds: int
     reached_fixpoint: bool
     termination: TerminationReport
+    termination_class: "TerminationClass | None" = None
 
     def __iter__(self) -> "Iterator[Atom]":
         return iter(self.instance)
@@ -90,6 +103,8 @@ def fixpoint_chase(
     dependencies: "STTgd | NestedTgd | SOTgd | Iterable[object]",
     *,
     max_rounds: int | None = None,
+    budget: int | None = None,
+    fact_hook: "Callable[[Atom], None] | None" = None,
 ) -> FixpointChaseResult:
     """Chase *instance* with tgds of any formalism until a fixpoint.
 
@@ -98,10 +113,17 @@ def fixpoint_chase(
     relations), nested tgds, and SO tgds.  The result instance contains the
     input facts.
 
-    The static termination verdict gates the run: a weakly acyclic program
-    runs unbounded (termination is guaranteed); otherwise *max_rounds* is
-    required and the result's ``reached_fixpoint`` records whether the bound
-    was actually reached.
+    The static termination hierarchy gates the run: a program certified by
+    *any* rung (weakly/jointly/super-weakly/model-faithfully acyclic) runs
+    unbounded; otherwise *max_rounds* is required and the result's
+    ``reached_fixpoint`` records whether the bound was actually reached.
+
+    *budget* caps the total number of facts (input plus derived); the chase
+    raises :class:`~repro.errors.BudgetExceeded` the moment it would cross
+    the cap, unless the static cost model already proves it cannot.
+    *fact_hook* is called with every newly derived fact (the MFA test of the
+    acyclicity analysis watches the critical-instance chase through it);
+    exceptions it raises propagate to the caller.
     """
     from repro.analysis.termination import termination_report
 
@@ -109,13 +131,46 @@ def fixpoint_chase(
         dependencies = [dependencies]
     deps = list(dependencies)
     verdict = termination_report(deps)
+    hierarchy = None
     if not verdict.weakly_acyclic and max_rounds is None:
-        raise ChaseError(
-            "the dependency set is not weakly acyclic (lint finding TD001): "
-            "the fixpoint chase may diverge.  Pass max_rounds=... to run a "
-            "bounded number of rounds anyway, or inspect the witness cycle "
-            "with repro.analysis.static.analyze / `repro lint`."
-        )
+        from repro.analysis.acyclicity import classify_termination
+
+        hierarchy = classify_termination(deps, weak=verdict)
+        if not hierarchy.guarantees_termination:
+            raise ChaseError(
+                "no rung of the termination hierarchy certifies the dependency "
+                "set (lint finding TD001: not weakly, jointly, or super-weakly "
+                "acyclic, and MFA found "
+                + (
+                    f"the cyclic term {hierarchy.mfa_cyclic_term}"
+                    if hierarchy.mfa_cyclic_term is not None
+                    else "no certificate"
+                )
+                + "): the fixpoint chase may diverge.  Pass max_rounds=... to "
+                "run a bounded number of rounds anyway, or inspect the witness "
+                "cycle with repro.analysis.static.analyze / `repro lint`."
+            )
+
+    enforce_budget = budget is not None
+    predicted: int | None = None
+    total_facts = 0
+    if budget is not None:
+        from repro.analysis.cost import chase_cost
+
+        if hierarchy is None:
+            from repro.analysis.acyclicity import classify_termination
+
+            hierarchy = classify_termination(deps, weak=verdict)
+        domain = {value for fact in instance for value in fact.args}
+        predicted = chase_cost(deps, verdict=hierarchy).fact_bound(len(domain))
+        if predicted is not None and predicted <= budget:
+            enforce_budget = False  # statically certified to fit the budget
+        total_facts = len(instance)
+        if enforce_budget and total_facts > budget:
+            raise BudgetExceeded(
+                "fixpoint chase", budget, predicted=predicted,
+                hint="The input instance alone is larger than the budget.",
+            )
 
     clauses = _clauses_of(deps)
     builder = InstanceBuilder(instance)
@@ -138,14 +193,34 @@ def fixpoint_chase(
                     continue
                 for atom in clause.head:
                     args = tuple(substitute_term(t, assignment) for t in atom.args)
-                    if builder.add(Atom(atom.relation, args)):
+                    fact = Atom(atom.relation, args)
+                    if builder.add(fact):
                         changed = True
                         perf.incr("chase.facts")
+                        total_facts += 1
+                        if enforce_budget and budget is not None and total_facts > budget:
+                            raise BudgetExceeded(
+                                "fixpoint chase", budget, predicted=predicted,
+                                hint="Lint finding CC002 predicts the chase-size "
+                                "bound; raise budget= or bound the run with "
+                                "max_rounds=.",
+                            )
+                        if fact_hook is not None:
+                            fact_hook(fact)
+    if hierarchy is not None:
+        termination_class = hierarchy.cls
+    elif verdict.weakly_acyclic:
+        from repro.analysis.acyclicity import TerminationClass
+
+        termination_class = TerminationClass.WEAKLY_ACYCLIC
+    else:
+        termination_class = None
     return FixpointChaseResult(
         instance=builder.freeze(),
         rounds=rounds,
         reached_fixpoint=not changed,
         termination=verdict,
+        termination_class=termination_class,
     )
 
 

@@ -84,5 +84,32 @@ class ResourceLimitExceeded(ReproError):
         super().__init__(f"resource limit exceeded: more than {limit} {what}")
 
 
+class BudgetExceeded(ReproError):
+    """An engine's predicted or actual cost exceeded a caller-supplied budget.
+
+    Raised by :func:`repro.core.implication.implies_tgd` when the statically
+    predicted k-pattern sweep is larger than ``budget=`` (before a single
+    pattern is enumerated -- lint finding ``CC001`` predicts the same blowup),
+    and by :func:`repro.engine.fixpoint_chase.fixpoint_chase` the moment the
+    chase derives more facts than its ``budget=`` allows (lint finding
+    ``CC002`` predicts the chase-size bound).  ``predicted`` carries the
+    static estimate when one was the trigger.
+    """
+
+    def __init__(self, what: str, budget: int, predicted: int | None = None, hint: str = ""):
+        self.what = what
+        self.budget = budget
+        self.predicted = predicted
+        message = f"budget exceeded: {what} needs more than budget={budget}"
+        if predicted is not None:
+            message = (
+                f"budget exceeded: {what} is statically predicted to need "
+                f"~{predicted} units, more than budget={budget}"
+            )
+        if hint:
+            message = f"{message}.  {hint}"
+        super().__init__(message)
+
+
 class UndecidedError(ReproError):
     """A semi-decision procedure could not reach a verdict within its budget."""

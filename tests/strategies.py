@@ -115,9 +115,50 @@ def instances(
     return Instance(facts)
 
 
+@st.composite
+def same_schema_tgds(draw, max_tgds: int = 3, max_body_atoms: int = 2):
+    """Generate a small set of flat tgds over one shared schema.
+
+    Unlike :func:`nested_tgds` (whose source/target schemas are disjoint by
+    construction, so the chase trivially terminates in one round), these tgds
+    read and write the *same* relations -- the regime where the termination
+    hierarchy does real work.  Bodies draw only universal variables; heads mix
+    universals with an optional existential, so some draws are recursive and
+    value-inventing.
+    """
+    from repro.logic.tgds import STTgd
+
+    universal = [Variable(f"x{i}") for i in range(3)]
+    tgds = []
+    for __ in range(draw(st.integers(1, max_tgds))):
+        body = []
+        for __ in range(draw(st.integers(1, max_body_atoms))):
+            name, arity = draw(st.sampled_from(INSTANCE_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(universal)) for __ in range(arity)
+            )
+            body.append(Atom(name, args))
+        in_scope = sorted(
+            {arg for atom in body for arg in atom.args}, key=lambda v: v.name
+        )
+        head_pool = list(in_scope)
+        if draw(st.booleans()):
+            head_pool.append(Variable("w"))  # existential
+        head = []
+        for __ in range(draw(st.integers(1, 2))):
+            name, arity = draw(st.sampled_from(INSTANCE_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(head_pool)) for __ in range(arity)
+            )
+            head.append(Atom(name, args))
+        tgds.append(STTgd(body=tuple(body), head=tuple(head)))
+    return tgds
+
+
 __all__ = [
     "nested_tgds",
     "instances",
+    "same_schema_tgds",
     "SOURCE_RELATIONS",
     "TARGET_RELATIONS",
     "INSTANCE_RELATIONS",

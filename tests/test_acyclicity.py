@@ -1,0 +1,197 @@
+"""Tests for the chase-termination hierarchy (repro.analysis.acyclicity)."""
+
+import pytest
+
+from repro.analysis.acyclicity import (
+    TerminationClass,
+    TerminationVerdict,
+    classify_termination,
+    clear_acyclicity_cache,
+    critical_instance,
+    jointly_acyclic,
+    model_faithful_acyclic,
+    super_weakly_acyclic,
+)
+from repro.analysis.termination import dependency_graph_ir, termination_report
+from repro.engine.fixpoint_chase import fixpoint_chase
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.parser import parse_egd, parse_tgd
+from repro.logic.values import Constant
+
+
+# One witness set per rung of the hierarchy, each refuting all narrower rungs.
+WA_SET = [parse_tgd("S(x,y) -> R(x,y)")]
+JA_NOT_WA_SET = [parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)")]
+SWA_NOT_JA_SET = [
+    parse_tgd("S(x) -> exists y, z . R(y,z) & R(z,y)"),
+    parse_tgd("R(u,u) -> exists w . S(w)"),
+]
+MFA_NOT_SWA_SET = [
+    parse_tgd("S(x) -> exists y . R(x,y)"),
+    parse_tgd("R(x,y) & B(y) -> exists w . S(w)"),
+]
+DIVERGING_SET = [parse_tgd("E(x,y) -> exists z . E(y,z)")]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_acyclicity_cache()
+    yield
+    clear_acyclicity_cache()
+
+
+class TestLattice:
+    def test_rank_order(self):
+        ranks = [cls.rank for cls in TerminationClass]
+        assert ranks == sorted(ranks)
+        assert TerminationClass.WEAKLY_ACYCLIC < TerminationClass.JOINTLY_ACYCLIC
+        assert (
+            TerminationClass.SUPER_WEAKLY_ACYCLIC
+            < TerminationClass.MODEL_FAITHFUL
+            < TerminationClass.NOT_GUARANTEED
+        )
+
+    def test_guarantees_termination(self):
+        for cls in TerminationClass:
+            expected = cls is not TerminationClass.NOT_GUARANTEED
+            assert cls.guarantees_termination is expected
+
+
+class TestClassification:
+    def test_weakly_acyclic(self):
+        verdict = classify_termination(WA_SET)
+        assert verdict.cls is TerminationClass.WEAKLY_ACYCLIC
+        assert verdict.guarantees_termination
+        assert verdict.depth_bound is not None
+
+    def test_jointly_acyclic_not_weak(self):
+        verdict = classify_termination(JA_NOT_WA_SET)
+        assert verdict.cls is TerminationClass.JOINTLY_ACYCLIC
+        assert not verdict.weak.weakly_acyclic
+        assert verdict.depth_bound == 1
+
+    def test_super_weakly_acyclic_not_jointly(self):
+        verdict = classify_termination(SWA_NOT_JA_SET)
+        assert verdict.cls is TerminationClass.SUPER_WEAKLY_ACYCLIC
+        # the JA refutation is witnessed by a function cycle
+        assert verdict.ja_cycle
+        assert verdict.depth_bound == 2
+
+    def test_model_faithful_not_super_weak(self):
+        verdict = classify_termination(MFA_NOT_SWA_SET)
+        assert verdict.cls is TerminationClass.MODEL_FAITHFUL
+        assert verdict.ja_cycle and verdict.swa_cycle
+        assert verdict.mfa_facts is not None
+        assert verdict.depth_bound == 2
+
+    def test_not_guaranteed_with_cyclic_term_witness(self):
+        verdict = classify_termination(DIVERGING_SET)
+        assert verdict.cls is TerminationClass.NOT_GUARANTEED
+        assert not verdict.guarantees_termination
+        assert verdict.mfa_conclusive
+        # the MFA refutation exhibits a Skolem function nested below itself
+        assert verdict.mfa_cyclic_term is not None
+        assert verdict.mfa_cyclic_term.count("f_z") >= 2
+
+    def test_single_dependency_accepted(self):
+        verdict = classify_termination(JA_NOT_WA_SET[0])
+        assert verdict.cls is TerminationClass.JOINTLY_ACYCLIC
+
+    def test_egds_do_not_block_certification(self):
+        verdict = classify_termination(WA_SET + [parse_egd("R(x,y) & R(x,z) -> y = z")])
+        assert verdict.guarantees_termination
+
+    def test_bool_protocol(self):
+        assert classify_termination(WA_SET)
+        assert not classify_termination(DIVERGING_SET)
+
+    def test_to_dict_round_trips_class(self):
+        payload = classify_termination(MFA_NOT_SWA_SET).to_dict()
+        assert payload["class"] == "model-faithful-acyclic"
+        assert payload["guarantees_termination"] is True
+        assert payload["ja_cycle"] and payload["swa_cycle"]
+
+    def test_verdicts_are_cached(self):
+        first = classify_termination(SWA_NOT_JA_SET)
+        second = classify_termination(SWA_NOT_JA_SET)
+        assert first is second
+
+    def test_inconclusive_mfa_budget(self):
+        verdict = classify_termination(
+            MFA_NOT_SWA_SET, mfa_max_facts=1, mfa_max_rounds=1
+        )
+        assert verdict.cls is TerminationClass.NOT_GUARANTEED
+        assert not verdict.mfa_conclusive
+
+
+class TestRungInternals:
+    def test_jointly_acyclic_direct(self):
+        assert jointly_acyclic(dependency_graph_ir(JA_NOT_WA_SET))[0]
+        ok, cycle, _depth = jointly_acyclic(dependency_graph_ir(SWA_NOT_JA_SET))
+        assert not ok and cycle
+
+    def test_super_weakly_acyclic_direct(self):
+        assert super_weakly_acyclic(dependency_graph_ir(SWA_NOT_JA_SET))[0]
+        ok, cycle, _depth = super_weakly_acyclic(dependency_graph_ir(MFA_NOT_SWA_SET))
+        assert not ok and cycle
+
+    def test_containment_on_certified_sets(self):
+        # every rung's witness set is admitted by all wider rungs
+        ir = dependency_graph_ir(JA_NOT_WA_SET)
+        assert jointly_acyclic(ir)[0]
+        assert super_weakly_acyclic(ir)[0]
+        assert model_faithful_acyclic(JA_NOT_WA_SET, ir)[0]
+        ir = dependency_graph_ir(SWA_NOT_JA_SET)
+        assert super_weakly_acyclic(ir)[0]
+        assert model_faithful_acyclic(SWA_NOT_JA_SET, ir)[0]
+
+    def test_critical_instance_covers_all_positions(self):
+        ir = dependency_graph_ir(MFA_NOT_SWA_SET)
+        inst = critical_instance(ir)
+        relations = {fact.relation for fact in inst}
+        assert relations == {"S", "R", "B"}
+        assert all(arg == Constant("*") for fact in inst for arg in fact.args)
+
+    def test_mfa_refutes_diverging(self):
+        ir = dependency_graph_ir(DIVERGING_SET)
+        ok, cyclic, _depth, facts = model_faithful_acyclic(DIVERGING_SET, ir)
+        assert ok is False
+        assert cyclic is not None and facts is not None
+
+
+class TestEngineGate:
+    """The acceptance criterion: certified-but-not-WA sets run unbounded."""
+
+    def test_ja_set_rejected_by_weak_test_but_chases_unbounded(self):
+        assert not termination_report(JA_NOT_WA_SET).weakly_acyclic
+        a, b = Constant("a"), Constant("b")
+        instance = Instance([Atom("E", (a, b)), Atom("E", (b, a))])
+        result = fixpoint_chase(instance, JA_NOT_WA_SET)  # no max_rounds
+        assert result.reached_fixpoint
+        assert result.termination_class is TerminationClass.JOINTLY_ACYCLIC
+
+    def test_mfa_set_chases_unbounded(self):
+        instance = Instance([Atom("S", (Constant("a"),)), Atom("B", (Constant("b"),))])
+        result = fixpoint_chase(instance, MFA_NOT_SWA_SET)
+        assert result.reached_fixpoint
+        assert result.termination_class is TerminationClass.MODEL_FAITHFUL
+
+    def test_weakly_acyclic_class_reported(self):
+        instance = Instance([Atom("S", (Constant("a"), Constant("b")))])
+        result = fixpoint_chase(instance, WA_SET)
+        assert result.termination_class is TerminationClass.WEAKLY_ACYCLIC
+
+    def test_uncertified_still_refused_without_max_rounds(self):
+        instance = Instance([Atom("E", (Constant("a"), Constant("b")))])
+        with pytest.raises(ChaseError) as excinfo:
+            fixpoint_chase(instance, DIVERGING_SET)
+        message = str(excinfo.value)
+        assert "TD001" in message and "max_rounds" in message
+
+    def test_uncertified_allowed_with_max_rounds(self):
+        instance = Instance([Atom("E", (Constant("a"), Constant("b")))])
+        result = fixpoint_chase(instance, DIVERGING_SET, max_rounds=3)
+        assert not result.reached_fixpoint
+        assert result.termination_class is None

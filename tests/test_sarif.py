@@ -1,0 +1,186 @@
+"""Tests for SARIF output, baselines, determinism, and the lint CLI surface."""
+
+import json
+
+import pytest
+
+from repro.analysis.sarif import SARIF_SCHEMA, sarif_json, sarif_report
+from repro.analysis.static import (
+    LINT_CATALOG,
+    analyze,
+    apply_baseline,
+    baseline_fingerprints,
+)
+from repro.cli import main, parse_dependency
+from repro.errors import ParseError
+from repro.logic.parser import parse_nested_tgd, parse_tgd
+
+DIVERGING = parse_tgd("E(x,y) -> exists z . E(y,z)")
+SIGMA_STAR_TEXT = (
+    "S1(x1) -> exists y1 . ((S2(x2) -> R2(y1,x2)) & (S3(x1,x3) -> R3(y1,x3) "
+    "& (S4(x3,x4) -> exists y2 . R4(y2,x4))))"
+)
+
+
+class TestSarifStructure:
+    def test_log_skeleton(self):
+        log = sarif_report(analyze([DIVERGING]))
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["columnKind"] == "unicodeCodePoints"
+
+    def test_all_catalog_codes_become_rules(self):
+        (run,) = sarif_report(analyze([DIVERGING]))["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == sorted(LINT_CATALOG)
+        for rule in rules:
+            assert rule["defaultConfiguration"]["level"] in {"error", "warning", "note"}
+
+    def test_results_reference_rules_by_index(self):
+        (run,) = sarif_report(analyze([DIVERGING]))["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"], "diverging set must produce findings"
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            assert result["partialFingerprints"]["reproLint/v1"]
+            location = result["locations"][0]["logicalLocations"][0]
+            assert location["kind"] == "declaration"
+
+    def test_info_severity_maps_to_note(self):
+        # a JA-certified set gets the info-severity TD002 finding
+        report = analyze([parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)")])
+        (run,) = sarif_report(report)["runs"]
+        td002 = [r for r in run["results"] if r["ruleId"] == "TD002"]
+        assert td002 and td002[0]["level"] == "note"
+
+    def test_properties_carry_verdicts(self):
+        (run,) = sarif_report(analyze([DIVERGING]))["runs"]
+        assert run["properties"]["dependencyCount"] == 1
+        assert run["properties"]["termination"]["weakly_acyclic"] is False
+        assert "hierarchy" in run["properties"]
+        assert "cost" in run["properties"]
+
+
+class TestDeterminism:
+    def test_sarif_byte_identical_across_runs(self):
+        deps_a = [parse_dependency(SIGMA_STAR_TEXT), DIVERGING]
+        first = sarif_json(analyze(deps_a))
+        deps_b = [parse_dependency(SIGMA_STAR_TEXT), parse_tgd("E(x,y) -> exists z . E(y,z)")]
+        second = sarif_json(analyze(deps_b))
+        assert first == second
+
+    def test_json_report_byte_identical_across_runs(self):
+        first = analyze([DIVERGING]).to_json()
+        second = analyze([parse_tgd("E(x,y) -> exists z . E(y,z)")]).to_json()
+        assert first == second
+
+    def test_finding_order_is_total(self):
+        severities = {"error": 0, "warning": 1, "info": 2}
+        report = analyze([DIVERGING, parse_tgd("S(x,y) -> R(y,y)")])
+        keys = [
+            (severities[f.severity], f.code, f.dependency, f.location, f.message)
+            for f in report.findings
+        ]
+        assert keys == sorted(keys)
+
+    def test_fingerprint_stability(self):
+        report = analyze([DIVERGING])
+        again = analyze([parse_tgd("E(x,y) -> exists z . E(y,z)")])
+        assert [f.fingerprint for f in report.findings] == [
+            f.fingerprint for f in again.findings
+        ]
+        for finding in report.findings:
+            assert len(finding.fingerprint) == 16
+            int(finding.fingerprint, 16)
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self):
+        report = analyze([DIVERGING])
+        assert report.findings
+        suppressed = apply_baseline(report, baseline_fingerprints(report))
+        assert not suppressed.findings
+        assert suppressed.ok
+
+    def test_partial_baseline_keeps_new_findings(self):
+        report = analyze([DIVERGING])
+        keep, *rest = report.findings
+        suppressed = apply_baseline(report, [f.fingerprint for f in rest])
+        assert [f.fingerprint for f in suppressed.findings] == [keep.fingerprint]
+
+    def test_baseline_fingerprints_sorted_unique(self):
+        fingerprints = baseline_fingerprints(analyze([DIVERGING, DIVERGING]))
+        assert fingerprints == sorted(set(fingerprints))
+
+
+class TestLintCli:
+    def test_sarif_flag(self, capsys):
+        code = main(["lint", "--sarif", "--dep", "S(x,y) -> R(x,y)"])
+        assert code == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+
+    def test_sarif_excludes_json_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--sarif", "--json", "--dep", "S(x,y) -> R(x,y)"])
+
+    def test_sigma_star_gets_cc001_quickly(self, capsys):
+        # acceptance criterion: the non-elementary sweep is *predicted*, not run
+        import time
+
+        started = time.monotonic()
+        code = main(["lint", "--sarif", "--dep", SIGMA_STAR_TEXT])
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        cc001 = [r for r in run["results"] if r["ruleId"] == "CC001"]
+        assert cc001, "sigma* must get the non-elementary sweep warning"
+        assert code == 0  # warnings alone do not fail the lint verdict
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        dep = "E(x,y) -> exists z . E(y,z)"
+        code = main(["lint", "--write-baseline", str(baseline), "--dep", dep])
+        assert code == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["fingerprints"]
+        capsys.readouterr()
+        code = main(["lint", "--baseline", str(baseline), "--dep", dep])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TD001" not in out
+
+    def test_cli_output_deterministic(self, capsys):
+        main(["lint", "--sarif", "--dep", SIGMA_STAR_TEXT])
+        first = capsys.readouterr().out
+        main(["lint", "--sarif", "--dep", SIGMA_STAR_TEXT])
+        assert capsys.readouterr().out == first
+
+
+class TestMalformedInput:
+    MALFORMED = (
+        "S1(x1) -> exists y1 . ((S2(x2) -> R2(y1,x2)) & (S3(x1,x3) -> R3(y1,x3)))"
+        ")"  # stray trailing paren deep in the text
+    )
+
+    def test_parse_dependency_reports_furthest_error(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_dependency(self.MALFORMED)
+        # the nested parser got all the way to the stray paren; the SO-tgd
+        # parser's early bail-out must not mask it
+        assert excinfo.value.position is not None
+        assert excinfo.value.position > 50
+
+    def test_lint_cli_exits_nonzero_with_location(self, capsys):
+        code = main(["lint", "--dep", self.MALFORMED])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 1" in err and "column" in err
+
+    def test_ok_input_unaffected(self, capsys):
+        code = main(["lint", "--dep", "S(x,y) -> R(x,y)"])
+        assert code == 0

@@ -311,7 +311,11 @@ class TestReportSerialization:
         assert finding.to_dict() == {
             "code": "NT001", "severity": "info", "dependency": "#1",
             "location": "part 2", "message": "m", "hint": "h",
+            "fingerprint": finding.fingerprint,
         }
+        # Content-hashed, not process-hashed: stable across runs/machines.
+        assert len(finding.fingerprint) == 16
+        assert int(finding.fingerprint, 16) >= 0
 
     def test_report_bool_mirrors_ok(self):
         assert bool(analyze([COPY]))
