@@ -88,6 +88,36 @@ def canonical_instances(
     )
 
 
+def canonical_extension(
+    tgd: NestedTgd,
+    part_id: int,
+    inherited: Mapping,
+    factory: FreshValueFactory,
+) -> tuple[dict, list[Atom], list[Atom]]:
+    """The canonical-instance delta of attaching one leaf node for *part_id*.
+
+    Returns ``(assignment, source_delta, target_delta)``: the node's full
+    variable assignment (the ancestor assignment *inherited* extended with
+    fresh constants for the part's own universal variables, drawn from
+    *factory*), the part's body atoms under it (the source-instance delta),
+    and the part's Skolemized head atoms under it (the target-instance
+    delta).  Extending a pattern's canonical instances one leaf at a time
+    with this function yields instances isomorphic to a from-scratch
+    :func:`canonical_instances` build (Definition 3.7 determines them up to
+    renaming of the fresh constants), which is what the incremental IMPLIES
+    sweep relies on.
+    """
+    part = tgd.part(part_id)
+    assignment = dict(inherited)
+    for var in part.universal_vars:
+        assignment[var] = factory.constant()
+    source_delta = [atom.substitute(assignment) for atom in part.body]
+    target_delta = [
+        atom.substitute(assignment) for atom in tgd.skolemized_head(part_id)
+    ]
+    return assignment, source_delta, target_delta
+
+
 def rename_values_deep(instance: Instance, mapping: Mapping) -> Instance:
     """Rename values in *instance*, including inside ground Skolem terms.
 
@@ -140,5 +170,5 @@ def legal_canonical_instances(
     )
 
 
-__all__ = ["CanonicalInstances", "canonical_instances", "legal_canonical_instances",
-           "rename_values_deep"]
+__all__ = ["CanonicalInstances", "canonical_extension", "canonical_instances",
+           "legal_canonical_instances", "rename_values_deep"]

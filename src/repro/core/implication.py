@@ -22,18 +22,32 @@ solutions via a chase and is closed under target homomorphisms, which plain
 SO tgds are (Section 4.1); the ``w`` bound likewise only counts universal
 variables per clause.
 
-Two engine-level accelerations sit on top of the paper's procedure:
+Engine-level accelerations on top of the paper's procedure:
 
-- a process-wide LRU **chase cache** keyed by (canonical source instance,
+- a **DAG-incremental sweep** (the default): ``P_k(sigma)`` is enumerated as
+  a frontier-ordered DAG in which every pattern with ``n > 1`` nodes is
+  produced from a pattern with ``n - 1`` nodes by attaching one leaf (see
+  ``docs/algorithms.md`` for why such a parent always exists), and each
+  pattern's canonical instances and chase are *extended* from its parent's
+  cached state by the delta the new leaf contributes, instead of being
+  rebuilt and re-chased from scratch.  Patterns are swept smallest first
+  (levels by node count, canonical order within a level -- exactly the
+  enumeration order of ``enumerate_k_patterns``), so counterexamples
+  short-circuit before the deep frontier is ever generated.
+- a process-wide LRU **chase cache** keyed by (canonical source facts,
   Sigma fingerprint).  Chasing is deterministic, so two patterns (or two
   IMPLIES runs) whose canonical sources coincide share one chase.  Hits and
-  misses are recorded in :mod:`repro.perf`.
+  misses are recorded in :mod:`repro.perf`; incremental extensions count as
+  ``implies.sweep.incremental_hits``.
 - an optional **parallel pattern sweep** (``parallel=N``): the per-pattern
-  checks are independent, so they fan out over a ``multiprocessing`` pool in
-  enumeration-ordered chunks.  The first failing pattern *in enumeration
-  order* is reported, so the verdict, ``patterns_checked``, and the
-  counterexample diagnostics agree exactly with the serial sweep; the sweep
-  stops as soon as a chunk contains a failure.
+  checks fan out over a ``multiprocessing`` fork pool in work-stealing index
+  chunks.  Workers receive only integer ranges (the pattern DAG is a module
+  global inherited by fork, so no Instance is ever pickled), rebuild chase
+  states from the spec on demand with worker-local memoization, and return
+  only (index, failed) flags.  The first failing pattern *in enumeration
+  order* is reported, with diagnostics replayed deterministically in the
+  parent, so the verdict, ``patterns_checked``, and the counterexample agree
+  exactly with the serial sweep.
 """
 
 from __future__ import annotations
@@ -44,15 +58,28 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro import perf
-from repro.errors import DependencyError
+from repro.errors import DependencyError, ResourceLimitExceeded
+from repro.logic import intern
+from repro.logic.atoms import Atom
 from repro.logic.egds import Egd
 from repro.logic.instances import Instance
 from repro.logic.nested import NestedTgd
 from repro.logic.sotgd import SOTgd
 from repro.logic.tgds import STTgd
-from repro.core.canonical import canonical_instances, legal_canonical_instances
+from repro.logic.values import FreshValueFactory
+from repro.core.canonical import (
+    canonical_extension,
+    canonical_instances,
+    legal_canonical_instances,
+)
 from repro.core.patterns import Pattern, enumerate_k_patterns
-from repro.engine.chase import chase
+from repro.engine.builder import InstanceBuilder
+from repro.engine.chase import (
+    chase,
+    compile_clause_program,
+    run_clause_program,
+    run_clause_program_delta,
+)
 from repro.engine.homomorphism import find_homomorphism
 
 
@@ -142,7 +169,10 @@ def _presize_chase_cache(predicted_patterns: int) -> None:
 
     A sweep of ``n`` patterns touches at most ``n`` canonical sources; an
     LRU window smaller than that thrashes (every entry is evicted before its
-    re-use).  Growth is clamped and never shrinks below the default.
+    re-use).  Growth is clamped and never shrinks below the default.  The
+    sweep that requested the pre-sizing restores the previous limit when it
+    finishes (see ``implies_tgd``), so one ``budget=`` run does not pin an
+    oversized cache for the rest of the process.
     """
     global _CHASE_CACHE_LIMIT
     _CHASE_CACHE_LIMIT = max(
@@ -151,16 +181,35 @@ def _presize_chase_cache(predicted_patterns: int) -> None:
     )
 
 
+def _set_chase_cache_limit(limit: int) -> None:
+    """Restore the LRU window to *limit*, evicting surplus entries (oldest first)."""
+    global _CHASE_CACHE_LIMIT
+    _CHASE_CACHE_LIMIT = limit
+    while len(_CHASE_CACHE) > _CHASE_CACHE_LIMIT:
+        _CHASE_CACHE.popitem(last=False)
+
+
 def _sigma_fingerprint(lhs: Sequence) -> tuple[str, ...]:
     """A hashable identity for a normalized left-hand side (reprs are total)."""
     return tuple(repr(dep) for dep in lhs)
 
 
 def clear_chase_cache() -> None:
-    """Drop all cached chase results (used by benchmarks for cold-start runs)."""
+    """Drop all cached chase results and reset the pre-sized capacity.
+
+    Used by benchmarks for cold-start runs; also the recovery hatch after a
+    ``budget=`` run pre-sized the LRU window (the window is restored at the
+    end of the sweep regardless).
+    """
     global _CHASE_CACHE_LIMIT
     _CHASE_CACHE.clear()
     _CHASE_CACHE_LIMIT = _CHASE_CACHE_LIMIT_DEFAULT
+
+
+def _cache_store(key: tuple, result: Instance) -> None:
+    _CHASE_CACHE[key] = result
+    if len(_CHASE_CACHE) > _CHASE_CACHE_LIMIT:
+        _CHASE_CACHE.popitem(last=False)
 
 
 def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...]) -> Instance:
@@ -172,9 +221,7 @@ def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...])
         return cached
     perf.incr("implies.cache_misses")
     result = chase(source, lhs)
-    _CHASE_CACHE[key] = result
-    if len(_CHASE_CACHE) > _CHASE_CACHE_LIMIT:
-        _CHASE_CACHE.popitem(last=False)
+    _cache_store(key, result)
     return result
 
 
@@ -197,7 +244,7 @@ def _check_pattern(
     source_egds: Sequence[Egd],
     fingerprint: tuple[str, ...],
 ) -> tuple[bool, Instance, Instance]:
-    """Run one k-pattern check; return (fails, I_p, J_p)."""
+    """Run one from-scratch k-pattern check; return (fails, I_p, J_p)."""
     if source_egds:
         canon = legal_canonical_instances(pattern, rhs, source_egds)
     else:
@@ -208,7 +255,446 @@ def _check_pattern(
     return fails, canon.source, canon.target
 
 
-# ------------------------------------------------------------ parallel sweep
+# ----------------------------------------------------- DAG-incremental sweep
+
+
+class _MirrorNode:
+    """A pattern node in attachment (insertion) order, with its assignment.
+
+    The canonical :class:`Pattern` keeps children sorted, which reshuffles
+    node positions as leaves are attached; the mirror tree preserves the
+    attachment order so that spec entries can address nodes by a stable
+    preorder index, and carries the per-node variable assignment the
+    canonical-instance delta of a new leaf inherits.  The generation trees
+    additionally cache each node's canonical subtree (``canon``) and parent
+    link, so a candidate attachment rebuilds canonical patterns only along
+    the root path instead of over the whole tree.
+    """
+
+    __slots__ = ("part_id", "assignment", "children", "parent", "canon")
+
+    def __init__(self, part_id: int, assignment: dict | None, children: list):
+        self.part_id = part_id
+        self.assignment = assignment
+        self.children = children
+        self.parent: _MirrorNode | None = None
+        self.canon: Pattern | None = None
+
+
+def _copy_tree(node: _MirrorNode) -> _MirrorNode:
+    return _MirrorNode(
+        node.part_id, node.assignment, [_copy_tree(child) for child in node.children]
+    )
+
+
+def _preorder(node: _MirrorNode, out: list[_MirrorNode] | None = None) -> list[_MirrorNode]:
+    if out is None:
+        out = []
+    out.append(node)
+    for child in node.children:
+        _preorder(child, out)
+    return out
+
+
+def _index_gen_tree(node: _MirrorNode, parent: _MirrorNode | None = None) -> None:
+    """Set parent links and cache canonical subtrees bottom-up (generation trees)."""
+    node.parent = parent
+    for child in node.children:
+        _index_gen_tree(child, node)
+    node.canon = Pattern(node.part_id, tuple(child.canon for child in node.children))
+
+
+def _copy_gen_tree(node: _MirrorNode, parent: _MirrorNode | None = None) -> _MirrorNode:
+    """Copy a generation tree, carrying over parent links and canon caches.
+
+    The copy's canons are identical to the original's; an attachment then
+    refreshes only the canons along the attach node's root path.
+    """
+    clone = _MirrorNode(node.part_id, node.assignment, [])
+    clone.parent = parent
+    clone.canon = node.canon
+    clone.children = [_copy_gen_tree(child, clone) for child in node.children]
+    return clone
+
+
+def _collect_attach_positions(
+    node: _MirrorNode, index: int, out: list[tuple[int, _MirrorNode]]
+) -> int:
+    """Preorder (index, node) attach positions, skipping duplicate-canon siblings.
+
+    Attaching a leaf anywhere inside a subtree isomorphic to an
+    already-visited sibling subtree yields the same canonical pattern (swap
+    the two siblings), so the whole duplicate subtree is skipped -- the
+    preorder counter still advances past it, keeping indexes aligned with
+    ``_preorder`` of the same tree.
+    """
+    out.append((index, node))
+    next_index = index + 1
+    seen: set[Pattern] = set()
+    for child in node.children:
+        if child.canon in seen:
+            next_index += child.canon.node_count
+            continue
+        seen.add(child.canon)
+        next_index = _collect_attach_positions(child, next_index, out)
+    return next_index
+
+
+def _attach_candidate(node: _MirrorNode, part_id: int, k: int) -> Pattern | None:
+    """The canonical pattern after attaching a *part_id* leaf under *node*,
+    or None when the attachment would break the clone bound *k*.
+
+    Only the sibling groups along the root path change: the new leaf joins
+    *node*'s children, and each ancestor sees exactly one child subtree
+    replaced -- so checking those multiplicities *is* ``is_k_pattern(k)``
+    (the parent pattern is a k-pattern already).  Canonical subtrees of
+    untouched siblings come from the ``canon`` cache, so a candidate costs
+    O(depth) interned constructions, not a full-tree rebuild.
+    """
+    leaf = Pattern(part_id)
+    current = node
+    current_pat = Pattern(node.part_id, tuple(c.canon for c in node.children) + (leaf,))
+    if current_pat.multiplicity(leaf) > k:
+        return None
+    while current.parent is not None:
+        parent = current.parent
+        kids = tuple(
+            current_pat if child is current else child.canon
+            for child in parent.children
+        )
+        parent_pat = Pattern(parent.part_id, kids)
+        if parent_pat.multiplicity(current_pat) > k:
+            return None
+        current, current_pat = parent, parent_pat
+    return current_pat
+
+
+@dataclass(frozen=True)
+class _SpecEntry:
+    """One pattern of the sweep DAG: its producing edge and canonical form.
+
+    ``parent`` is the index of the (node_count - 1)-node pattern this one
+    extends (-1 for the root), ``node_index`` the preorder position in the
+    parent's mirror tree of the node that receives the new leaf, and ``part``
+    the part identifier of the leaf.  Everything a worker needs to rebuild
+    the chase state is these three integers plus the shared spec list.
+    """
+
+    index: int
+    pattern: Pattern
+    parent: int
+    node_index: int
+    part: int
+
+
+def _iter_pattern_levels(rhs: NestedTgd, k: int):
+    """Yield ``P_k(rhs)`` level by level as lists of :class:`_SpecEntry`.
+
+    Level ``n`` holds the k-patterns with ``n`` nodes, each produced by one
+    leaf attachment to a level ``n - 1`` pattern; within a level, entries are
+    in canonical (sort-key) order.  The concatenation of the levels is
+    exactly ``enumerate_k_patterns(rhs, k)``'s order.  Generation is lazy:
+    a sweep that fails early never materializes the deeper frontier.
+
+    Completeness: every k-pattern with ``n > 1`` nodes has a k-pattern parent
+    with ``n - 1`` nodes -- remove a leaf reached by descending into a child
+    of minimum node count at every step.  The modified subtree along that
+    path ends up strictly smaller than every sibling, so it cannot collide
+    with one and no sibling multiplicity ever rises (the correctness argument
+    is spelled out in ``docs/algorithms.md``).
+    """
+    root_entry = _SpecEntry(0, Pattern(1), -1, 0, 1)
+    yield [root_entry]
+    root_tree = _MirrorNode(1, None, [])
+    _index_gen_tree(root_tree)
+    trees: dict[int, _MirrorNode] = {0: root_tree}
+    level = [0]
+    next_index = 1
+    while level:
+        candidates: dict[Pattern, tuple[int, int, int]] = {}
+        for index in level:
+            positions: list[tuple[int, _MirrorNode]] = []
+            _collect_attach_positions(trees[index], 0, positions)
+            for node_index, node in positions:
+                for part in rhs.children_of(node.part_id):
+                    child_pattern = _attach_candidate(node, part, k)
+                    if child_pattern is None or child_pattern in candidates:
+                        continue
+                    candidates[child_pattern] = (index, node_index, part)
+        entries: list[_SpecEntry] = []
+        new_level: list[int] = []
+        for pattern in sorted(candidates, key=lambda p: p.sort_key()):
+            parent_index, node_index, part = candidates[pattern]
+            tree = _copy_gen_tree(trees[parent_index])
+            attach = _preorder(tree)[node_index]
+            leaf = _MirrorNode(part, None, [])
+            leaf.parent = attach
+            leaf.canon = Pattern(part)
+            attach.children.append(leaf)
+            current: _MirrorNode | None = attach
+            while current is not None:
+                current.canon = Pattern(
+                    current.part_id, tuple(c.canon for c in current.children)
+                )
+                current = current.parent
+            trees[next_index] = tree
+            entries.append(_SpecEntry(next_index, pattern, parent_index, node_index, part))
+            new_level.append(next_index)
+            next_index += 1
+        for index in level:
+            del trees[index]
+        if not entries:
+            return
+        yield entries
+        level = new_level
+
+
+class _SweepState:
+    """The incrementally maintained per-pattern state of the sweep.
+
+    ``chase_builder`` is None when the chase came straight from the LRU
+    cache; a child extension then re-indexes the cached instance once and
+    shares the cost across all children of this state.
+    """
+
+    __slots__ = (
+        "tree", "factory", "source_builder", "source_facts",
+        "chased", "chase_builder", "targets",
+    )
+
+    def __init__(self, tree, factory, source_builder, source_facts,
+                 chased, chase_builder, targets):
+        self.tree = tree
+        self.factory = factory
+        self.source_builder = source_builder
+        self.source_facts = source_facts
+        self.chased = chased
+        self.chase_builder = chase_builder
+        self.targets = targets
+
+
+def _root_sweep_state(
+    rhs: NestedTgd, clauses, fingerprint: tuple[str, ...]
+) -> _SweepState:
+    """The state of the single-node root pattern (full chase or cache hit)."""
+    factory = FreshValueFactory()
+    assignment, source_delta, target_delta = canonical_extension(rhs, 1, {}, factory)
+    tree = _MirrorNode(1, assignment, [])
+    source_builder = InstanceBuilder(source_delta)
+    source_facts = frozenset(source_builder)
+    key = (source_facts, fingerprint)
+    cached = _CHASE_CACHE.get(key)
+    if cached is not None:
+        _CHASE_CACHE.move_to_end(key)
+        perf.incr("implies.cache_hits")
+        chased, chase_builder = cached, None
+    else:
+        perf.incr("implies.cache_misses")
+        chase_builder = InstanceBuilder()
+        chase_builder.add_all(run_clause_program(clauses, source_builder))
+        chased = chase_builder.freeze()
+        _cache_store(key, chased)
+    return _SweepState(
+        tree, factory, source_builder, source_facts, chased, chase_builder,
+        tuple(target_delta),
+    )
+
+
+def _extend_sweep_state(
+    parent: _SweepState,
+    entry: _SpecEntry,
+    rhs: NestedTgd,
+    clauses,
+    fingerprint: tuple[str, ...],
+) -> _SweepState:
+    """Extend *parent* by the one leaf *entry* attaches, chasing only the delta."""
+    factory = parent.factory.clone()
+    tree = _copy_tree(parent.tree)
+    attach = _preorder(tree)[entry.node_index]
+    assignment, source_delta, target_delta = canonical_extension(
+        rhs, entry.part, attach.assignment, factory
+    )
+    attach.children.append(_MirrorNode(entry.part, assignment, []))
+    source_builder = parent.source_builder.copy()
+    delta = source_builder.add_all(source_delta)
+    source_facts = frozenset(source_builder)
+    targets = parent.targets + tuple(target_delta)
+    key = (source_facts, fingerprint)
+    cached = _CHASE_CACHE.get(key)
+    if cached is not None:
+        _CHASE_CACHE.move_to_end(key)
+        perf.incr("implies.cache_hits")
+        chased, chase_builder = cached, None
+    else:
+        perf.incr("implies.cache_misses")
+        perf.incr("implies.sweep.incremental_hits")
+        if parent.chase_builder is not None:
+            chase_builder = parent.chase_builder.copy()
+        else:
+            chase_builder = InstanceBuilder(parent.chased)
+        if delta:
+            chase_builder.add_all(run_clause_program_delta(clauses, source_builder, delta))
+        chased = chase_builder.freeze()
+        _cache_store(key, chased)
+    return _SweepState(
+        tree, factory, source_builder, source_facts, chased, chase_builder, targets
+    )
+
+
+def _sweep_incremental_serial(
+    lhs: Sequence,
+    rhs: NestedTgd,
+    fingerprint: tuple[str, ...],
+    k: int,
+) -> ImplicationResult:
+    """Sweep ``P_k(rhs)`` smallest first, extending chase states level by level."""
+    clauses = compile_clause_program(lhs)
+    checked = 0
+    previous: dict[int, _SweepState] = {}
+    for entries in _iter_pattern_levels(rhs, k):
+        states: dict[int, _SweepState] = {}
+        for entry in entries:
+            if entry.parent < 0:
+                state = _root_sweep_state(rhs, clauses, fingerprint)
+            else:
+                state = _extend_sweep_state(
+                    previous[entry.parent], entry, rhs, clauses, fingerprint
+                )
+            checked += 1
+            perf.incr("implies.patterns")
+            if find_homomorphism(state.targets, state.chased) is None:
+                return ImplicationResult(
+                    holds=False,
+                    k=k,
+                    patterns_checked=checked,
+                    failing_pattern=entry.pattern,
+                    counterexample_source=Instance(state.source_facts),
+                    counterexample_target=Instance(state.targets),
+                )
+            states[entry.index] = state
+        previous = states
+    return ImplicationResult(holds=True, k=k, patterns_checked=checked)
+
+
+def _replay_state(
+    index: int,
+    entries: Sequence[_SpecEntry],
+    rhs: NestedTgd,
+    clauses,
+    fingerprint: tuple[str, ...],
+    memo: dict[int, _SweepState] | None = None,
+) -> _SweepState:
+    """Rebuild the sweep state of pattern *index* from its ancestor chain."""
+    chain: list[int] = []
+    current = index
+    while current >= 0 and (memo is None or current not in memo):
+        chain.append(current)
+        current = entries[current].parent
+    state = memo[current] if (memo is not None and current >= 0) else None
+    for position in reversed(chain):
+        entry = entries[position]
+        if entry.parent < 0:
+            state = _root_sweep_state(rhs, clauses, fingerprint)
+        else:
+            assert state is not None
+            state = _extend_sweep_state(state, entry, rhs, clauses, fingerprint)
+        if memo is not None:
+            memo[position] = state
+    assert state is not None
+    return state
+
+
+# ---------------------------------------------- parallel work-stealing sweep
+
+#: The sweep spec shared with fork workers: (entries, rhs, clauses,
+#: fingerprint).  Set in the parent immediately before the pool forks;
+#: workers read it from inherited memory, so no pattern or instance is ever
+#: pickled -- tasks and results are plain integers and booleans.
+_INCR_SPEC: tuple | None = None
+
+#: Worker-local memo of rebuilt sweep states, keyed by spec index.
+_WORKER_STATES: dict[int, _SweepState] = {}
+
+
+def _init_incr_worker() -> None:
+    global _WORKER_STATES
+    _WORKER_STATES = {}
+
+
+def _incr_worker(chunk: tuple[int, int]) -> tuple[int, list[bool]]:
+    start, end = chunk
+    assert _INCR_SPEC is not None
+    entries, rhs, clauses, fingerprint = _INCR_SPEC
+    fails: list[bool] = []
+    for index in range(start, end):
+        state = _replay_state(index, entries, rhs, clauses, fingerprint, _WORKER_STATES)
+        fails.append(find_homomorphism(state.targets, state.chased) is None)
+    return start, fails
+
+
+def _sweep_incremental_parallel(
+    lhs: Sequence,
+    rhs: NestedTgd,
+    fingerprint: tuple[str, ...],
+    k: int,
+    workers: int,
+) -> ImplicationResult:
+    """Fan the incremental sweep out over a fork pool in index chunks.
+
+    Chunks are pulled by idle workers (``imap_unordered``), so load balances
+    itself; the parent tracks the minimal failing index and stops as soon as
+    every chunk before it has reported, which bounds the extra work past a
+    failure to the in-flight chunks.  Verdict and diagnostics are identical
+    to the serial sweep: the failing pattern is the enumeration-order first,
+    and its counterexample instances are replayed deterministically.
+    """
+    global _INCR_SPEC
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: fall back to the serial sweep
+        return _sweep_incremental_serial(lhs, rhs, fingerprint, k)
+    clauses = compile_clause_program(lhs)
+    entries = [entry for level in _iter_pattern_levels(rhs, k) for entry in level]
+    total = len(entries)
+    if total <= 1 or workers <= 1:
+        return _sweep_incremental_serial(lhs, rhs, fingerprint, k)
+    chunk_size = max(1, min(16, -(-total // (workers * 4))))
+    chunks = [(start, min(start + chunk_size, total))
+              for start in range(0, total, chunk_size)]
+    fail_index: int | None = None
+    arrived: set[int] = set()
+    _INCR_SPEC = (entries, rhs, clauses, fingerprint)
+    try:
+        with context.Pool(processes=workers, initializer=_init_incr_worker) as pool:
+            for start, fails in pool.imap_unordered(_incr_worker, chunks):
+                arrived.add(start)
+                perf.incr("implies.parallel_chunks")
+                for offset, failed in enumerate(fails):
+                    if failed:
+                        position = start + offset
+                        if fail_index is None or position < fail_index:
+                            fail_index = position
+                        break
+                if fail_index is not None and all(
+                    prefix in arrived for prefix in range(0, fail_index, chunk_size)
+                ):
+                    break
+    finally:
+        _INCR_SPEC = None
+    if fail_index is None:
+        return ImplicationResult(holds=True, k=k, patterns_checked=total)
+    state = _replay_state(fail_index, entries, rhs, clauses, fingerprint)
+    return ImplicationResult(
+        holds=False,
+        k=k,
+        patterns_checked=fail_index + 1,
+        failing_pattern=entries[fail_index].pattern,
+        counterexample_source=Instance(state.source_facts),
+        counterexample_target=Instance(state.targets),
+    )
+
+
+# ------------------------------------------------------- from-scratch sweep
 
 _WORKER_STATE: tuple | None = None
 
@@ -235,7 +721,7 @@ def _sweep_parallel(
     k: int,
     workers: int,
 ) -> ImplicationResult:
-    """Check patterns over a worker pool, chunked in enumeration order.
+    """Check from-scratch patterns over a worker pool, chunked in enumeration order.
 
     Chunks are dispatched one at a time and scanned in order, so the first
     failing pattern (and the ``patterns_checked`` count up to it) is exactly
@@ -304,8 +790,15 @@ def implies_tgd(
     parallel: int | None = None,
     subsumption: bool = True,
     budget: int | None = None,
+    incremental: bool | None = None,
 ) -> ImplicationResult:
     """Run the procedure IMPLIES and return a result with diagnostics.
+
+    By default the sweep is **DAG-incremental**: each pattern's canonical
+    instances and chase are extended from its parent pattern's state by the
+    delta one new leaf contributes (``incremental=False`` forces the
+    from-scratch sweep; with *source_egds* the from-scratch sweep is always
+    used, because egd merges are not monotone under source extension).
 
     With ``parallel=N > 1``, the per-pattern checks fan out over N worker
     processes; the result (verdict, pattern count, diagnostics) is identical
@@ -317,7 +810,8 @@ def implies_tgd(
     enumerating anything; a predicted sweep above the budget raises
     :class:`~repro.errors.BudgetExceeded` immediately (lint finding ``CC001``
     makes the same prediction), and a predicted sweep that fits pre-sizes
-    the chase cache so the sweep does not thrash it.
+    the chase cache so the sweep does not thrash it.  The previous cache
+    capacity is restored when the run finishes.
 
     With ``subsumption=True`` (the default), a sound syntactic subsumption
     pre-pass (:mod:`repro.analysis.subsumption`) answers trivially implied
@@ -348,6 +842,8 @@ def implies_tgd(
         if trivially_implied(lhs, rhs):
             perf.incr("implies.subsumption_skips")
             return ImplicationResult(holds=True, k=k, patterns_checked=0)
+    prior_cache_limit = _CHASE_CACHE_LIMIT
+    presized = False
     if budget is not None:
         from repro.analysis.cost import sweep_cost
 
@@ -364,13 +860,35 @@ def implies_tgd(
                 "the right-hand side's nesting depth.",
             )
         _presize_chase_cache(estimate.pattern_count)
-    patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
+        presized = True
     source_egds = list(source_egds)
     fingerprint = _sigma_fingerprint(lhs)
+    if incremental is None:
+        incremental = not source_egds
+    elif incremental and source_egds:
+        raise DependencyError(
+            "the incremental sweep does not support source egds (egd merges "
+            "are not monotone under source extension); pass incremental=False"
+        )
 
-    if parallel and parallel > 1 and len(patterns) > 1:
-        return _sweep_parallel(patterns, lhs, rhs, source_egds, fingerprint, k, parallel)
-    return _sweep_serial(patterns, lhs, rhs, source_egds, fingerprint, k)
+    try:
+        if incremental:
+            if max_patterns is not None:
+                from repro.core.patterns import count_k_patterns
+
+                if count_k_patterns(rhs, k) > max_patterns:
+                    raise ResourceLimitExceeded("patterns", max_patterns)
+            if parallel and parallel > 1:
+                return _sweep_incremental_parallel(lhs, rhs, fingerprint, k, parallel)
+            return _sweep_incremental_serial(lhs, rhs, fingerprint, k)
+        patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
+        if parallel and parallel > 1 and len(patterns) > 1:
+            return _sweep_parallel(patterns, lhs, rhs, source_egds, fingerprint, k, parallel)
+        return _sweep_serial(patterns, lhs, rhs, source_egds, fingerprint, k)
+    finally:
+        if presized:
+            _set_chase_cache_limit(prior_cache_limit)
+        intern.publish_stats()
 
 
 def implies(
@@ -382,6 +900,7 @@ def implies(
     parallel: int | None = None,
     subsumption: bool = True,
     budget: int | None = None,
+    incremental: bool | None = None,
 ) -> bool:
     """Decide ``Sigma |= Sigma'`` for finite sets of (nested) tgds.
 
@@ -395,6 +914,7 @@ def implies(
         implies_tgd(
             sigma_set, sigma, source_egds=source_egds, max_patterns=max_patterns,
             parallel=parallel, subsumption=subsumption, budget=budget,
+            incremental=incremental,
         ).holds
         for sigma in sigma_prime_set
     )
@@ -409,16 +929,17 @@ def equivalent(
     parallel: int | None = None,
     subsumption: bool = True,
     budget: int | None = None,
+    incremental: bool | None = None,
 ) -> bool:
     """Decide logical equivalence of two finite sets of nested tgds (Corollary 3.11)."""
     return implies(
         sigma_set, sigma_prime_set, source_egds=source_egds,
         max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
-        budget=budget,
+        budget=budget, incremental=incremental,
     ) and implies(
         sigma_prime_set, sigma_set, source_egds=source_egds,
         max_patterns=max_patterns, parallel=parallel, subsumption=subsumption,
-        budget=budget,
+        budget=budget, incremental=incremental,
     )
 
 

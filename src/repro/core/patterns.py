@@ -15,41 +15,87 @@ all k-patterns of ``sigma``, is enumerated exactly as in Proposition 3.5:
 
 The size of ``P_k(sigma)`` is non-elementary in the nesting depth (Section 3),
 so the enumeration accepts explicit resource limits and there is a separate
-:func:`count_k_patterns` that computes ``|P_k(sigma)|`` without enumerating.
+:func:`count_k_patterns` that computes ``|P_k(sigma)|`` without enumerating
+(saturating at ``analysis.cost.SATURATION_CAP`` -- the exact count of a deep
+nesting has more digits than fit in memory).
+
+:class:`Pattern` is hash-consed (see :mod:`repro.logic.intern`): two
+isomorphic patterns are the *same* object, and the canonical sort key, node
+count, and hash are each computed once at intern time.  Since children of an
+interned pattern are already canonically sorted, rebuilding a tree bottom-up
+(as :meth:`Pattern.with_extra_clone` does) never re-sorts untouched siblings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
 from typing import Iterator
 
 from repro.errors import DependencyError, ResourceLimitExceeded
+from repro.logic import intern
 from repro.logic.nested import NestedTgd
 
+_PATTERNS = intern.new_table()
 
-@dataclass(frozen=True)
+
 class Pattern:
     """A pattern node: a part identifier plus child patterns.
 
     Children are kept in a canonical sorted order so that two isomorphic
-    patterns compare (and hash) equal -- equality *is* isomorphism here.
+    patterns compare (and hash) equal -- equality *is* isomorphism here,
+    and by interning it is also pointer identity.
     """
 
-    part_id: int
-    children: tuple["Pattern", ...] = ()
+    __slots__ = ("part_id", "children", "_hash", "_sort_key", "_node_count", "__weakref__")
 
-    def __post_init__(self) -> None:
-        ordered = tuple(sorted(self.children, key=lambda p: p.sort_key()))
-        object.__setattr__(self, "children", ordered)
+    part_id: int
+    children: tuple["Pattern", ...]
+
+    def __new__(cls, part_id: int, children: tuple["Pattern", ...] = ()) -> "Pattern":
+        if not isinstance(children, tuple):
+            children = tuple(children)
+        if any(child._sort_key > children[i + 1]._sort_key
+               for i, child in enumerate(children[:-1])):
+            children = tuple(sorted(children, key=lambda p: p._sort_key))
+        key = (part_id, children)
+        existing = _PATTERNS.get(key)
+        if existing is not None:
+            intern.note_hit()
+            return existing
+        candidate = object.__new__(cls)
+        object.__setattr__(candidate, "part_id", part_id)
+        object.__setattr__(candidate, "children", children)
+        object.__setattr__(candidate, "_hash", hash(key))
+        object.__setattr__(
+            candidate,
+            "_sort_key",
+            (part_id, tuple(child._sort_key for child in children)),
+        )
+        object.__setattr__(
+            candidate,
+            "_node_count",
+            1 + sum(child._node_count for child in children),
+        )
+        return intern.intern_into(_PATTERNS, key, candidate)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Pattern is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("Pattern is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        return (Pattern, (self.part_id, self.children))
 
     def sort_key(self) -> tuple:
         """A canonical structural key (two patterns are isomorphic iff keys equal)."""
-        return (self.part_id, tuple(child.sort_key() for child in self.children))
+        return self._sort_key
 
     @property
     def node_count(self) -> int:
-        return 1 + sum(child.node_count for child in self.children)
+        return self._node_count
 
     def subtrees(self) -> Iterator["Pattern"]:
         """Yield every subtree (closed under the child relation), preorder."""
@@ -59,7 +105,7 @@ class Pattern:
 
     def multiplicity(self, child: "Pattern") -> int:
         """How many copies of *child* occur among this node's children."""
-        return sum(1 for c in self.children if c == child)
+        return sum(1 for c in self.children if c is child)
 
     def max_clone_count(self) -> int:
         """The largest sibling multiplicity of any subtree anywhere in the pattern."""
@@ -106,6 +152,23 @@ class Pattern:
         for __ in range(copies):
             result = result.with_extra_clone(path)
         return result
+
+    def with_extra_child(self, path: tuple[int, ...], leaf_part_id: int) -> "Pattern":
+        """Return the pattern with a new leaf labeled *leaf_part_id* under *path*.
+
+        *path* addresses the node (the empty path is the root) that receives
+        the new child.  This is the single-edge producer of the DAG-incremental
+        sweep: every pattern with ``n > 1`` nodes arises from a pattern with
+        ``n - 1`` nodes by one such leaf attachment.
+        """
+        if not path:
+            return Pattern(self.part_id, self.children + (Pattern(leaf_part_id),))
+        index = path[0]
+        if index >= len(self.children):
+            raise DependencyError(f"invalid attach path {path!r}")
+        children = list(self.children)
+        children[index] = self.children[index].with_extra_child(path[1:], leaf_part_id)
+        return Pattern(self.part_id, tuple(children))
 
     def validate_against(self, tgd: NestedTgd) -> None:
         """Check that this pattern's labels respect the nesting structure of *tgd*."""
@@ -225,23 +288,18 @@ def one_patterns(tgd: NestedTgd, max_patterns: int | None = 1_000_000) -> list[P
 
 
 def count_k_patterns(tgd: NestedTgd, k: int) -> int:
-    """Return ``|P_k(sigma)|`` without enumerating.
+    """Return ``|P_k(sigma)|`` without enumerating, saturating at the cost cap.
 
     Uses the recurrence from Proposition 3.5:
     ``|P*_k(sigma_j)| = prod_a (k+1) ** |P*_k(sigma_ia)|`` over the child
-    parts, with leaves contributing 1.  Grows non-elementarily in the depth.
+    parts, with leaves contributing 1.  Grows non-elementarily in the depth,
+    so the arithmetic clamps at :data:`repro.analysis.cost.SATURATION_CAP`
+    (the same sentinel the static cost model reports) instead of silently
+    materializing multi-gigabyte bigints.
     """
-    if k < 1:
-        raise DependencyError("k must be at least 1")
+    from repro.analysis.cost import count_k_patterns_saturating
 
-    @lru_cache(maxsize=None)
-    def count(pid: int) -> int:
-        total = 1
-        for child in tgd.children_of(pid):
-            total *= (k + 1) ** count(child)
-        return total
-
-    return count(1)
+    return count_k_patterns_saturating(tgd, k)
 
 
 def patterns_up_to_size(

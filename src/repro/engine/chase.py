@@ -137,6 +137,89 @@ def chase(instance: Instance, dependencies) -> Instance:
     return builder.freeze()
 
 
+def compile_clause_program(dependencies) -> tuple:
+    """Compile a dependency list into Skolemized clauses that replay ``chase``.
+
+    The returned clauses are :class:`~repro.logic.sotgd.SOClause` objects
+    whose single-pass evaluation over a source instance emits *exactly* the
+    fact set ``chase(instance, dependencies)`` produces -- including the null
+    labels, because the Skolem-function naming replicates ``chase``'s scheme
+    verbatim: s-t tgds are batched and named ``t{batch_index}_{var}``, nested
+    tgds are skolemized under ``d{index}_`` (the fact set of the
+    recursive-triggering procedure equals its Skolemization's), and SO tgds
+    are renamed apart under ``d{index}_``.  This is what lets the incremental
+    IMPLIES sweep extend a cached chase result by a source delta and still
+    agree, fact for fact, with a from-scratch ``chase`` of the extended
+    source.
+    """
+    from repro.logic.nested import NestedTgd
+    from repro.logic.sotgd import SOClause
+
+    if isinstance(dependencies, (STTgd, NestedTgd, SOTgd)):
+        dependencies = [dependencies]
+    clauses: list[SOClause] = []
+    st_batch: list[STTgd] = []
+    for index, dep in enumerate(dependencies):
+        if isinstance(dep, STTgd):
+            st_batch.append(dep)
+        elif isinstance(dep, NestedTgd):
+            clauses.extend(dep.skolemize(function_prefix=f"d{index}_").clauses)
+        elif isinstance(dep, SOTgd):
+            clauses.extend(_rename_functions_apart(dep, f"d{index}_").clauses)
+        else:
+            raise ChaseError(f"cannot chase with dependency {dep!r}")
+    for batch_index, tgd in enumerate(st_batch):
+        head = tgd.skolem_head(
+            function_namer=lambda var, batch_index=batch_index: f"t{batch_index}_{var.name}"
+        )
+        clauses.append(SOClause(body=tgd.body, equalities=(), head=head))
+    return tuple(clauses)
+
+
+def _emit_clause(clause, assignment: dict, out: list[Atom]) -> None:
+    """Append the head facts of *clause* under *assignment* (if equalities hold)."""
+    for left, right in clause.equalities:
+        if _evaluate_term(left, assignment) != _evaluate_term(right, assignment):
+            return
+    perf.incr("chase.triggers")
+    for atom in clause.head:
+        args = tuple(_evaluate_term(t, assignment) for t in atom.args)
+        out.append(Atom(atom.relation, args))
+
+
+def run_clause_program(clauses, source) -> list[Atom]:
+    """Emit the chase facts of a compiled clause program over *source*.
+
+    *source* may be an :class:`Instance` or an
+    :class:`~repro.engine.builder.InstanceBuilder` (the matching engine is
+    duck-typed over both).  Returns the emitted facts, possibly with
+    duplicates -- callers deduplicate through a builder or set.
+    """
+    out: list[Atom] = []
+    for clause in clauses:
+        for assignment in find_matches(clause.body, source):
+            _emit_clause(clause, assignment, out)
+    return out
+
+
+def run_clause_program_delta(clauses, source, delta) -> list[Atom]:
+    """Emit the chase facts whose body match touches at least one *delta* fact.
+
+    *source* must already contain the delta.  For single-pass (source-to-
+    target) programs, ``chase(I ∪ Δ) = chase(I) ∪ run_clause_program_delta``:
+    a body match over ``I ∪ Δ`` either avoids Δ entirely (so its emission is
+    already in ``chase(I)``) or touches Δ (and is found here, seeded atom by
+    atom through :func:`repro.engine.matching.find_delta_matches`).
+    """
+    from repro.engine.matching import find_delta_matches
+
+    out: list[Atom] = []
+    for clause in clauses:
+        for assignment in find_delta_matches(clause.body, source, delta):
+            _emit_clause(clause, assignment, out)
+    return out
+
+
 def _rename_functions_apart(so_tgd: SOTgd, prefix: str) -> SOTgd:
     """Prefix all function symbols of *so_tgd* so nulls do not collide across tgds."""
     from repro.logic.sotgd import SOClause
@@ -161,4 +244,11 @@ def _rename_functions_apart(so_tgd: SOTgd, prefix: str) -> SOTgd:
     )
 
 
-__all__ = ["chase", "chase_st_tgds", "chase_so_tgd"]
+__all__ = [
+    "chase",
+    "chase_st_tgds",
+    "chase_so_tgd",
+    "compile_clause_program",
+    "run_clause_program",
+    "run_clause_program_delta",
+]

@@ -35,7 +35,7 @@ from repro.logic.egds import Egd
 from repro.logic.instances import Instance
 from repro.logic.values import is_null
 from repro.engine.builder import InstanceBuilder
-from repro.engine.matching import _match_atom, find_matches
+from repro.engine.matching import find_delta_matches, find_matches
 
 
 class UnionFind:
@@ -82,40 +82,6 @@ class UnionFind:
         return {value: self.find(value) for value in domain}
 
 
-def _delta_matches(
-    body: tuple[Atom, ...], builder: InstanceBuilder, delta: Sequence[Atom]
-) -> list[dict]:
-    """All matches of *body* in *builder* that use at least one fact of *delta*.
-
-    For each body atom in turn, unify it against each delta fact and complete
-    the remaining atoms against the full instance.  A match using several
-    delta facts is found once per usable (atom, fact) seed, so assignments
-    are deduplicated.
-    """
-    delta_by_relation: dict[str, list[Atom]] = {}
-    for fact in delta:
-        delta_by_relation.setdefault(fact.relation, []).append(fact)
-    seen: set[frozenset] = set()
-    matches: list[dict] = []
-    for index, atom in enumerate(body):
-        candidates = delta_by_relation.get(atom.relation)
-        if not candidates:
-            continue
-        rest = body[:index] + body[index + 1:]
-        for fact in candidates:
-            if atom.arity != fact.arity:
-                continue
-            bindings = _match_atom(atom, fact, {})
-            if bindings is None:
-                continue
-            for assignment in find_matches(rest, builder, partial=bindings):
-                key = frozenset(assignment.items())
-                if key not in seen:
-                    seen.add(key)
-                    matches.append(assignment)
-    return matches
-
-
 def chase_egds(
     instance: Instance,
     egds: Sequence[Egd],
@@ -149,7 +115,7 @@ def chase_egds(
             if delta is None:
                 assignments = find_matches(body, builder)
             else:
-                assignments = _delta_matches(body, builder, delta)
+                assignments = find_delta_matches(body, builder, delta)
             for assignment in assignments:
                 left = assignment[egd.left]
                 right = assignment[egd.right]

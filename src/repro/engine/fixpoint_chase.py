@@ -54,7 +54,7 @@ from repro.logic.terms import substitute_term
 from repro.logic.tgds import STTgd
 from repro.engine.builder import InstanceBuilder
 from repro.engine.chase import _rename_functions_apart
-from repro.engine.matching import find_matches
+from repro.engine.matching import find_delta_matches, find_matches
 
 if TYPE_CHECKING:
     from repro.analysis.acyclicity import TerminationClass
@@ -176,16 +176,23 @@ def fixpoint_chase(
     builder = InstanceBuilder(instance)
     rounds = 0
     changed = True
+    delta: list[Atom] | None = None  # None: the first round matches everything
     while changed and (max_rounds is None or rounds < max_rounds):
         changed = False
         rounds += 1
         perf.incr("chase.fixpoint_rounds")
+        new_delta: list[Atom] = []
         for clause in clauses:
-            # Materialize the matches before adding facts: a round fires the
-            # triggers visible at its start (plus, harmlessly, any observed
-            # mid-round -- the oblivious chase is confluent here because head
-            # facts are determined by the assignment alone).
-            for assignment in list(find_matches(clause.body, builder)):
+            # Semi-naive rounds: the first round fires every trigger; later
+            # rounds only fire triggers whose body uses at least one fact of
+            # the previous round's delta -- a match over older facts already
+            # fired (the oblivious chase is monotone and head facts are
+            # determined by the assignment alone, so re-firing is redundant).
+            if delta is None:
+                assignments = list(find_matches(clause.body, builder))
+            else:
+                assignments = find_delta_matches(clause.body, builder, delta)
+            for assignment in assignments:
                 if any(
                     substitute_term(left, assignment) != substitute_term(right, assignment)
                     for left, right in clause.equalities
@@ -196,6 +203,7 @@ def fixpoint_chase(
                     fact = Atom(atom.relation, args)
                     if builder.add(fact):
                         changed = True
+                        new_delta.append(fact)
                         perf.incr("chase.facts")
                         total_facts += 1
                         if enforce_budget and budget is not None and total_facts > budget:
@@ -207,6 +215,7 @@ def fixpoint_chase(
                             )
                         if fact_hook is not None:
                             fact_hook(fact)
+        delta = new_delta
     if hierarchy is not None:
         termination_class = hierarchy.cls
     elif verdict.weakly_acyclic:

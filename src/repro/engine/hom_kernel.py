@@ -330,8 +330,9 @@ def block_homomorphism(
     result: dict[object, object] = {}
     try:
         components, grounded = _components(facts, fixed)
+        fixed_map = dict(fixed) if fixed else None
         for fact in grounded:
-            image = fact.rename_values(dict(fixed)) if fixed else fact
+            image = fact.rename_values(fixed_map) if fixed_map else fact
             if image not in target or image in forbidden:
                 return None
         for component_facts in components:

@@ -141,4 +141,48 @@ def has_match(
     return next(find_matches(atoms, instance, partial), None) is not None
 
 
-__all__ = ["find_matches", "has_match"]
+def find_delta_matches(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    delta: Sequence[Atom],
+    partial: Mapping | None = None,
+) -> list[dict]:
+    """All matches of *atoms* in *instance* that use at least one fact of *delta*.
+
+    This is the seeding step of every semi-naive fixpoint in the engine (the
+    egd chase, the semi-naive oblivious fixpoint chase, and the incremental
+    IMPLIES sweep): for each atom in turn, unify it against each delta fact
+    and complete the remaining atoms against the full instance.  A match that
+    uses no delta fact consists entirely of pre-existing facts and was found
+    by an earlier (full) matching pass, so restricting to these seeds loses
+    nothing.  A match using several delta facts is found once per usable
+    (atom, fact) seed, so assignments are deduplicated.
+    """
+    delta_by_relation: dict[str, list[Atom]] = {}
+    for fact in delta:
+        delta_by_relation.setdefault(fact.relation, []).append(fact)
+    base: dict = dict(partial) if partial else {}
+    seen: set[frozenset] = set()
+    matches: list[dict] = []
+    for index, atom in enumerate(atoms):
+        candidates = delta_by_relation.get(atom.relation)
+        if not candidates:
+            continue
+        rest = tuple(atoms[:index]) + tuple(atoms[index + 1:])
+        for fact in candidates:
+            if atom.arity != fact.arity:
+                continue
+            bindings = _match_atom(atom, fact, base)
+            if bindings is None:
+                continue
+            if base:
+                bindings = {**base, **bindings}
+            for assignment in find_matches(rest, instance, partial=bindings):
+                key = frozenset(assignment.items())
+                if key not in seen:
+                    seen.add(key)
+                    matches.append(assignment)
+    return matches
+
+
+__all__ = ["find_matches", "find_delta_matches", "has_match"]

@@ -4,27 +4,58 @@ An atom ``R(t1, ..., tn)`` pairs a relation name with a tuple of arguments.
 In a dependency, arguments are variables, constants, or (for SO tgds) function
 terms; in an instance, arguments are values (constants, nulls, ground terms),
 in which case the atom is a *fact*.
+
+:class:`Atom` is hash-consed (see :mod:`repro.logic.intern`): structurally
+equal atoms are the same object, so fact-set membership and join equality
+checks in the engine reduce to pointer comparisons.  The variable set of an
+atom is computed once per interned atom and cached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
+from repro.logic import intern
 from repro.logic.terms import FuncTerm, is_ground, substitute_term, term_variables
 from repro.logic.values import Constant, Null, Variable
 
+_ATOMS = intern.new_table()
 
-@dataclass(frozen=True)
+
 class Atom:
-    """An atom ``relation(*args)``; immutable and hashable."""
+    """An atom ``relation(*args)``; immutable, hashable, and interned."""
+
+    __slots__ = ("relation", "args", "_hash", "_varset", "__weakref__")
 
     relation: str
     args: tuple
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.args, tuple):
-            object.__setattr__(self, "args", tuple(self.args))
+    def __new__(cls, relation: str, args: tuple) -> "Atom":
+        if not isinstance(args, tuple):
+            args = tuple(args)
+        key = (relation, args)
+        existing = _ATOMS.get(key)
+        if existing is not None:
+            intern.note_hit()
+            return existing
+        candidate = object.__new__(cls)
+        object.__setattr__(candidate, "relation", relation)
+        object.__setattr__(candidate, "args", args)
+        object.__setattr__(candidate, "_hash", hash(key))
+        object.__setattr__(candidate, "_varset", None)
+        return intern.intern_into(_ATOMS, key, candidate)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        return (Atom, (self.relation, self.args))
 
     @property
     def arity(self) -> int:
@@ -40,8 +71,12 @@ class Atom:
             yield from term_variables(arg)
 
     def variable_set(self) -> frozenset[Variable]:
-        """Return the set of variables occurring in the atom."""
-        return frozenset(self.variables())
+        """Return the set of variables occurring in the atom (cached per atom)."""
+        cached: Optional[frozenset[Variable]] = self._varset
+        if cached is None:
+            cached = frozenset(self.variables())
+            object.__setattr__(self, "_varset", cached)
+        return cached
 
     def nulls(self) -> Iterator:
         """Yield the null values of a fact (labeled nulls and ground function terms)."""

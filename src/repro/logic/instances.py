@@ -109,6 +109,8 @@ class Instance:
         return fact in self._facts
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Instance):
             return NotImplemented
         return self._facts == other._facts

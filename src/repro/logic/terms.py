@@ -8,17 +8,21 @@ null labels produced by the chase.
 
 A term is *nested* when a functional term has another functional term among
 its arguments.  Plain SO tgds forbid nested terms (Section 2).
+
+:class:`FuncTerm` is hash-consed (see :mod:`repro.logic.intern`): structurally
+equal terms are the same object, and the hash is computed once at intern time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.logic import intern
 from repro.logic.values import Variable
 
+_TERMS = intern.new_table()
 
-@dataclass(frozen=True)
+
 class FuncTerm:
     """A functional term ``function(*args)``.
 
@@ -27,12 +31,36 @@ class FuncTerm:
     functional terms are hashable and act as labeled nulls.
     """
 
+    __slots__ = ("function", "args", "_hash", "__weakref__")
+
     function: str
     args: tuple
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.args, tuple):
-            object.__setattr__(self, "args", tuple(self.args))
+    def __new__(cls, function: str, args: tuple) -> "FuncTerm":
+        if not isinstance(args, tuple):
+            args = tuple(args)
+        key = (function, args)
+        existing = _TERMS.get(key)
+        if existing is not None:
+            intern.note_hit()
+            return existing
+        candidate = object.__new__(cls)
+        object.__setattr__(candidate, "function", function)
+        object.__setattr__(candidate, "args", args)
+        object.__setattr__(candidate, "_hash", hash(key))
+        return intern.intern_into(_TERMS, key, candidate)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("FuncTerm is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("FuncTerm is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        return (FuncTerm, (self.function, self.args))
 
     @property
     def arity(self) -> int:

@@ -10,51 +10,114 @@ the chase instantiates existential variables with Skolem terms and "Skolem
 terms are considered as null labels" (Section 3).  The predicate
 :func:`is_null` therefore treats everything that is not a :class:`Constant`
 as a null.
+
+All three classes are hash-consed through :mod:`repro.logic.intern`:
+``Constant("a") is Constant("a")``, equality is pointer identity, and the
+structural hash is computed once at intern time.  Pickling re-interns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
+from repro.logic import intern
 
-@dataclass(frozen=True, slots=True)
-class Constant:
+_CONSTANTS = intern.new_table()
+_NULLS = intern.new_table()
+_VARIABLES = intern.new_table()
+
+
+class _InternedLeaf:
+    """Shared machinery of the three interned single-field value classes."""
+
+    __slots__ = ("name", "_hash", "__weakref__")
+
+    name: Any
+    _hash: int
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        return (type(self), (self.name,))
+
+
+def _intern_leaf(cls: type, table: Any, name: object) -> Any:
+    existing = table.get(name)
+    if existing is not None:
+        intern.note_hit()
+        return existing
+    candidate = object.__new__(cls)
+    object.__setattr__(candidate, "name", name)
+    object.__setattr__(candidate, "_hash", hash((name,)))
+    return intern.intern_into(table, name, candidate)
+
+
+class Constant(_InternedLeaf):
     """A rigid constant.  Homomorphisms are the identity on constants."""
 
-    name: object
+    __slots__ = ()
+
+    def __new__(cls, name: object) -> "Constant":
+        return _intern_leaf(cls, _CONSTANTS, name)
 
     def __repr__(self) -> str:
         return f"{self.name}"
 
 
-@dataclass(frozen=True, slots=True)
-class Null:
+class Null(_InternedLeaf):
     """A labeled null, i.e. an existential placeholder in a target instance."""
 
-    name: object
+    __slots__ = ()
+
+    def __new__(cls, name: object) -> "Null":
+        return _intern_leaf(cls, _NULLS, name)
 
     def __repr__(self) -> str:
         return f"_{self.name}"
 
 
-@dataclass(frozen=True, slots=True)
-class Variable:
+class Variable(_InternedLeaf):
     """A first-order variable occurring in a dependency (never in an instance)."""
 
-    name: str
+    __slots__ = ()
+
+    def __new__(cls, name: str) -> "Variable":
+        return _intern_leaf(cls, _VARIABLES, name)
 
     def __repr__(self) -> str:
         return f"?{self.name}"
 
 
+#: ``(Null, FuncTerm)``, cached on first use -- :mod:`repro.logic.terms`
+#: imports this module, so the pair cannot be built at import time, and
+#: re-importing inside :func:`is_null` (one of the hottest predicates in the
+#: engine) costs more than the isinstance check itself.
+_NULL_KINDS: tuple[type, ...] | None = None
+
+
+def _null_kinds() -> tuple[type, ...]:
+    global _NULL_KINDS
+    if _NULL_KINDS is None:
+        from repro.logic.terms import FuncTerm
+
+        _NULL_KINDS = (Null, FuncTerm)
+    return _NULL_KINDS
+
+
 def is_value(obj: Any) -> bool:
     """Return True if *obj* may appear in an instance (constant, null, or ground term)."""
-    from repro.logic.terms import FuncTerm, is_ground
+    from repro.logic.terms import is_ground
 
     if isinstance(obj, (Constant, Null)):
         return True
-    return isinstance(obj, FuncTerm) and is_ground(obj)
+    return isinstance(obj, _null_kinds()[1]) and is_ground(obj)
 
 
 def is_null(obj: Any) -> bool:
@@ -63,9 +126,8 @@ def is_null(obj: Any) -> bool:
     Both :class:`Null` objects and ground Skolem terms qualify; homomorphisms
     may move them, whereas constants are fixed.
     """
-    from repro.logic.terms import FuncTerm
-
-    return isinstance(obj, (Null, FuncTerm))
+    kinds = _NULL_KINDS
+    return isinstance(obj, kinds if kinds is not None else _null_kinds())
 
 
 class FreshValueFactory:
@@ -92,3 +154,16 @@ class FreshValueFactory:
         """Return a fresh labeled null, distinct from all previously returned ones."""
         self._null_counter += 1
         return Null(f"{self._null_prefix}{self._null_counter}")
+
+    def clone(self) -> "FreshValueFactory":
+        """Return an independent factory that continues this one's numbering.
+
+        The incremental IMPLIES sweep branches a pattern's canonical-instance
+        state into several children; each child clones the factory so sibling
+        extensions draw the same (deterministic) fresh names without sharing
+        mutable state.
+        """
+        twin = FreshValueFactory(self._constant_prefix, self._null_prefix)
+        twin._constant_counter = self._constant_counter
+        twin._null_counter = self._null_counter
+        return twin

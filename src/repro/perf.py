@@ -41,6 +41,16 @@ Counter names are dotted strings, grouped by subsystem:
 ``implies.subsumption_checks``  syntactic-subsumption pre-passes attempted
 ``implies.subsumption_skips``   pattern sweeps skipped: the rhs was
                           trivially implied (``analysis.subsumption``)
+``implies.sweep.incremental_hits``  patterns whose chase was extended from
+                          the parent pattern's cached chase by the new
+                          leaf's delta (DAG-incremental sweep), instead of
+                          being re-chased from scratch
+``intern.hits``           hash-consing table hits (an equal object already
+                          existed); accumulated locally and flushed by
+                          ``logic.intern.publish_stats`` at measurement
+                          boundaries (``implies_tgd`` flushes on return)
+``intern.misses``         hash-consing table misses (a new canonical object
+                          was interned)
 ========================  =====================================================
 
 The overhead is one dict update per recorded event; events are recorded at

@@ -155,9 +155,47 @@ def same_schema_tgds(draw, max_tgds: int = 3, max_body_atoms: int = 2):
     return tgds
 
 
+@st.composite
+def patterns(draw, tgd: NestedTgd | None = None, max_nodes: int = 6, k: int = 3):
+    """Generate ``(tgd, pattern, k)`` with *pattern* a k-pattern of *tgd*.
+
+    The pattern is grown by random single-leaf attachments from the root
+    pattern -- exactly the producer edges of the DAG-incremental IMPLIES
+    sweep -- rejecting any attachment that would exceed the clone bound, so
+    every draw satisfies ``pattern.is_k_pattern(k)`` by construction.
+    """
+    from repro.core.patterns import Pattern
+
+    if tgd is None:
+        tgd = draw(nested_tgds())
+
+    def to_pattern(node: list) -> Pattern:
+        return Pattern(node[0], tuple(to_pattern(child) for child in node[1]))
+
+    def preorder(node: list, out: list) -> list:
+        out.append(node)
+        for child in node[1]:
+            preorder(child, out)
+        return out
+
+    root = [1, []]
+    for __ in range(draw(st.integers(0, max_nodes - 1))):
+        nodes = preorder(root, [])
+        node = nodes[draw(st.integers(0, len(nodes) - 1))]
+        choices = tgd.children_of(node[0])
+        if not choices:
+            continue
+        part = draw(st.sampled_from(list(choices)))
+        node[1].append([part, []])
+        if not to_pattern(root).is_k_pattern(k):
+            node[1].pop()
+    return tgd, to_pattern(root), k
+
+
 __all__ = [
     "nested_tgds",
     "instances",
+    "patterns",
     "same_schema_tgds",
     "SOURCE_RELATIONS",
     "TARGET_RELATIONS",
