@@ -188,6 +188,16 @@ def main(argv=None) -> dict:
     report["largest_standard_speedup"] = report["standard_chase"][-1]["speedup"]
     report["largest_egd_speedup"] = report["egd_chase"][-1]["speedup"]
 
+    # Merge over any existing file so sections written by other scripts
+    # (e.g. bench_backend_chase.py's "backend_chase") survive a re-run.
+    try:
+        with open(args.json) as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(report)
+    report = merged
+
     with open(args.json, "w") as handle:
         json.dump(report, handle, indent=2)
     for row in report["standard_chase"]:

@@ -3,6 +3,7 @@
 Commands
 --------
 chase       chase a source instance with dependencies (optionally the core)
+exchange    run a data exchange with a backend report (tuple/columnar/sql/auto)
 implies     run the IMPLIES decision procedure
 equivalent  decide logical equivalence of two dependency sets
 glav        decide equivalence to a GLAV mapping; print one if it exists
@@ -86,17 +87,69 @@ def _egds(args) -> list:
     return [parse_egd(text) for text in args.egd]
 
 
-def cmd_chase(args) -> int:
-    from repro.engine.chase import chase
-    from repro.engine.core_instance import core
+def _run_exchange_backend(args):
+    """Run the source-to-target chase on the selected backend.
+
+    Returns ``(source, result, choice)``; every backend produces the exact
+    fact set of ``chase(source, deps)`` (same ground-Skolem-term nulls).
+    """
+    from repro.engine.chase import chase, compile_clause_program
+    from repro.engine.dispatch import choose_backend
 
     deps = _dependencies(args)
     source = parse_instance(args.instance)
-    result = chase(source, deps)
+    clauses = compile_clause_program(deps)
+    choice = choose_backend(
+        args.backend, input_size=len(source), clauses=clauses, certified=True
+    )
+    if choice.backend == "sql":
+        from repro.engine.sql_backend import (
+            check_sql_backend_supported,
+            sql_execute_exchange,
+        )
+
+        check_sql_backend_supported(clauses, what="exchange")
+        result = sql_execute_exchange(source, clauses)
+    elif choice.backend == "columnar":
+        from repro.engine.columnar import columnar_execute_exchange
+
+        result = columnar_execute_exchange(source, clauses)
+    else:
+        result = chase(source, deps)
+    return source, result, choice
+
+
+def _backend_banner(source, result, choice) -> str:
+    picked = choice.backend
+    if choice.was_auto:
+        picked += f" (auto: {choice.reason})"
+    return (
+        f"-- backend: {picked}; "
+        f"{len(source)} source row(s) -> {len(result)} target row(s)"
+    )
+
+
+def cmd_chase(args) -> int:
+    from repro.engine.core_instance import core
+
+    source, result, choice = _run_exchange_backend(args)
     if args.core:
         result = core(result)
+    if args.backend != "tuple":
+        print(_backend_banner(source, result, choice))
     for fact in sorted(result, key=repr):
         print(fact)
+    return 0
+
+
+def cmd_exchange(args) -> int:
+    source, result, choice = _run_exchange_backend(args)
+    print(_backend_banner(source, result, choice))
+    for relation in sorted(result.relations()):
+        print(f"--   {relation}: {len(result.facts_of(relation))} row(s)")
+    if not args.counts_only:
+        for fact in sorted(result, key=repr):
+            print(fact)
     return 0
 
 
@@ -266,11 +319,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backend_choices = ["tuple", "columnar", "sql", "auto"]
+
     chase_parser = sub.add_parser("chase", help="chase a source instance")
     _add_dependency_arguments(chase_parser)
     chase_parser.add_argument("--instance", required=True, help="source instance text")
     chase_parser.add_argument("--core", action="store_true", help="return the core")
+    chase_parser.add_argument(
+        "--backend", choices=backend_choices, default="tuple",
+        help="execution backend (default: tuple)",
+    )
     chase_parser.set_defaults(func=cmd_chase)
+
+    exchange_parser = sub.add_parser(
+        "exchange", help="run a data exchange (chase) with a backend report"
+    )
+    _add_dependency_arguments(exchange_parser)
+    exchange_parser.add_argument(
+        "--instance", required=True, help="source instance text"
+    )
+    exchange_parser.add_argument(
+        "--backend", choices=backend_choices, default="auto",
+        help="execution backend (default: auto)",
+    )
+    exchange_parser.add_argument(
+        "--counts-only", action="store_true",
+        help="print only the backend report and per-relation row counts",
+    )
+    exchange_parser.set_defaults(func=cmd_exchange)
 
     implies_parser = sub.add_parser("implies", help="run the IMPLIES procedure")
     implies_parser.add_argument("--lhs", action="append", default=[], required=True)

@@ -12,6 +12,12 @@
 - :mod:`repro.engine.egd_chase` -- egd chase on source instances;
 - :mod:`repro.engine.fixpoint_chase` -- oblivious chase iterated to a fixpoint,
   gated by the static weak-acyclicity verdict;
+- :mod:`repro.engine.columnar` -- columnar fact store (dense integer arrays)
+  with vectorized semi-naive trigger matching;
+- :mod:`repro.engine.sql_backend` -- chase programs compiled to SQLite
+  (SQL pushdown), results decoded back through the intern tables;
+- :mod:`repro.engine.dispatch` -- backend selection (tuple / columnar / sql
+  / auto) for the chase entry points;
 - :mod:`repro.engine.model_check` -- ``(I, J) |= sigma`` for every formalism.
 """
 
@@ -35,9 +41,15 @@ from repro.engine.chase import chase, chase_so_tgd, chase_st_tgds
 from repro.engine.nested_chase import ChaseForest, ChaseTree, Triggering, chase_nested
 from repro.engine.egd_chase import chase_egds
 from repro.engine.fixpoint_chase import FixpointChaseResult, fixpoint_chase
+from repro.engine.columnar import ColumnarInstance
+from repro.engine.dispatch import BACKENDS, BackendChoice, choose_backend
 from repro.engine.model_check import satisfies
 
 __all__ = [
+    "BACKENDS",
+    "BackendChoice",
+    "ColumnarInstance",
+    "choose_backend",
     "InstanceBuilder",
     "find_matches",
     "find_homomorphism",

@@ -1,0 +1,606 @@
+"""Columnar instance backend: integer-interned fact tables, vectorized joins.
+
+The tuple engines walk Python objects fact by fact: every join step hashes
+an interned :class:`~repro.logic.atoms.Atom`, every assignment is a dict of
+:class:`~repro.logic.values.Variable` keys.  :class:`ColumnarInstance`
+stores the same facts as **dense integer arrays** instead: every distinct
+value (constant, labeled null, ground Skolem term) gets a dense id from a
+:class:`ValueTable` at intern time, and each relation's facts live in
+per-position ``array('q')`` columns plus a per-(position, id) inverted
+index.  The inner loops of trigger matching then compare machine integers
+and append to flat arrays; interned value objects are only touched at the
+encode/decode boundary and when a *new* Skolem term is first created.
+
+Three layers:
+
+- :class:`ColumnarInstance` -- the store.  It implements the read API of
+  the :class:`~repro.engine.hom_kernel.FactIndex` protocol (``facts_of`` /
+  ``facts_with`` / ``__contains__`` / iteration), decoding rows to interned
+  :class:`Atom` objects lazily and caching them, so the homomorphism kernel
+  and the generic matching engine run over it unchanged.
+- :class:`_ClausePlan` -- one Skolemized clause compiled against the store:
+  a greedy join order (most bound variables first), per-atom bind/check
+  position lists resolved to environment *slots*, and head/equality term
+  builders that produce value ids directly (with a per-(function, arg-ids)
+  cache, so re-firing a trigger never rebuilds its Skolem term).
+- :func:`columnar_fixpoint_rounds` / :func:`columnar_execute_exchange` --
+  the semi-naive delta loop and the single-pass exchange, mirroring the
+  tuple engines round for round (same delta discipline, same intra-round
+  visibility), so bounded runs agree with the tuple engine exactly.
+
+Perf counters: ``backend.columnar.joins`` (per-atom index joins performed),
+``backend.columnar.encoded_rows`` / ``backend.columnar.decoded_rows`` (facts
+crossing the object/array boundary).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Collection, Iterable, Iterator, Sequence
+
+from repro import perf
+from repro.errors import BudgetExceeded, ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.sotgd import SOClause
+from repro.logic.terms import FuncTerm, is_ground
+from repro.logic.values import Variable
+
+_EMPTY: tuple = ()
+
+
+class ValueTable:
+    """Dense integer ids for interned values, shared by related stores.
+
+    The hash-consed logic layer guarantees structurally equal values are the
+    *same* object, so the id table is a plain identity-agnostic dict keyed by
+    the interned object.  A source and a target :class:`ColumnarInstance` of
+    one exchange share a table so row emission can move ids between stores
+    without re-encoding.
+    """
+
+    __slots__ = ("_id_of", "_values")
+
+    def __init__(self) -> None:
+        self._id_of: dict[object, int] = {}
+        self._values: list[object] = []
+
+    def intern(self, value: object) -> int:
+        vid = self._id_of.get(value)
+        if vid is None:
+            vid = len(self._values)
+            self._id_of[value] = vid
+            self._values.append(value)
+        return vid
+
+    def lookup(self, value: object) -> int | None:
+        """The id of *value*, or None if it was never interned."""
+        return self._id_of.get(value)
+
+    def value(self, vid: int) -> object:
+        return self._values[vid]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class _RelGroup:
+    """The fact table of one (relation, arity): columns, dedup map, index."""
+
+    __slots__ = ("relation", "arity", "columns", "row_of", "index", "atoms")
+
+    def __init__(self, relation: str, arity: int) -> None:
+        self.relation = relation
+        self.arity = arity
+        self.columns: list[array] = [array("q") for _ in range(arity)]
+        self.row_of: dict[tuple[int, ...], int] = {}
+        self.index: list[dict[int, list[int]]] = [{} for _ in range(arity)]
+        self.atoms: list[Atom | None] = []
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def add(self, ids: tuple[int, ...]) -> int | None:
+        """Insert a row; return its index if new, None if already present."""
+        if ids in self.row_of:
+            return None
+        row = len(self.atoms)
+        self.row_of[ids] = row
+        self.atoms.append(None)
+        for position, vid in enumerate(ids):
+            self.columns[position].append(vid)
+            bucket = self.index[position].get(vid)
+            if bucket is None:
+                self.index[position][vid] = [row]
+            else:
+                bucket.append(row)
+        return row
+
+
+class ColumnarInstance:
+    """A mutable columnar fact store satisfying the ``FactIndex`` protocol."""
+
+    __slots__ = ("values", "_groups", "_count")
+
+    def __init__(
+        self,
+        facts: "Instance | Iterable[Atom]" = (),
+        *,
+        values: ValueTable | None = None,
+    ):
+        self.values = values if values is not None else ValueTable()
+        self._groups: dict[str, list[_RelGroup]] = {}
+        self._count = 0
+        encoded = 0
+        for fact in facts:
+            encoded += 1
+            self.add_fact(fact)
+        if encoded:
+            perf.incr("backend.columnar.encoded_rows", encoded)
+
+    # ---------------------------------------------------------------- mutation
+
+    def group(self, relation: str, arity: int) -> _RelGroup:
+        """The fact table of (relation, arity), created on first use."""
+        groups = self._groups.setdefault(relation, [])
+        for group in groups:
+            if group.arity == arity:
+                return group
+        group = _RelGroup(relation, arity)
+        groups.append(group)
+        return group
+
+    def add_fact(self, fact: Atom) -> bool:
+        intern = self.values.intern
+        ids = tuple(intern(arg) for arg in fact.args)
+        group = self.group(fact.relation, len(ids))
+        row = group.add(ids)
+        if row is None:
+            return False
+        group.atoms[row] = fact
+        self._count += 1
+        return True
+
+    def add_row(self, group: _RelGroup, ids: tuple[int, ...]) -> int | None:
+        """Insert an id row directly; returns the new row index or None."""
+        row = group.add(ids)
+        if row is not None:
+            self._count += 1
+        return row
+
+    # ------------------------------------------------------------------ decode
+
+    def decode_row(self, group: _RelGroup, row: int) -> Atom:
+        atom = group.atoms[row]
+        if atom is None:
+            value = self.values.value
+            atom = Atom(
+                group.relation,
+                tuple(value(column[row]) for column in group.columns),
+            )
+            group.atoms[row] = atom
+        return atom
+
+    def to_instance(self) -> Instance:
+        """Decode every row into the immutable tuple representation."""
+        perf.incr("backend.columnar.decoded_rows", self._count)
+        return Instance(self)
+
+    # --------------------------------------------------- FactIndex / read API
+
+    def facts_of(self, relation: str) -> Collection[Atom]:
+        groups = self._groups.get(relation)
+        if not groups:
+            return _EMPTY
+        decode = self.decode_row
+        return [
+            decode(group, row) for group in groups for row in range(len(group))
+        ]
+
+    def facts_with(self, relation: str, position: int, value: object) -> Collection[Atom]:
+        groups = self._groups.get(relation)
+        if not groups:
+            return _EMPTY
+        vid = self.values.lookup(value)
+        if vid is None:
+            return _EMPTY
+        decode = self.decode_row
+        out: list[Atom] = []
+        for group in groups:
+            if position < group.arity:
+                for row in group.index[position].get(vid, _EMPTY):
+                    out.append(decode(group, row))
+        return out
+
+    def __contains__(self, fact: Atom) -> bool:
+        groups = self._groups.get(fact.relation)
+        if not groups:
+            return False
+        lookup = self.values.lookup
+        ids = []
+        for arg in fact.args:
+            vid = lookup(arg)
+            if vid is None:
+                return False
+            ids.append(vid)
+        key = tuple(ids)
+        return any(
+            group.arity == len(key) and key in group.row_of for group in groups
+        )
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(self._groups)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Atom]:
+        decode = self.decode_row
+        for groups in self._groups.values():
+            for group in groups:
+                for row in range(len(group)):
+                    yield decode(group, row)
+
+    def __repr__(self) -> str:
+        return f"ColumnarInstance({self._count} facts, {len(self.values)} values)"
+
+
+# -------------------------------------------------------------- clause plans
+
+
+def _order_atoms(atoms: Sequence[Atom], bound: set[Variable]) -> list[Atom]:
+    from repro.engine.matching import _order_atoms as order
+
+    return order(atoms, bound)
+
+
+class _AtomStep:
+    """One body atom resolved against environment slots, in join order.
+
+    ``checks`` hold positions whose slot is bound by an *earlier* step (their
+    env value is valid before this atom runs, so they can seed index
+    lookups); ``local_checks`` hold repeat occurrences of a variable first
+    bound inside this very atom (only checkable after ``binds`` run).
+    """
+
+    __slots__ = ("relation", "arity", "checks", "local_checks", "binds")
+
+    def __init__(self, atom: Atom, slot_of: dict[Variable, int], bound: set[Variable]):
+        self.relation = atom.relation
+        self.arity = atom.arity
+        self.checks: list[tuple[int, int]] = []
+        self.local_checks: list[tuple[int, int]] = []
+        self.binds: list[tuple[int, int]] = []
+        seen_here: set[Variable] = set()
+        for position, arg in enumerate(atom.args):
+            slot = slot_of[arg]
+            if arg in bound:
+                self.checks.append((position, slot))
+            elif arg in seen_here:
+                self.local_checks.append((position, slot))
+            else:
+                seen_here.add(arg)
+                self.binds.append((position, slot))
+        bound.update(seen_here)
+
+
+def _make_builder(term: object, slot_of: dict[Variable, int], store: ColumnarInstance):
+    """Compile a head/equality term to an env -> value-id function.
+
+    Skolem terms memoize on their argument-id tuple: re-firing a trigger
+    reuses the id without reconstructing the interned FuncTerm.
+    """
+    values = store.values
+    if isinstance(term, Variable):
+        slot = slot_of[term]
+        return lambda env: env[slot]
+    if isinstance(term, FuncTerm) and not is_ground(term):
+        arg_builders = tuple(_make_builder(a, slot_of, store) for a in term.args)
+        function = term.function
+        cache: dict[tuple[int, ...], int] = {}
+
+        def build(env: list[int]) -> int:
+            key = tuple(builder(env) for builder in arg_builders)
+            vid = cache.get(key)
+            if vid is None:
+                term_value = FuncTerm(
+                    function, tuple(values.value(arg) for arg in key)
+                )
+                vid = values.intern(term_value)
+                cache[key] = vid
+            return vid
+
+        return build
+    # Ground term (constant, null, or variable-free Skolem term): fixed id.
+    vid = values.intern(term)
+    return lambda env: vid
+
+
+class _ClausePlan:
+    """A Skolemized clause compiled against one (or a pair of) stores."""
+
+    def __init__(self, clause: SOClause, source: ColumnarInstance, target: ColumnarInstance):
+        self.clause = clause
+        self.source = source
+        self.target = target
+        self.slot_of: dict[Variable, int] = {}
+        for atom in clause.body:
+            for arg in atom.args:
+                if not isinstance(arg, Variable):
+                    raise ChaseError(
+                        f"columnar backend: non-variable body argument {arg!r}"
+                    )
+                self.slot_of.setdefault(arg, len(self.slot_of))
+        self.slots = len(self.slot_of)
+        self.equalities = tuple(
+            (_make_builder(left, self.slot_of, target), _make_builder(right, self.slot_of, target))
+            for left, right in clause.equalities
+        )
+        self.heads = tuple(
+            (
+                target.group(atom.relation, atom.arity),
+                tuple(_make_builder(arg, self.slot_of, target) for arg in atom.args),
+            )
+            for atom in clause.head
+        )
+        self._full_steps: list[_AtomStep] | None = None
+        self._seeded_steps: dict[int, tuple[_AtomStep, list[_AtomStep]]] = {}
+
+    def full_steps(self) -> list[_AtomStep]:
+        if self._full_steps is None:
+            bound: set[Variable] = set()
+            self._full_steps = [
+                _AtomStep(atom, self.slot_of, bound)
+                for atom in _order_atoms(self.clause.body, set())
+            ]
+        return self._full_steps
+
+    def seeded_steps(self, seed_index: int) -> tuple[_AtomStep, list[_AtomStep]]:
+        """The plan seeding atom *seed_index* from a delta row: (seed, rest)."""
+        cached = self._seeded_steps.get(seed_index)
+        if cached is None:
+            body = self.clause.body
+            seed_atom = body[seed_index]
+            bound: set[Variable] = set()
+            seed = _AtomStep(seed_atom, self.slot_of, bound)
+            rest_atoms = body[:seed_index] + body[seed_index + 1:]
+            rest = [
+                _AtomStep(atom, self.slot_of, bound)
+                for atom in _order_atoms(rest_atoms, set(bound))
+            ]
+            cached = (seed, rest)
+            self._seeded_steps[seed_index] = cached
+        return cached
+
+    # ---------------------------------------------------------------- matching
+
+    def _candidates(
+        self, step: _AtomStep, env: list[int], stats: "_Stats"
+    ) -> Iterable[tuple[_RelGroup, Iterable[int]]]:
+        """Candidate (group, rows) for *step*, from the most selective index."""
+        groups = self.source._groups.get(step.relation)
+        if not groups:
+            return ()
+        out = []
+        for group in groups:
+            if group.arity != step.arity:
+                continue
+            stats.joins += 1
+            best: list[int] | None = None
+            for position, slot in step.checks:
+                bucket = group.index[position].get(env[slot])
+                if bucket is None:
+                    best = []
+                    break
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is None:
+                out.append((group, range(len(group))))
+            elif best:
+                out.append((group, best))
+        return out
+
+    def _match(
+        self, steps: list[_AtomStep], index: int, env: list[int], stats: "_Stats"
+    ) -> Iterator[list[int]]:
+        if index == len(steps):
+            yield env
+            return
+        step = steps[index]
+        checks = step.checks
+        local_checks = step.local_checks
+        binds = step.binds
+        for group, rows in self._candidates(step, env, stats):
+            columns = group.columns
+            for row in rows:
+                ok = True
+                for position, slot in checks:
+                    if columns[position][row] != env[slot]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                for position, slot in binds:
+                    env[slot] = columns[position][row]
+                for position, slot in local_checks:
+                    if columns[position][row] != env[slot]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                yield from self._match(steps, index + 1, env, stats)
+        for _, slot in binds:
+            env[slot] = -1
+
+    def stream_assignments(self, stats: "_Stats") -> Iterator[list[int]]:
+        """Yield live environments over the full source store.
+
+        The yielded list is *borrowed*: it is mutated by the next step of the
+        iteration, so callers must consume (or copy) it before advancing.
+        Safe to feed straight into :meth:`emit` when the plan's target store
+        is distinct from its source store (the exchange case).
+        """
+        env = [-1] * self.slots
+        return self._match(self.full_steps(), 0, env, stats)
+
+    def full_assignments(self, stats: "_Stats") -> list[tuple[int, ...]]:
+        """Every satisfying environment over the full source store."""
+        return [tuple(e) for e in self.stream_assignments(stats)]
+
+    def delta_assignments(
+        self, delta: dict[tuple[str, int], list[int]], stats: "_Stats"
+    ) -> list[tuple[int, ...]]:
+        """Environments whose match uses at least one delta row (deduplicated)."""
+        seen: set[tuple[int, ...]] = set()
+        out: list[tuple[int, ...]] = []
+        body = self.clause.body
+        for seed_index, atom in enumerate(body):
+            rows = delta.get((atom.relation, atom.arity))
+            if not rows:
+                continue
+            seed, rest = self.seeded_steps(seed_index)
+            group = self.source.group(atom.relation, atom.arity)
+            columns = group.columns
+            for row in rows:
+                env = [-1] * self.slots
+                ok = True
+                for position, slot in seed.binds:
+                    env[slot] = columns[position][row]
+                for position, slot in seed.local_checks:
+                    if columns[position][row] != env[slot]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                stats.joins += 1
+                for result in self._match(rest, 0, env, stats):
+                    key = tuple(result)
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(key)
+        return out
+
+    # ---------------------------------------------------------------- emission
+
+    def emit(self, env: Sequence[int]) -> Iterator[tuple[_RelGroup, int]]:
+        """Yield the (group, row) of each genuinely new head fact.
+
+        *env* is read, never written, so streamed (borrowed) environments
+        from :meth:`stream_assignments` are safe to pass directly.
+        """
+        for left, right in self.equalities:
+            if left(env) != right(env):
+                return
+        target = self.target
+        for group, builders in self.heads:
+            row = target.add_row(group, tuple(builder(env) for builder in builders))
+            if row is not None:
+                yield group, row
+
+
+class _Stats:
+    __slots__ = ("joins",)
+
+    def __init__(self) -> None:
+        self.joins = 0
+
+    def flush(self) -> None:
+        if self.joins:
+            perf.incr("backend.columnar.joins", self.joins)
+
+
+# ----------------------------------------------------------------- engines
+
+
+def columnar_fixpoint_rounds(
+    store: ColumnarInstance,
+    clauses: Sequence[SOClause],
+    *,
+    max_rounds: int | None = None,
+    budget: int | None = None,
+    predicted: int | None = None,
+    fact_hook=None,
+) -> tuple[int, bool]:
+    """Iterate *clauses* over *store* to a fixpoint, semi-naively, in place.
+
+    Mirrors the tuple engine's loop exactly -- same per-round delta
+    discipline and intra-round visibility -- so a bounded run derives the
+    same facts in the same number of rounds.  Returns ``(rounds,
+    reached_fixpoint)``.
+    """
+    plans = [_ClausePlan(clause, store, store) for clause in clauses]
+    stats = _Stats()
+    total_facts = len(store)
+    rounds = 0
+    changed = True
+    delta: dict[tuple[str, int], list[int]] | None = None
+    try:
+        while changed and (max_rounds is None or rounds < max_rounds):
+            changed = False
+            rounds += 1
+            perf.incr("chase.fixpoint_rounds")
+            new_delta: dict[tuple[str, int], list[int]] = {}
+            for plan in plans:
+                if delta is None:
+                    assignments = plan.full_assignments(stats)
+                else:
+                    assignments = plan.delta_assignments(delta, stats)
+                for assignment in assignments:
+                    for group, row in plan.emit(assignment):
+                        changed = True
+                        new_delta.setdefault(
+                            (group.relation, group.arity), []
+                        ).append(row)
+                        perf.incr("chase.facts")
+                        total_facts += 1
+                        if budget is not None and total_facts > budget:
+                            raise BudgetExceeded(
+                                "fixpoint chase", budget, predicted=predicted,
+                                hint="Lint finding CC002 predicts the "
+                                "chase-size bound; raise budget= or bound "
+                                "the run with max_rounds=.",
+                            )
+                        if fact_hook is not None:
+                            fact_hook(store.decode_row(group, row))
+            delta = new_delta
+    finally:
+        stats.flush()
+    return rounds, not changed
+
+
+def columnar_execute_exchange(
+    source: Instance, clauses: Sequence[SOClause]
+) -> Instance:
+    """Single-pass (source-to-target) execution over columnar stores.
+
+    The source loads into one store, head facts accumulate in a second store
+    sharing the same :class:`ValueTable`, and the result decodes to exactly
+    the fact set of :func:`repro.engine.chase.chase` (given
+    :func:`~repro.engine.chase.compile_clause_program`'s clauses).
+    """
+    values = ValueTable()
+    source_store = ColumnarInstance(source, values=values)
+    target_store = ColumnarInstance(values=values)
+    stats = _Stats()
+    try:
+        facts = 0
+        for clause in clauses:
+            plan = _ClausePlan(clause, source_store, target_store)
+            # Streaming is safe here: the plan matches over the source store
+            # and emits into a distinct target store, so emission can never
+            # invalidate the in-flight iteration.
+            for env in plan.stream_assignments(stats):
+                for _ in plan.emit(env):
+                    facts += 1
+        perf.incr("chase.facts", facts)
+    finally:
+        stats.flush()
+    return target_store.to_instance()
+
+
+__all__ = [
+    "ColumnarInstance",
+    "ValueTable",
+    "columnar_execute_exchange",
+    "columnar_fixpoint_rounds",
+]

@@ -1,0 +1,129 @@
+"""Backend selection for the chase engines: tuple, columnar, or SQL pushdown.
+
+Three interchangeable execution backends run the oblivious chase:
+
+``tuple``
+    The original engines over interned Python objects -- lowest constant
+    setup cost, no restrictions, and the reference semantics every other
+    backend is differential-tested against.
+``columnar``
+    :mod:`repro.engine.columnar` -- facts as dense integer arrays with
+    index-seeded integer joins.  Same round-by-round semantics as the tuple
+    engine (bounded runs agree exactly); pays an encode pass up front.
+``sql``
+    :mod:`repro.engine.sql_backend` -- the program compiled to SQLite
+    ``INSERT ... SELECT`` statements (semi-naive delta loop for fixpoints).
+    Highest setup cost, by far the fastest joins at scale; only available
+    for SQL-compilable clause programs, and a fixpoint run should be
+    certified terminating by the static hierarchy (or explicitly bounded)
+    before being handed to an unbounded SQL loop.
+
+:func:`choose_backend` implements the ``"auto"`` policy.  The thresholds
+derive from the static cost model's role: :func:`repro.analysis.cost.chase_cost`
+certifies *whether* a polynomial bound exists (``estimate.degree``); the
+instance size then decides whether the per-fact savings amortize each
+backend's setup cost.  The crossover points below were measured by
+``benchmarks/bench_backend_chase.py`` on the scaling workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ChaseError
+from repro.logic.sotgd import SOClause
+
+#: Backend names accepted by ``backend=`` parameters everywhere.
+BACKENDS = ("tuple", "columnar", "sql", "auto")
+
+#: Minimum input facts before "auto" prefers the columnar engine (below
+#: this, encoding the instance costs more than the joins it speeds up).
+COLUMNAR_AUTO_THRESHOLD = 500
+
+#: Minimum input facts before "auto" prefers SQL pushdown (below this,
+#: connection setup + encode/decode round-trips dominate).
+SQL_AUTO_THRESHOLD = 5_000
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """The resolved backend plus the reason, for reports and ``--backend`` CLI."""
+
+    backend: str  # "tuple" | "columnar" | "sql"
+    requested: str
+    reason: str
+
+    @property
+    def was_auto(self) -> bool:
+        return self.requested == "auto"
+
+
+def validate_backend(name: str) -> str:
+    """Return *name* if it is a known backend name, else raise ``ChaseError``."""
+    if name not in BACKENDS:
+        raise ChaseError(
+            f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def choose_backend(
+    requested: str,
+    *,
+    input_size: int,
+    clauses: Sequence[SOClause],
+    certified: bool,
+    needs_fact_stream: bool = False,
+) -> BackendChoice:
+    """Resolve a ``backend=`` argument ("auto" included) to a concrete backend.
+
+    *certified* tells whether the static termination hierarchy certified the
+    program (for single-pass exchanges, pass True: they always terminate).
+    *needs_fact_stream* marks callers that watch facts as they are derived
+    (``fact_hook``); the SQL backend cannot stream, so "auto" avoids it and
+    an explicit ``backend="sql"`` is rejected.
+    """
+    from repro.engine.sql_backend import sql_compilable
+
+    validate_backend(requested)
+    if requested == "sql":
+        if needs_fact_stream:
+            raise ChaseError(
+                "backend 'sql' cannot stream derived facts (fact_hook); "
+                "use the tuple or columnar backend"
+            )
+        return BackendChoice("sql", requested, "requested explicitly")
+    if requested != "auto":
+        return BackendChoice(requested, requested, "requested explicitly")
+
+    if (
+        not needs_fact_stream
+        and certified
+        and input_size >= SQL_AUTO_THRESHOLD
+        and sql_compilable(clauses)
+    ):
+        return BackendChoice(
+            "sql",
+            requested,
+            f"certified program, {input_size} facts >= {SQL_AUTO_THRESHOLD}",
+        )
+    if input_size >= COLUMNAR_AUTO_THRESHOLD:
+        return BackendChoice(
+            "columnar",
+            requested,
+            f"{input_size} facts >= {COLUMNAR_AUTO_THRESHOLD}",
+        )
+    return BackendChoice(
+        "tuple", requested, f"small input ({input_size} facts)"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendChoice",
+    "COLUMNAR_AUTO_THRESHOLD",
+    "SQL_AUTO_THRESHOLD",
+    "choose_backend",
+    "validate_backend",
+]

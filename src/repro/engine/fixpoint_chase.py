@@ -77,6 +77,8 @@ class FixpointChaseResult:
     reached_fixpoint: bool
     termination: TerminationReport
     termination_class: "TerminationClass | None" = None
+    #: The backend that actually executed the run ("tuple"/"columnar"/"sql").
+    backend: str = "tuple"
 
     def __iter__(self) -> "Iterator[Atom]":
         return iter(self.instance)
@@ -105,6 +107,7 @@ def fixpoint_chase(
     max_rounds: int | None = None,
     budget: int | None = None,
     fact_hook: "Callable[[Atom], None] | None" = None,
+    backend: str = "tuple",
 ) -> FixpointChaseResult:
     """Chase *instance* with tgds of any formalism until a fixpoint.
 
@@ -124,6 +127,16 @@ def fixpoint_chase(
     *fact_hook* is called with every newly derived fact (the MFA test of the
     acyclicity analysis watches the critical-instance chase through it);
     exceptions it raises propagate to the caller.
+
+    *backend* selects the execution engine: ``"tuple"`` (the reference
+    engine below), ``"columnar"`` (:mod:`repro.engine.columnar`; identical
+    round-by-round semantics over dense integer arrays), ``"sql"``
+    (:mod:`repro.engine.sql_backend`; semi-naive SQLite pushdown -- derives
+    the same fixpoint, though a round there only sees the previous round's
+    facts, so bounded runs can need more rounds than the tuple engine), or
+    ``"auto"`` (:func:`repro.engine.dispatch.choose_backend` picks by
+    instance size and the static certification).  The result's ``backend``
+    field records which engine actually ran.
     """
     from repro.analysis.termination import termination_report
 
@@ -173,6 +186,67 @@ def fixpoint_chase(
             )
 
     clauses = _clauses_of(deps)
+
+    from repro.engine.dispatch import choose_backend
+
+    certified = verdict.weakly_acyclic or (
+        hierarchy is not None and hierarchy.guarantees_termination
+    )
+    choice = choose_backend(
+        backend,
+        input_size=len(instance),
+        clauses=clauses,
+        certified=certified,
+        needs_fact_stream=fact_hook is not None,
+    )
+
+    def finish(result: Instance, rounds: int, reached: bool) -> FixpointChaseResult:
+        if hierarchy is not None:
+            termination_class = hierarchy.cls
+        elif verdict.weakly_acyclic:
+            from repro.analysis.acyclicity import TerminationClass
+
+            termination_class = TerminationClass.WEAKLY_ACYCLIC
+        else:
+            termination_class = None
+        return FixpointChaseResult(
+            instance=result,
+            rounds=rounds,
+            reached_fixpoint=reached,
+            termination=verdict,
+            termination_class=termination_class,
+            backend=choice.backend,
+        )
+
+    if choice.backend == "columnar":
+        from repro.engine.columnar import ColumnarInstance, columnar_fixpoint_rounds
+
+        store = ColumnarInstance(instance)
+        rounds, reached = columnar_fixpoint_rounds(
+            store,
+            clauses,
+            max_rounds=max_rounds,
+            budget=budget if enforce_budget else None,
+            predicted=predicted,
+            fact_hook=fact_hook,
+        )
+        return finish(store.to_instance(), rounds, reached)
+    if choice.backend == "sql":
+        from repro.engine.sql_backend import (
+            check_sql_backend_supported,
+            sql_fixpoint_chase,
+        )
+
+        check_sql_backend_supported(clauses, what="fixpoint chase")
+        result, rounds, reached = sql_fixpoint_chase(
+            instance,
+            clauses,
+            max_rounds=max_rounds,
+            budget=budget if enforce_budget else None,
+            predicted=predicted,
+        )
+        return finish(result, rounds, reached)
+
     builder = InstanceBuilder(instance)
     rounds = 0
     changed = True
@@ -216,21 +290,7 @@ def fixpoint_chase(
                         if fact_hook is not None:
                             fact_hook(fact)
         delta = new_delta
-    if hierarchy is not None:
-        termination_class = hierarchy.cls
-    elif verdict.weakly_acyclic:
-        from repro.analysis.acyclicity import TerminationClass
-
-        termination_class = TerminationClass.WEAKLY_ACYCLIC
-    else:
-        termination_class = None
-    return FixpointChaseResult(
-        instance=builder.freeze(),
-        rounds=rounds,
-        reached_fixpoint=not changed,
-        termination=verdict,
-        termination_class=termination_class,
-    )
+    return finish(builder.freeze(), rounds, not changed)
 
 
 __all__ = ["FixpointChaseResult", "fixpoint_chase"]

@@ -5,27 +5,33 @@ clauses ``body_atoms -> head_atom`` whose head arguments are variables or
 Skolem terms.  Each clause compiles to one statement::
 
     INSERT INTO T
-    SELECT DISTINCT a0.c1, 'f_y(' || a0.c0 || ',' || a1.c1 || ')'
+    SELECT DISTINCT a0.c1,
+           'f_y(' || length(a0.c0) || ':' || a0.c0 || ',' || ... || ')'
     FROM S AS a0, S AS a1
     WHERE a0.c0 = a1.c0
 
 - body atoms become table aliases; repeated variables become join/selection
   predicates;
-- Skolem terms become string-concatenation expressions, so the generated
-  labeled nulls are exactly the ground Skolem terms of the oblivious chase;
+- Skolem terms become string-concatenation expressions with **length-prefixed
+  components** (``3:a,b`` vs ``1:a``), so the generated labeled nulls are in
+  bijection with the ground Skolem terms of the oblivious chase even when
+  constants themselves contain ``,``/``(``/``)`` -- naive concatenation
+  would collide ``f(Constant("a,b"))`` with ``f(a, b)``;
 - all columns are TEXT (``c0, c1, ...``).
 
-:func:`execute_exchange` loads a source instance into an in-memory SQLite
-database (Python's stdlib ``sqlite3``), runs the compiled statements, reads
-the target tables back, and returns an :class:`Instance` whose facts equal
-``chase(I, M)`` up to the textual rendering of nulls -- verified by the test
-suite against the chase engine.
+:func:`execute_exchange` is the *executable* counterpart: it runs the
+mapping through one of the interchangeable chase backends
+(:mod:`repro.engine.sql_backend` by default, which compiles the exact
+clause program of :func:`repro.engine.chase.compile_clause_program` and
+decodes results back through the intern tables) and returns an
+:class:`Instance` whose facts equal ``chase(I, M)`` **exactly** -- same
+constants, same ground-Skolem-term nulls -- verified by the test suite
+against the chase engine.
 """
 
 from __future__ import annotations
 
 import re
-import sqlite3
 from typing import Sequence
 
 from repro.errors import DependencyError
@@ -92,11 +98,15 @@ class _ClauseCompiler:
             except KeyError:
                 raise DependencyError(f"head variable {term!r} unbound in the body")
         if isinstance(term, FuncTerm):
+            # Length-prefix every component: a constant containing `,`/`(`/`)`
+            # can no longer produce the same label as a different trigger
+            # (the prefixes make the rendering injective).
             pieces = [_sql_literal(f"{term.function}(")]
             for index, arg in enumerate(term.args):
                 if index:
                     pieces.append(_sql_literal(","))
-                pieces.append(self.expression(arg))
+                inner = self.expression(arg)
+                pieces.append(f"length({inner}) || ':' || {inner}")
             pieces.append(_sql_literal(")"))
             return " || ".join(pieces)
         raise DependencyError(f"cannot compile head term {term!r}")
@@ -136,7 +146,10 @@ def _render_value(value) -> str:
     if isinstance(value, Constant):
         return str(value.name)
     if isinstance(value, FuncTerm):
-        inner = ",".join(_render_value(arg) for arg in value.args)
+        inner = ",".join(
+            f"{len(rendered)}:{rendered}"
+            for rendered in (_render_value(arg) for arg in value.args)
+        )
         return f"{value.function}({inner})"
     if isinstance(value, Null):
         return f"_{value.name}"
@@ -147,8 +160,8 @@ def render_instance_values(instance: Instance) -> Instance:
     """Rewrite an instance's values into the SQL textual rendering.
 
     Ground Skolem-term nulls become :class:`Null` values labeled with the
-    rendered text, so a chase result becomes directly comparable with
-    :func:`execute_exchange`'s output.
+    rendered text, so a chase result becomes directly comparable with the
+    output of :func:`compile_mapping_to_sql` statements.
     """
     def convert(value):
         if isinstance(value, Constant):
@@ -161,48 +174,45 @@ def render_instance_values(instance: Instance) -> Instance:
     )
 
 
-def execute_exchange(source: Instance, dependencies) -> Instance:
-    """Run the compiled SQL on SQLite and return the produced target instance.
+def execute_exchange(source: Instance, dependencies, *, backend: str = "sql") -> Instance:
+    """Execute the data exchange and return the produced target instance.
 
-    The result equals ``chase(source, dependencies)`` after
-    :func:`render_instance_values` (tested property).  Values read back are
-    constants when they match a source constant and labeled nulls otherwise
-    (Skolem strings contain parentheses, which constants never do).
+    The result equals ``chase(source, dependencies)`` **exactly** -- the
+    same constants and the same ground-Skolem-term nulls -- whichever
+    backend runs it:
+
+    - ``"sql"`` (default): the clause program of
+      :func:`repro.engine.chase.compile_clause_program` compiled to SQLite
+      ``INSERT ... SELECT`` statements, values crossing the boundary through
+      the injective tagged encoding of
+      :mod:`repro.engine.sql_backend` and re-interned on the way out;
+    - ``"columnar"``: the integer-array engine of
+      :mod:`repro.engine.columnar`;
+    - ``"tuple"``: the reference :func:`repro.engine.chase.chase`;
+    - ``"auto"``: :func:`repro.engine.dispatch.choose_backend` picks by
+      source size (single-pass exchanges always terminate, so certification
+      is not a concern).
     """
-    mapping_tgds = nested_tgds_from(dependencies)
-    source_schema = Schema()
-    target_schema = Schema()
-    for tgd in mapping_tgds:
-        source_schema = source_schema.union(tgd.source_schema())
-        target_schema = target_schema.union(tgd.target_schema())
-    source_schema = source_schema.union(source.schema())
+    from repro.engine.chase import chase, compile_clause_program
+    from repro.engine.dispatch import choose_backend
 
-    connection = sqlite3.connect(":memory:")
-    try:
-        cursor = connection.cursor()
-        for statement in schema_ddl(source_schema) + schema_ddl(target_schema):
-            cursor.execute(statement)
-        for fact in source:
-            placeholders = ", ".join("?" for __ in fact.args)
-            values = [_render_value(arg) for arg in fact.args]
-            cursor.execute(
-                f"INSERT INTO {_check_identifier(fact.relation)} VALUES ({placeholders})",
-                values,
-            )
-        for statement in compile_mapping_to_sql(mapping_tgds):
-            cursor.execute(statement)
+    clauses = compile_clause_program(dependencies)
+    choice = choose_backend(
+        backend, input_size=len(source), clauses=clauses, certified=True
+    )
+    if choice.backend == "sql":
+        from repro.engine.sql_backend import (
+            check_sql_backend_supported,
+            sql_execute_exchange,
+        )
 
-        facts: list[Atom] = []
-        for relation in target_schema:
-            cursor.execute(f"SELECT DISTINCT * FROM {relation.name}")
-            for row in cursor.fetchall():
-                args = tuple(
-                    Null(text) if "(" in text else Constant(text) for text in row
-                )
-                facts.append(Atom(relation.name, args))
-        return Instance(facts)
-    finally:
-        connection.close()
+        check_sql_backend_supported(clauses, what="exchange")
+        return sql_execute_exchange(source, clauses)
+    if choice.backend == "columnar":
+        from repro.engine.columnar import columnar_execute_exchange
+
+        return columnar_execute_exchange(source, clauses)
+    return chase(source, dependencies)
 
 
 __all__ = [

@@ -51,6 +51,15 @@ Counter names are dotted strings, grouped by subsystem:
                           boundaries (``implies_tgd`` flushes on return)
 ``intern.misses``         hash-consing table misses (a new canonical object
                           was interned)
+``backend.sql.statements``  SQL statements executed by the pushdown backend
+                          (DDL, loads, compiled INSERT...SELECTs, delta moves)
+``backend.sql.encoded_rows``  facts encoded into SQL rows (loads into SQLite)
+``backend.sql.decoded_rows``  SQL rows decoded back into interned facts
+``backend.columnar.joins``  index-seeded per-atom joins performed by the
+                          columnar matcher; accumulated locally and flushed
+                          at engine exit
+``backend.columnar.encoded_rows``  facts encoded into columnar id rows
+``backend.columnar.decoded_rows``  columnar rows decoded back into facts
 ========================  =====================================================
 
 The overhead is one dict update per recorded event; events are recorded at

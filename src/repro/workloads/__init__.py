@@ -4,6 +4,7 @@ from repro.workloads.generators import (
     clique_instance,
     cycle_instance,
     grid_instance,
+    layered_graph_instance,
     path_instance,
     random_instance,
     singleton,
@@ -27,6 +28,7 @@ __all__ = [
     "path_instance",
     "clique_instance",
     "grid_instance",
+    "layered_graph_instance",
     "random_instance",
     "singleton",
     "InstanceFamily",

@@ -88,6 +88,41 @@ def grid_instance(
     return Instance(facts)
 
 
+def layered_graph_instance(
+    width: int,
+    degree: int,
+    layers: int = 3,
+    relation: str = "S",
+    marker: str | None = None,
+    prefix: str = "n",
+) -> Instance:
+    """A layered digraph: node ``(l, i)`` points to ``(l+1, (i+j) % width)``
+    for ``j < degree``.
+
+    The join-heavy shape behind the backend benchmarks: a 2-hop path join
+    over the edge relation has ``width * degree**2`` matches per layer pair
+    but only ``width * (2*degree - 1)`` distinct endpoints, so trigger
+    matching dominates output size.  With *marker* set, each layer-0 node
+    gets a unary marker fact.
+
+        >>> len(layered_graph_instance(4, 2, marker="Q"))
+        20
+    """
+
+    def node(layer: int, i: int) -> Constant:
+        return Constant(f"{prefix}{layer}_{i}")
+
+    facts: list[Atom] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            src = node(layer, i)
+            for j in range(degree):
+                facts.append(Atom(relation, (src, node(layer + 1, (i + j) % width))))
+    if marker is not None:
+        facts.extend(Atom(marker, (node(0, i),)) for i in range(width))
+    return Instance(facts)
+
+
 def singleton(relation: str, *names: str) -> Instance:
     """A single fact ``relation(names...)`` with the given constant names."""
     return Instance([Atom(relation, tuple(Constant(n) for n in names))])
@@ -125,6 +160,7 @@ __all__ = [
     "path_instance",
     "clique_instance",
     "grid_instance",
+    "layered_graph_instance",
     "singleton",
     "random_instance",
 ]
