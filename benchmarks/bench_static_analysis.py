@@ -17,7 +17,17 @@ Families:
   hierarchy including the bounded MFA chase);
 - ``hierarchy``: the four rung witness sets of
   ``examples/termination_hierarchy.py`` combined;
-- ``sigma_star``: the paper's deep-nesting workhorse (CC001 territory).
+- ``sigma_star``: the paper's deep-nesting workhorse (CC001 territory);
+- ``ladder-3``: the existential ladder whose coarse degree is exponential
+  (CC002) but whose per-relation witnesses certify PTIME (CC003);
+- ``stratified-40``: the bridged MFA chain only the stratified rung decides.
+
+The ``frontier`` axis times the decidability-frontier passes
+(:func:`repro.analysis.frontier.frontier_report`: triangular guardedness +
+tier stratification) over the same families, and the ``ladder_chase`` axis
+*measures* the polynomial chase the PTIME tier promises: facts and seconds
+for the ladder program over growing instances, next to the refined
+per-relation bound and the (astronomically larger) coarse CC002 bound.
 
 Run::
 
@@ -31,9 +41,15 @@ import time
 
 from repro.analysis.acyclicity import classify_termination, clear_acyclicity_cache
 from repro.analysis.cost import chase_cost, sweep_cost
+from repro.analysis.frontier import clear_frontier_cache, frontier_report
 from repro.analysis.static import analyze
 from repro.analysis.termination import clear_termination_cache
 from repro.logic.parser import parse_nested_tgd, parse_tgd
+from repro.workloads.families import (
+    ladder_instance,
+    ladder_tgds,
+    stratified_chain_tgds,
+)
 
 SIGMA_STAR = parse_nested_tgd(
     "S1(x1) -> exists y1 . ((S2(x2) -> R2(y1,x2)) & (S3(x1,x3) -> R3(y1,x3) "
@@ -67,10 +83,37 @@ def _timed(fn, repeat: int = 5) -> float:
     for _ in range(repeat):
         clear_acyclicity_cache()
         clear_termination_cache()
+        clear_frontier_cache()
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _ladder_chase_axis() -> list[dict]:
+    """Measure the chase the PTIME tier certifies: polynomial, not 2^degree."""
+    from repro.engine.fixpoint_chase import fixpoint_chase
+
+    deps = ladder_tgds(3)
+    report = frontier_report(deps)
+    rows = []
+    for n in (50, 100, 200, 400):
+        instance = ladder_instance(n)
+        start = time.perf_counter()
+        result = fixpoint_chase(instance, deps)
+        elapsed = time.perf_counter() - start
+        domain = {value for fact in instance for value in fact.args}
+        rows.append(
+            {
+                "n": n,
+                "input_facts": len(instance),
+                "chase_facts": len(result.instance),
+                "chase_s": elapsed,
+                "refined_bound": report.tier.fact_bound(len(domain)),
+                "coarse_bound": report.cost.fact_bound(len(domain)),
+            }
+        )
+    return rows
 
 
 def run_benchmark() -> dict:
@@ -81,15 +124,21 @@ def run_benchmark() -> dict:
         "cycle-8": cycle(8),
         "hierarchy": hierarchy(),
         "sigma_star": [SIGMA_STAR],
+        "ladder-3": ladder_tgds(3),
+        "stratified-40": stratified_chain_tgds(40),
     }
     results = []
+    frontier_rows = []
     for name, deps in families.items():
         classify_s = _timed(lambda deps=deps: classify_termination(deps))
         cost_s = _timed(lambda deps=deps: chase_cost(deps))
         analyze_s = _timed(lambda deps=deps: analyze(deps))
+        frontier_s = _timed(lambda deps=deps: frontier_report(deps))
         clear_acyclicity_cache()
         clear_termination_cache()
+        clear_frontier_cache()
         verdict = classify_termination(deps)
+        report = frontier_report(deps, verdict=verdict)
         results.append(
             {
                 "family": name,
@@ -100,12 +149,23 @@ def run_benchmark() -> dict:
                 "analyze_ms": analyze_s * 1000,
             }
         )
+        frontier_rows.append(
+            {
+                "family": name,
+                "tier": report.tier.tier.value,
+                "triangular_guarded": report.triangular.guarded,
+                "max_degree": report.tier.max_degree,
+                "frontier_ms": frontier_s * 1000,
+            }
+        )
     # the CC001 prediction must be cheap even though the sweep it prevents
     # is non-elementary
     sweep_s = _timed(lambda: sweep_cost([SIGMA_STAR], SIGMA_STAR))
     return {
         "benchmark": "BENCH-STATIC",
         "families": results,
+        "frontier": frontier_rows,
+        "ladder_chase": _ladder_chase_axis(),
         "sigma_star_sweep_prediction_ms": sweep_s * 1000,
     }
 
@@ -124,6 +184,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['family']:12s} {row['dependencies']:4d} "
             f"{row['termination_class']:24s} {row['classify_ms']:8.2f}m "
             f"{row['chase_cost_ms']:7.2f}m {row['analyze_ms']:7.2f}m"
+        )
+    print()
+    header = f"{'family':14s} {'tier':16s} {'guarded':>7s} {'maxdeg':>6s} {'frontier':>9s}"
+    print(header)
+    for row in summary["frontier"]:
+        degree = "-" if row["max_degree"] is None else str(row["max_degree"])
+        print(
+            f"{row['family']:14s} {row['tier']:16s} "
+            f"{str(row['triangular_guarded']):>7s} {degree:>6s} "
+            f"{row['frontier_ms']:8.2f}m"
+        )
+    print()
+    print(f"{'n':>5s} {'facts':>7s} {'chase_s':>8s} {'refined':>9s} {'coarse':>22s}")
+    for row in summary["ladder_chase"]:
+        print(
+            f"{row['n']:5d} {row['chase_facts']:7d} {row['chase_s']:8.3f} "
+            f"{row['refined_bound']:9d} {row['coarse_bound']:22d}"
         )
     print(
         "sigma* sweep prediction: "

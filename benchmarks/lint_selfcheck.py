@@ -18,9 +18,17 @@ uploads for code-scanning consumption.  The summary also tallies which
 termination (``TD00x``) and cost (``CC00x``) codes fired across the corpora,
 so coverage of the new analyzer passes is visible at a glance.
 
+With ``--analyze PATH`` it writes one *deterministic* JSON document of
+decidability-frontier certificates (:func:`repro.analysis.frontier.
+frontier_report` per corpus: tier, guards, degree witnesses) -- no timings,
+sorted keys, so two runs must produce byte-identical files; the ``lint-sarif``
+CI job runs it twice and diffs the artifacts to pin the analyzer's
+determinism.
+
 Run::
 
-    PYTHONPATH=src python benchmarks/lint_selfcheck.py [--json PATH] [--sarif PATH]
+    PYTHONPATH=src python benchmarks/lint_selfcheck.py \\
+        [--json PATH] [--sarif PATH] [--analyze PATH]
 """
 
 import argparse
@@ -118,11 +126,26 @@ def run_selfcheck() -> tuple[dict, dict]:
     return summary, sarif_log
 
 
+def run_analyze() -> dict:
+    """Frontier certificates for every corpus -- fully deterministic JSON."""
+    from repro.analysis.frontier import clear_frontier_cache, frontier_report
+
+    clear_frontier_cache()
+    return {
+        name: frontier_report(deps).to_dict()
+        for name, deps in sorted(corpora().items())
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", metavar="PATH", help="write the summary as JSON")
     parser.add_argument(
         "--sarif", metavar="PATH", help="write an aggregated SARIF 2.1.0 log"
+    )
+    parser.add_argument(
+        "--analyze", metavar="PATH",
+        help="write deterministic frontier certificates (tier/guards/degrees)",
     )
     args = parser.parse_args(argv)
     summary, sarif_log = run_selfcheck()
@@ -131,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.sarif:
         pathlib.Path(args.sarif).write_text(
             json.dumps(sarif_log, indent=2, sort_keys=True) + "\n"
+        )
+    if args.analyze:
+        pathlib.Path(args.analyze).write_text(
+            json.dumps(run_analyze(), indent=2, sort_keys=True) + "\n"
         )
     for name, report in summary["reports"].items():
         cls = (report.get("hierarchy") or {}).get("class", "?")

@@ -1,4 +1,4 @@
-"""Termination hierarchy tour: weak < joint < super-weak < MFA.
+"""Termination hierarchy tour: weak < joint < super-weak < MFA < stratified.
 
 One dependency set per rung of the chase-termination hierarchy, each refuting
 every narrower rung -- and each run *unbounded* to a fixpoint by the engine,
@@ -6,11 +6,23 @@ because `fixpoint_chase` consults the hierarchy instead of the bare
 weak-acyclicity test.  A diverging set shows the other side of the gate: no
 rung certifies it, so the unbounded chase is refused with lint code TD001.
 
+The tour then crosses into the decidability frontier of
+``repro.analysis.frontier``:
+
+- a **PTIME-tier** set that is not weakly acyclic, whose per-relation degree
+  witnesses certify a polynomial chase ("Chase Termination Beyond Polynomial
+  Time", arXiv:2403.16712);
+- a **triangularly guarded** set whose chase diverges but whose BCQ
+  reasoning is decidable anyway (Asuncion & Zhang, arXiv:1804.05997);
+- a **stratified-MFA** set the monolithic MFA budget refuses (TD001) that
+  the per-stratum rung certifies, letting the engine run it unbounded.
+
 Run with:  PYTHONPATH=src python examples/termination_hierarchy.py
 """
 
 from repro.analysis.acyclicity import classify_termination
 from repro.analysis.cost import chase_cost
+from repro.analysis.frontier import frontier_report
 from repro.analysis.termination import termination_report
 from repro.engine.fixpoint_chase import fixpoint_chase
 from repro.errors import ChaseError
@@ -45,6 +57,23 @@ MODEL_FAITHFUL = [
 # of a parse_tgd literal so corpus scanners do not lint it as a regression.
 DIVERGING_TEXT = "E(x,y) -> exists z . E(y,z)"
 
+# PTIME tier without weak acyclicity: jointly acyclic (so certified), and the
+# per-relation degree program of arXiv:2403.16712 assigns E and W small
+# polynomial degrees -- the chase output is polynomial even though the
+# position graph has a special cycle.
+PTIME_NOT_WA = [
+    parse_tgd("E(x,y) & E(y,x) -> exists z . E(y,z)"),
+    parse_tgd("E(x,y) -> exists u . W(y,u)"),
+]
+
+# Triangularly guarded (arXiv:1804.05997) but diverging: the frontier pairs
+# {y}x{} of each head atom all share a body atom, so BCQ reasoning over the
+# set is decidable -- yet no termination rung admits it (the chase builds an
+# infinite R-spiral).  Decidability of reasoning and termination of the
+# chase are independent axes.  Kept out of a parse_tgd literal like the
+# diverging set above, since it deliberately carries a TD001 error.
+TRIANGULAR_TEXT = "R(x,y) -> exists z . R(y,z) & R(z,x)"
+
 INSTANCES = {
     "weak": "P(a,b)",
     "joint": "E(a,b), E(b,a)",
@@ -76,6 +105,55 @@ def main() -> None:
     show("jointly acyclic (not weakly)", JOINTLY_ACYCLIC, INSTANCES["joint"])
     show("super-weakly acyclic (not jointly)", SUPER_WEAKLY_ACYCLIC, INSTANCES["super-weak"])
     show("model-faithful acyclic (not super-weakly)", MODEL_FAITHFUL, INSTANCES["mfa"])
+
+    from repro.workloads.families import (
+        stratified_chain_instance,
+        stratified_chain_tgds,
+    )
+
+    stratified = stratified_chain_tgds(40)
+    print("== stratified MFA (monolithic MFA budget exhausted)")
+    print(f"   {len(stratified)} dependencies: MFA gadget bridged into a 40-step chain")
+    verdict = classify_termination(stratified)
+    print(
+        f"   hierarchy verdict: {verdict.cls.value} "
+        f"({verdict.strata_count} strata, depth bound {verdict.depth_bound})"
+    )
+    result = fixpoint_chase(stratified_chain_instance(3), stratified)
+    print(
+        f"   unbounded chase:   fixpoint in {result.rounds} round(s), "
+        f"{len(result.instance)} facts, certified by {result.termination_class.value}"
+    )
+    print()
+
+    print("== PTIME tier (not weakly acyclic)")
+    for dep in PTIME_NOT_WA:
+        print(f"   {dep}")
+    report = frontier_report(PTIME_NOT_WA)
+    degrees = dict(report.tier.relation_degrees)
+    print(f"   hierarchy verdict: {report.termination.cls.value}")
+    print(f"   complexity tier:   {report.tier.tier.value} (degrees {degrees})")
+    result = fixpoint_chase(parse_instance("E(a,b), E(b,a)"), PTIME_NOT_WA)
+    print(
+        f"   unbounded chase:   fixpoint in {result.rounds} round(s), "
+        f"{len(result.instance)} facts"
+    )
+    print()
+
+    triangular = [parse_tgd(TRIANGULAR_TEXT)]
+    print("== triangularly guarded (diverging chase, decidable reasoning)")
+    print(f"   {triangular[0]}")
+    report = frontier_report(triangular)
+    print(f"   hierarchy verdict: {report.termination.cls.value}")
+    print(f"   triangular guard:  {report.triangular.guarded}")
+    print(f"   decidable BCQ reasoning: {report.decidable_reasoning}")
+    try:
+        fixpoint_chase(parse_instance("R(a,b)"), triangular)
+    except ChaseError as exc:
+        print(f"   unbounded chase refused: {str(exc).splitlines()[0]}")
+    bounded = fixpoint_chase(parse_instance("R(a,b)"), triangular, max_rounds=3)
+    print(f"   bounded chase (3 rounds): {len(bounded.instance)} facts, no fixpoint")
+    print()
 
     diverging = [parse_tgd(DIVERGING_TEXT)]
     print("== not guaranteed (diverging)")

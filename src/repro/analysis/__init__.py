@@ -14,6 +14,10 @@ It also hosts the *static analyzer* over dependency programs:
   super-weak / model-faithful acyclicity) as a lattice verdict;
 - :mod:`repro.analysis.cost` -- the static cost model (chase-size degree
   bounds and IMPLIES sweep budgets);
+- :mod:`repro.analysis.frontier` -- the decidability-frontier analyzer
+  (triangular guardedness, per-relation degree witnesses, and the
+  PTIME/EXPTIME/2-EXPTIME/non-elementary complexity tiers that gate the
+  engines);
 - :mod:`repro.analysis.subsumption` -- sound syntactic subsumption between
   dependencies (the IMPLIES pre-pass);
 - :mod:`repro.analysis.static` -- the lint driver producing structured
@@ -50,8 +54,19 @@ from repro.analysis.acyclicity import (
 from repro.analysis.cost import (
     ChaseCostEstimate,
     SweepCostEstimate,
+    chase_budget,
     chase_cost,
     sweep_cost,
+)
+from repro.analysis.frontier import (
+    ComplexityTier,
+    FrontierReport,
+    TierReport,
+    TriangularGuardReport,
+    clear_frontier_cache,
+    frontier_report,
+    tier_report,
+    triangular_guard_report,
 )
 from repro.analysis.subsumption import (
     alpha_equivalent,
@@ -89,8 +104,17 @@ __all__ = [
     "clear_acyclicity_cache",
     "ChaseCostEstimate",
     "SweepCostEstimate",
+    "chase_budget",
     "chase_cost",
     "sweep_cost",
+    "ComplexityTier",
+    "FrontierReport",
+    "TierReport",
+    "TriangularGuardReport",
+    "clear_frontier_cache",
+    "frontier_report",
+    "tier_report",
+    "triangular_guard_report",
     "alpha_equivalent",
     "subsumes",
     "trivially_implied",

@@ -30,11 +30,19 @@ so they are faithful to the exact Skolemized clauses
   instance maps homomorphically into the critical chase, so the observed
   Skolem-nesting depth bounds the depth on all instances.
 
+- **Stratified MFA**: when the monolithic bounded MFA chase is refuted or
+  runs out of budget, partition the set into dependency-level strongly
+  connected components (``d1 -> d2`` when a head relation of ``d1`` feeds a
+  body of ``d2``) and certify every stratum by itself.  Strata only feed
+  forward, so per-stratum universal-termination certificates compose: long
+  certified pipelines whose *global* critical chase exhausts the MFA round
+  or fact budget are decided stratum by stratum (:func:`stratified_mfa`).
+
 :func:`classify_termination` returns the *widest* rung that certifies the
 set as a :class:`TerminationClass` lattice verdict, which
 ``engine/fixpoint_chase.py`` consults to run unbounded and ``repro lint``
-surfaces as the findings ``TD001`` (no rung) and ``TD002``-``TD004``
-(which rung admitted the set).
+surfaces as the findings ``TD001`` (no rung) and ``TD002``-``TD004`` /
+``TD007`` (which rung admitted the set).
 
     >>> from repro.logic.parser import parse_tgd
     >>> classify_termination([parse_tgd("S(x,y) -> R(x,y)")]).cls.name
@@ -74,20 +82,25 @@ class TerminationClass(enum.Enum):
     """The lattice of chase-termination certificates, widest rung last.
 
     The classes form a chain ``WEAKLY_ACYCLIC < JOINTLY_ACYCLIC <
-    SUPER_WEAKLY_ACYCLIC < MODEL_FAITHFUL < NOT_GUARANTEED``: every set
-    certified at a rung is also certified at every later rung, and
-    ``NOT_GUARANTEED`` means no rung of the hierarchy admits the set.
+    SUPER_WEAKLY_ACYCLIC < MODEL_FAITHFUL < STRATIFIED_MFA <
+    NOT_GUARANTEED``: every set certified at a rung is also certified at
+    every later rung, and ``NOT_GUARANTEED`` means no rung of the hierarchy
+    admits the set.  ``STRATIFIED_MFA`` widens the *decided* frontier rather
+    than the theoretical one: it certifies sets whose monolithic bounded
+    critical chase blows the MFA budget but whose dependency-level strongly
+    connected components each admit a per-stratum certificate.
     """
 
     WEAKLY_ACYCLIC = "weakly-acyclic"
     JOINTLY_ACYCLIC = "jointly-acyclic"
     SUPER_WEAKLY_ACYCLIC = "super-weakly-acyclic"
     MODEL_FAITHFUL = "model-faithful-acyclic"
+    STRATIFIED_MFA = "stratified-mfa"
     NOT_GUARANTEED = "not-guaranteed"
 
     @property
     def rank(self) -> int:
-        """Position in the chain (0 = weakly acyclic, 4 = not guaranteed)."""
+        """Position in the chain (0 = weakly acyclic, 5 = not guaranteed)."""
         return list(TerminationClass).index(self)
 
     @property
@@ -113,6 +126,10 @@ class TerminationVerdict:
     failed; ``mfa_cyclic_term`` renders the cyclic term that refuted MFA.
     ``mfa_conclusive`` is False when the bounded critical-instance chase
     ran out of budget before reaching either a fixpoint or a cyclic term.
+    ``strata_count`` is the number of dependency-level strongly connected
+    components the stratified-MFA pass partitioned the set into (``None``
+    when the pass did not run or did not apply); on a stratified failure
+    ``strata_witness`` names the first stratum no rung certifies.
     """
 
     cls: TerminationClass
@@ -123,6 +140,8 @@ class TerminationVerdict:
     mfa_cyclic_term: str | None = None
     mfa_facts: int | None = None
     mfa_conclusive: bool = True
+    strata_count: int | None = None
+    strata_witness: tuple[str, ...] | None = None
 
     @property
     def guarantees_termination(self) -> bool:
@@ -143,6 +162,10 @@ class TerminationVerdict:
             "mfa_cyclic_term": self.mfa_cyclic_term,
             "mfa_facts": self.mfa_facts,
             "mfa_conclusive": self.mfa_conclusive,
+            "strata_count": self.strata_count,
+            "strata_witness": None
+            if self.strata_witness is None
+            else list(self.strata_witness),
         }
 
 
@@ -499,6 +522,91 @@ def model_faithful_acyclic(
     return True, None, depth, counter["facts"]
 
 
+# --------------------------------------------------------------- stratified MFA
+
+
+def _dep_relations(dep: object) -> tuple[set[str], set[str]]:
+    """The (body relations, head relations) a dependency reads and writes."""
+    bodies: set[str] = set()
+    heads: set[str] = set()
+    if isinstance(dep, STTgd):
+        parts: Iterable[tuple[Sequence[Atom], Sequence[Atom]]] = [
+            (dep.body, dep.head)
+        ]
+    elif isinstance(dep, NestedTgd):
+        parts = [
+            (dep.part(pid).body, dep.part(pid).head) for pid in dep.part_ids()
+        ]
+    elif isinstance(dep, SOTgd):
+        parts = [(clause.body, clause.head) for clause in dep.clauses]
+    else:
+        return bodies, heads
+    for body, head in parts:
+        bodies.update(atom.relation for atom in body)
+        heads.update(atom.relation for atom in head)
+    return bodies, heads
+
+
+def _dep_label_of(dep: object, index: int) -> str:
+    name = getattr(dep, "name", None)
+    return name if name else f"#{index + 1}"
+
+
+def stratified_mfa(
+    dependencies: Sequence[object],
+    *,
+    mfa_max_rounds: int = 32,
+    mfa_max_facts: int = 50_000,
+) -> tuple[bool, int, int | None, tuple[str, ...] | None] | None:
+    """Per-stratum certification over the dependency-level SCC condensation.
+
+    Build the graph with an edge ``d1 -> d2`` whenever a head relation of
+    ``d1`` occurs in a body of ``d2``, condense it into strongly connected
+    components, and classify every component on the hierarchy *by itself*
+    (recursively through :func:`classify_termination`, so a stratum may be
+    admitted by any rung, each with its own MFA budget).  Because strata
+    only feed forward, the oblivious Skolem chase of the whole set is the
+    strata chased to completion in topological order; if every stratum's
+    chase terminates on all instances, so does the whole set, with the
+    Skolem-nesting depth bounded by the sum of the per-stratum depth bounds.
+
+    This certifies sets the *monolithic* bounded MFA chase cannot decide:
+    its round and fact budgets are global, so long certified pipelines
+    exhaust them even though every component is small.
+
+    Returns ``(certified, strata count, depth bound, failing-stratum
+    labels)``, or ``None`` when the partition is trivial (fewer than two
+    strata -- the monolithic MFA verdict already covers that case).
+    """
+    tgds = [dep for dep in dependencies if not isinstance(dep, Egd)]
+    if len(tgds) < 2:
+        return None
+    relations = [_dep_relations(dep) for dep in tgds]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(tgds)))
+    for i, (_bodies_i, heads_i) in enumerate(relations):
+        for j, (bodies_j, _heads_j) in enumerate(relations):
+            if heads_i & bodies_j:
+                graph.add_edge(i, j)
+    components = [sorted(scc) for scc in nx.strongly_connected_components(graph)]
+    if len(components) < 2:
+        return None
+    components.sort()  # deterministic stratum order for witnesses
+    depth = 0
+    for members in components:
+        stratum = [tgds[i] for i in members]
+        verdict = classify_termination(
+            stratum,
+            mfa_max_rounds=mfa_max_rounds,
+            mfa_max_facts=mfa_max_facts,
+        )
+        if not verdict.guarantees_termination or verdict.depth_bound is None:
+            witness = tuple(_dep_label_of(tgds[i], i) for i in members)
+            return False, len(components), None, witness
+        depth += verdict.depth_bound
+    return True, len(components), depth, None
+
+
 # ------------------------------------------------------------- classification
 
 
@@ -570,6 +678,41 @@ def classify_termination(
         )
         return _store_verdict(key, verdict)
 
+    # The monolithic MFA chase refuted or exhausted its budget: partition the
+    # set into dependency-level strongly connected components and certify
+    # each stratum by itself (each with its own budget).
+    strata = stratified_mfa(
+        deps, mfa_max_rounds=mfa_max_rounds, mfa_max_facts=mfa_max_facts
+    )
+    if strata is not None:
+        certified, strata_count, strata_depth, strata_witness = strata
+        if certified:
+            verdict = TerminationVerdict(
+                cls=TerminationClass.STRATIFIED_MFA,
+                weak=report,
+                depth_bound=strata_depth,
+                ja_cycle=ja_cycle,
+                swa_cycle=swa_cycle,
+                mfa_cyclic_term=cyclic_term,
+                mfa_facts=mfa_facts,
+                mfa_conclusive=mfa is not None,
+                strata_count=strata_count,
+            )
+            return _store_verdict(key, verdict)
+        verdict = TerminationVerdict(
+            cls=TerminationClass.NOT_GUARANTEED,
+            weak=report,
+            depth_bound=None,
+            ja_cycle=ja_cycle,
+            swa_cycle=swa_cycle,
+            mfa_cyclic_term=cyclic_term,
+            mfa_facts=mfa_facts,
+            mfa_conclusive=mfa is not None,
+            strata_count=strata_count,
+            strata_witness=strata_witness,
+        )
+        return _store_verdict(key, verdict)
+
     verdict = TerminationVerdict(
         cls=TerminationClass.NOT_GUARANTEED,
         weak=report,
@@ -609,5 +752,6 @@ __all__ = [
     "critical_instance",
     "jointly_acyclic",
     "model_faithful_acyclic",
+    "stratified_mfa",
     "super_weakly_acyclic",
 ]

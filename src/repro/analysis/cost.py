@@ -23,6 +23,12 @@ All arithmetic here saturates at :data:`SATURATION_CAP`: the exact pattern
 count of a deep nesting is a number with ``10^10`` digits, and merely
 *printing* it would be the blowup the analysis exists to prevent.
 
+:func:`chase_budget` is the budget derivation the engines consult: it
+prefers the per-relation degree witnesses of the complexity tier
+(:mod:`repro.analysis.frontier`) over the saturating worst case above, so a
+PTIME-certified program gets a polynomially tight budget instead of the
+astronomical ``A * w^D`` bound.
+
     >>> from repro.logic.parser import parse_tgd
     >>> est = chase_cost([parse_tgd("S(x,y) -> exists z . R(x,z)")])
     >>> est.degree, est.fact_bound(10)   # f_z(x,y) has arity 2, rank depth 1
@@ -216,6 +222,37 @@ def chase_cost(
     )
 
 
+def chase_budget(
+    dependencies: object,
+    n: int,
+    *,
+    verdict: TerminationVerdict | None = None,
+    ir: DependencyGraphIR | None = None,
+) -> int | None:
+    """The tightest static fact budget for chasing an ``n``-value instance.
+
+    Derives from the complexity tier of
+    :func:`repro.analysis.frontier.frontier_report` when refined per-relation
+    degree witnesses exist (the ``min`` of the refined and coarse bounds),
+    falling back to the saturating worst case of :func:`chase_cost`
+    otherwise; ``None`` when no hierarchy rung certifies termination.
+    ``fixpoint_chase`` uses this to decide whether an explicit ``budget=``
+    can be statically elided.
+
+        >>> from repro.logic.parser import parse_tgd
+        >>> deps = [parse_tgd(f"T{i}(x,y) -> exists z . T{i + 1}(y,z)")
+        ...         for i in range(3)]
+        >>> coarse = chase_cost(deps).fact_bound(4)
+        >>> refined = chase_budget(deps, 4)
+        >>> refined < coarse
+        True
+    """
+    from repro.analysis.frontier import frontier_report
+
+    report = frontier_report(dependencies, verdict=verdict, ir=ir)
+    return report.fact_bound(n)
+
+
 # ------------------------------------------------------------ sweep cost model
 
 
@@ -353,6 +390,7 @@ __all__ = [
     "SATURATION_CAP",
     "ChaseCostEstimate",
     "SweepCostEstimate",
+    "chase_budget",
     "chase_cost",
     "count_k_patterns_saturating",
     "saturating_add",

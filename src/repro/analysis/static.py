@@ -13,12 +13,20 @@ non-weakly-acyclic program is classified further on the termination
 hierarchy, reporting which rung admitted it (``TD002``-``TD004``) or the
 error ``TD001`` with a witness cycle when *no* rung certifies termination.
 
-Pass 2 -- **cost** (:mod:`repro.analysis.cost`): the static cost model
-predicts the IMPLIES k-pattern sweep per dependency (``CC001`` when it is
-non-elementary) and the chase-size polynomial degree of the whole set
-(``CC002`` when it is beyond any practical budget).
+Pass 2 -- **frontier** (:mod:`repro.analysis.frontier`): the triangular-
+guardedness certificate (``TD005`` when reasoning stays decidable despite a
+diverging chase) and the termination-complexity tier refining every
+certified verdict (``TD006`` reports tiers above PTIME; the tier also
+steers the ``CC00x`` cost findings below).
 
-Pass 3 -- **structural lints** over the parts of each (nested) tgd, the
+Pass 3 -- **cost** (:mod:`repro.analysis.cost`): the static cost model
+predicts the IMPLIES k-pattern sweep per dependency (``CC001`` when it is
+non-elementary) and the chase-size polynomial degree of the whole set --
+``CC002`` when it is beyond any practical budget *and* the tier's
+per-relation degree witnesses do not rescue it (``CC003`` when they do;
+``CC004`` when a small coarse degree is not backed by witnesses).
+
+Pass 4 -- **structural lints** over the parts of each (nested) tgd, the
 clauses of each SO tgd, and each egd:
 
 =======  ========  ====================================================
@@ -39,8 +47,17 @@ TD001    error     no termination-hierarchy rung certifies the set
 TD002    info      set is jointly but not weakly acyclic
 TD003    info      set is super-weakly but not jointly acyclic
 TD004    warning   set is MFA-certified only (critical-instance chase)
+TD005    warning   triangularly guarded only: BCQ reasoning decidable,
+                   chase termination not certified
+TD006    info      termination-complexity tier above PTIME
+TD007    warning   set is certified only by stratified MFA (per-SCC
+                   critical-instance chases)
 CC001    warning   predicted IMPLIES sweep is non-elementary
 CC002    warning   predicted chase-size bound is exponential
+CC003    info      per-relation degree witnesses certify a PTIME chase
+                   (demotes the coarse CC002 estimate)
+CC004    warning   coarse degree looks polynomial but no per-relation
+                   witnesses exist at the certified rung (tier downgrade)
 EG001    info      egd equates a variable with itself (trivial)
 EG002    warning   egd body is disconnected
 =======  ========  ====================================================
@@ -70,6 +87,7 @@ from repro.logic.tgds import STTgd
 from repro.logic.values import Constant, Variable
 from repro.analysis.acyclicity import TerminationClass, TerminationVerdict, classify_termination
 from repro.analysis.cost import ChaseCostEstimate, chase_cost, sweep_cost
+from repro.analysis.frontier import FrontierReport, frontier_report
 from repro.analysis.subsumption import subsumes
 from repro.analysis.termination import TerminationReport, format_position, termination_report
 
@@ -92,8 +110,29 @@ LINT_CATALOG: dict[str, tuple[str, str]] = {
     "TD002": ("info", "set is jointly but not weakly acyclic"),
     "TD003": ("info", "set is super-weakly but not jointly acyclic"),
     "TD004": ("warning", "set is certified only by MFA (critical-instance chase)"),
+    "TD005": (
+        "warning",
+        "triangularly guarded only: BCQ reasoning is decidable although "
+        "chase termination is not certified",
+    ),
+    "TD006": ("info", "termination-complexity tier above PTIME"),
+    "TD007": (
+        "warning",
+        "set is certified only by stratified MFA (per-SCC critical-instance "
+        "chases)",
+    ),
     "CC001": ("warning", "predicted IMPLIES k-pattern sweep is non-elementary"),
     "CC002": ("warning", "predicted chase-size bound is exponential"),
+    "CC003": (
+        "info",
+        "per-relation degree witnesses certify a PTIME chase (demotes the "
+        "coarse CC002 estimate)",
+    ),
+    "CC004": (
+        "warning",
+        "coarse degree looks polynomial but the certified rung provides no "
+        "per-relation witnesses (tier downgrade)",
+    ),
     "EG001": ("info", "egd equates a variable with itself (trivial)"),
     "EG002": ("warning", "egd body is disconnected"),
 }
@@ -104,6 +143,7 @@ _HIERARCHY_CODES = {
     TerminationClass.JOINTLY_ACYCLIC: "TD002",
     TerminationClass.SUPER_WEAKLY_ACYCLIC: "TD003",
     TerminationClass.MODEL_FAITHFUL: "TD004",
+    TerminationClass.STRATIFIED_MFA: "TD007",
 }
 
 
@@ -150,9 +190,11 @@ class AnalysisReport:
 
     ``termination`` is the weak-acyclicity report, ``hierarchy`` the full
     lattice verdict of :func:`repro.analysis.acyclicity.classify_termination`,
-    and ``cost`` the chase-size estimate of
-    :func:`repro.analysis.cost.chase_cost` (each ``None`` when its pass was
-    skipped).
+    ``cost`` the chase-size estimate of
+    :func:`repro.analysis.cost.chase_cost`, and ``frontier`` the
+    triangular-guardedness certificate plus complexity tier of
+    :func:`repro.analysis.frontier.frontier_report` (each ``None`` when its
+    pass was skipped).
     """
 
     findings: tuple[Finding, ...]
@@ -160,6 +202,7 @@ class AnalysisReport:
     dependency_count: int
     hierarchy: TerminationVerdict | None = None
     cost: ChaseCostEstimate | None = None
+    frontier: FrontierReport | None = None
 
     @property
     def errors(self) -> tuple[Finding, ...]:
@@ -187,6 +230,7 @@ class AnalysisReport:
             "termination": None if self.termination is None else self.termination.to_dict(),
             "hierarchy": None if self.hierarchy is None else self.hierarchy.to_dict(),
             "cost": None if self.cost is None else self.cost.to_dict(),
+            "frontier": None if self.frontier is None else self.frontier.to_dict(),
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -211,6 +255,9 @@ class AnalysisReport:
                 )
             else:
                 lines.append("termination: NOT weakly acyclic -- the chase may diverge")
+        if self.frontier is not None:
+            tier = self.frontier.tier
+            lines.append(f"complexity tier: {tier.tier.value} ({tier.reason})")
         for finding in self.findings:
             where = f" ({finding.location})" if finding.location else ""
             lines.append(
@@ -530,9 +577,10 @@ def analyze(
 
     *dependencies* may be a single dependency or an iterable mixing s-t
     tgds, nested tgds, SO tgds, and egds (egds may also be passed separately
-    via *source_egds*).  ``check_termination=False`` skips the position-graph
-    and hierarchy passes; ``check_subsumption=False`` skips the quadratic
-    NT009 pass; ``check_cost=False`` skips the CC001/CC002 cost model.
+    via *source_egds*).  ``check_termination=False`` skips the
+    position-graph, hierarchy, and frontier passes;
+    ``check_subsumption=False`` skips the quadratic NT009 pass;
+    ``check_cost=False`` skips the CC001-CC004 cost model.
     """
     if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
         dependencies = [dependencies]
@@ -581,6 +629,28 @@ def analyze(
                     "without an explicit max_rounds bound",
                 ))
 
+    frontier: FrontierReport | None = None
+    if check_termination and hierarchy is not None:
+        frontier = frontier_report(tgds + egds, verdict=hierarchy)
+        if frontier.triangular.guarded and not hierarchy.guarantees_termination:
+            findings.append(_finding(
+                "TD005", "*", "triangular guard",
+                "the set is triangularly guarded (every frontier-variable "
+                "pair shares a body atom): BCQ entailment stays decidable "
+                "although no rung certifies chase termination",
+                hint="certain-answer reasoning over this set is decidable "
+                "(arXiv:1804.05997); the fixpoint chase itself still needs "
+                "an explicit max_rounds bound",
+            ))
+        if hierarchy.guarantees_termination and not frontier.tier.tier.polynomial:
+            findings.append(_finding(
+                "TD006", "*", "complexity tier",
+                f"the certified chase sits in the {frontier.tier.tier.value} "
+                f"tier: {frontier.tier.reason}",
+                hint="`repro analyze` prints the full tier report with "
+                "per-relation degree witnesses where available",
+            ))
+
     cost: ChaseCostEstimate | None = None
     if check_cost:
         cost = chase_cost(
@@ -589,18 +659,49 @@ def analyze(
             if hierarchy is not None
             else classify_termination(tgds + egds),
         )
+        tier = None if frontier is None else frontier.tier
         if cost.degree is not None and cost.exponential:
-            rendered_degree = (
-                "astronomical" if cost.saturated else f"~n^{cost.degree}"
-            )
+            if tier is not None and tier.tier.polynomial:
+                degrees = ", ".join(
+                    f"{relation}: n^{degree}"
+                    for relation, degree in tier.relation_degrees or ()
+                )
+                findings.append(_finding(
+                    "CC003", "*", "cost model",
+                    f"the coarse chase-size bound ~n^{cost.degree} is demoted "
+                    "to PTIME by per-relation degree witnesses "
+                    f"({degrees}; maximum degree {tier.max_degree})",
+                    hint="budgets derived from the tier's fact bound are "
+                    "polynomial; the coarse CC002 estimate is safely ignored",
+                ))
+            else:
+                rendered_degree = (
+                    "astronomical" if cost.saturated else f"~n^{cost.degree}"
+                )
+                findings.append(_finding(
+                    "CC002", "*", "cost model",
+                    f"the chase-size bound is {rendered_degree} in the instance "
+                    f"size ({cost.skolem_function_count} Skolem function(s) of "
+                    f"arity up to {cost.max_skolem_arity}, depth bound "
+                    f"{cost.depth_bound})",
+                    hint="pass budget= to fixpoint_chase to fail fast instead of "
+                    "grinding through an exponential blowup",
+                ))
+        elif (
+            tier is not None
+            and cost.degree is not None
+            and not cost.exponential
+            and hierarchy is not None
+            and hierarchy.guarantees_termination
+            and not tier.tier.polynomial
+        ):
             findings.append(_finding(
-                "CC002", "*", "cost model",
-                f"the chase-size bound is {rendered_degree} in the instance "
-                f"size ({cost.skolem_function_count} Skolem function(s) of "
-                f"arity up to {cost.max_skolem_arity}, depth bound "
-                f"{cost.depth_bound})",
-                hint="pass budget= to fixpoint_chase to fail fast instead of "
-                "grinding through an exponential blowup",
+                "CC004", "*", "cost model",
+                f"the coarse degree ~n^{cost.degree} looks polynomial but the "
+                f"{hierarchy.cls.value} rung provides no per-relation degree "
+                f"witnesses -- the complexity tier stays {tier.tier.value}",
+                hint="treat the coarse degree as optimistic: derive budgets "
+                "from the tier, not from the coarse estimate",
             ))
         for index, dep in enumerate(tgds):
             if not isinstance(dep, (STTgd, NestedTgd)):
@@ -656,6 +757,7 @@ def analyze(
         dependency_count=len(deps) + len(list(source_egds)),
         hierarchy=hierarchy,
         cost=cost,
+        frontier=frontier,
     )
 
 

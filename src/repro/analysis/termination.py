@@ -253,7 +253,10 @@ def position_graph_of_ir(ir: DependencyGraphIR) -> "nx.DiGraph":
     condition for termination of the combined tgd+egd chase.
     """
     graph = nx.DiGraph()
-    graph.add_nodes_from(ir.positions)
+    # Sorted insertion keeps node (and hence adjacency/SCC) iteration order
+    # independent of PYTHONHASHSEED, so witness cycles are reproducible
+    # across processes.
+    graph.add_nodes_from(sorted(ir.positions))
 
     def add_edge(source: Position, target: Position, special: bool) -> None:
         if graph.has_edge(source, target):
@@ -313,13 +316,22 @@ def position_ranks(graph: "nx.DiGraph") -> dict[Position, int] | None:
 
 
 def _witness_cycle(graph: "nx.DiGraph", component: set[Position]) -> tuple[Position, ...]:
-    """A cycle through a special edge inside a strongly connected component."""
+    """A cycle through a special edge inside a strongly connected component.
+
+    The lexicographically smallest special edge is chosen so the witness is
+    canonical: the same program yields the same cycle in every process.
+    """
     subgraph = graph.subgraph(component)
-    for source, target, special in subgraph.edges(data="special"):
-        if special:
-            path: list[Position] = nx.shortest_path(subgraph, target, source)
-            return tuple([source] + path)
-    raise AssertionError("component has no special edge")  # pragma: no cover
+    special_edges = sorted(
+        (source, target)
+        for source, target, special in subgraph.edges(data="special")
+        if special
+    )
+    if not special_edges:
+        raise AssertionError("component has no special edge")  # pragma: no cover
+    source, target = special_edges[0]
+    path: list[Position] = nx.shortest_path(subgraph, target, source)
+    return tuple([source] + path)
 
 
 def termination_report(dependencies: object) -> TerminationReport:

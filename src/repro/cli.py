@@ -11,6 +11,7 @@ patterns    enumerate the k-patterns of a nested tgd
 profile     f-block / f-degree / path-length profile along a family
 optimize    redundancy removal + tgd normalization
 lint        static analysis: termination verdict + structural lints
+analyze     decidability-frontier certificate (tier + guards) as JSON
 
 Dependencies are given as text (see repro/logic/parser.py); s-t tgds and
 nested tgds are auto-detected, SO tgds are recognized by function terms or
@@ -301,6 +302,22 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis.frontier import describe_witnesses, frontier_report
+
+    report = frontier_report(_dependencies(args) + _egds(args))
+    if args.witnesses:
+        tier = report.tier
+        print(f"certified: {report.certified}")
+        print(f"decidable reasoning: {report.decidable_reasoning}")
+        print(f"tier: {tier.tier.value} (basis {tier.basis.value}): {tier.reason}")
+        for line in describe_witnesses(report):
+            print(line)
+    else:
+        print(report.to_json())
+    return 0 if report.certified else 1
+
+
 def cmd_optimize(args) -> int:
     from repro.core.normalization import optimize
 
@@ -399,6 +416,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the current findings' fingerprints to FILE and exit 0",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="decidability-frontier certificate: complexity tier, triangular "
+        "guardedness, and degree witnesses (JSON; exit 1 when uncertified)",
+    )
+    _add_dependency_arguments(analyze_parser)
+    analyze_parser.add_argument(
+        "--witnesses", action="store_true",
+        help="print human-readable witness lines instead of JSON",
+    )
+    analyze_parser.set_defaults(func=cmd_analyze)
 
     optimize_parser = sub.add_parser("optimize", help="minimize a mapping")
     _add_dependency_arguments(optimize_parser)

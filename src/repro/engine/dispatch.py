@@ -29,10 +29,13 @@ backend's setup cost.  The crossover points below were measured by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ChaseError
 from repro.logic.sotgd import SOClause
+
+if TYPE_CHECKING:
+    from repro.analysis.frontier import ComplexityTier
 
 #: Backend names accepted by ``backend=`` parameters everywhere.
 BACKENDS = ("tuple", "columnar", "sql", "auto")
@@ -45,14 +48,32 @@ COLUMNAR_AUTO_THRESHOLD = 500
 #: connection setup + encode/decode round-trips dominate).
 SQL_AUTO_THRESHOLD = 5_000
 
+#: Lowered SQL threshold for PTIME-tier programs: the per-relation degree
+#: witnesses bound the joins tightly enough that the pushdown amortizes its
+#: setup much earlier than in the worst (merely certified) case.
+SQL_AUTO_THRESHOLD_PTIME = 1_000
+
+#: Fact budget "auto" imposes on bounded runs of non-elementary-tier
+#: (uncertified) programs, so a runaway bounded chase fails fast with
+#: ``BudgetExceeded`` instead of grinding through a blowup.
+NON_ELEMENTARY_AUTO_BUDGET = 1_000_000
+
 
 @dataclass(frozen=True)
 class BackendChoice:
-    """The resolved backend plus the reason, for reports and ``--backend`` CLI."""
+    """The resolved backend plus the reason, for reports and ``--backend`` CLI.
+
+    ``tier`` records the complexity tier the policy consulted (when the
+    caller passed one) and ``forced_budget`` a fact cap "auto" imposes on
+    non-elementary-tier programs (``None`` otherwise -- the caller applies
+    it only when no explicit budget was given).
+    """
 
     backend: str  # "tuple" | "columnar" | "sql"
     requested: str
     reason: str
+    tier: "ComplexityTier | None" = None
+    forced_budget: int | None = None
 
     @property
     def was_auto(self) -> bool:
@@ -75,6 +96,7 @@ def choose_backend(
     clauses: Sequence[SOClause],
     certified: bool,
     needs_fact_stream: bool = False,
+    tier: "ComplexityTier | None" = None,
 ) -> BackendChoice:
     """Resolve a ``backend=`` argument ("auto" included) to a concrete backend.
 
@@ -83,6 +105,13 @@ def choose_backend(
     *needs_fact_stream* marks callers that watch facts as they are derived
     (``fact_hook``); the SQL backend cannot stream, so "auto" avoids it and
     an explicit ``backend="sql"`` is rejected.
+
+    *tier* refines the "auto" policy with the complexity tier of
+    :func:`repro.analysis.frontier.tier_report`: a ``PTIME``-certified
+    program becomes SQL-eligible at :data:`SQL_AUTO_THRESHOLD_PTIME` facts
+    (its per-relation degree witnesses bound the pushdown's work), and a
+    ``NON_ELEMENTARY`` program gets ``forced_budget`` set so bounded runs
+    fail fast instead of blowing up.
     """
     from repro.engine.sql_backend import sql_compilable
 
@@ -93,29 +122,51 @@ def choose_backend(
                 "backend 'sql' cannot stream derived facts (fact_hook); "
                 "use the tuple or columnar backend"
             )
-        return BackendChoice("sql", requested, "requested explicitly")
+        return BackendChoice("sql", requested, "requested explicitly", tier=tier)
     if requested != "auto":
-        return BackendChoice(requested, requested, "requested explicitly")
+        return BackendChoice(
+            requested, requested, "requested explicitly", tier=tier
+        )
 
+    forced_budget = None
+    if tier is not None:
+        from repro.analysis.frontier import ComplexityTier
+
+        if tier is ComplexityTier.NON_ELEMENTARY:
+            # No certificate at all -- cap bounded runs.
+            forced_budget = NON_ELEMENTARY_AUTO_BUDGET
+
+    sql_threshold = SQL_AUTO_THRESHOLD
+    if tier is not None and tier.polynomial:
+        sql_threshold = SQL_AUTO_THRESHOLD_PTIME
     if (
         not needs_fact_stream
         and certified
-        and input_size >= SQL_AUTO_THRESHOLD
+        and input_size >= sql_threshold
         and sql_compilable(clauses)
     ):
+        qualifier = (
+            "PTIME-tier program" if sql_threshold != SQL_AUTO_THRESHOLD
+            else "certified program"
+        )
         return BackendChoice(
             "sql",
             requested,
-            f"certified program, {input_size} facts >= {SQL_AUTO_THRESHOLD}",
+            f"{qualifier}, {input_size} facts >= {sql_threshold}",
+            tier=tier,
+            forced_budget=forced_budget,
         )
     if input_size >= COLUMNAR_AUTO_THRESHOLD:
         return BackendChoice(
             "columnar",
             requested,
             f"{input_size} facts >= {COLUMNAR_AUTO_THRESHOLD}",
+            tier=tier,
+            forced_budget=forced_budget,
         )
     return BackendChoice(
-        "tuple", requested, f"small input ({input_size} facts)"
+        "tuple", requested, f"small input ({input_size} facts)",
+        tier=tier, forced_budget=forced_budget,
     )
 
 
@@ -123,7 +174,9 @@ __all__ = [
     "BACKENDS",
     "BackendChoice",
     "COLUMNAR_AUTO_THRESHOLD",
+    "NON_ELEMENTARY_AUTO_BUDGET",
     "SQL_AUTO_THRESHOLD",
+    "SQL_AUTO_THRESHOLD_PTIME",
     "choose_backend",
     "validate_backend",
 ]

@@ -15,18 +15,24 @@ Before chasing, the engine consults the static termination analyses:
   the tests verify.
 - **not weakly acyclic**: the engine climbs the termination hierarchy of
   :func:`repro.analysis.acyclicity.classify_termination` (joint acyclicity,
-  super-weak acyclicity, MFA -- lint findings ``TD002``-``TD004``).  Any
-  rung that certifies the set lets the chase run unbounded; only when *no*
-  rung admits it does the engine refuse without an explicit ``max_rounds``,
-  with a :class:`~repro.errors.ChaseError` pointing at the ``TD001``
-  finding.  With ``max_rounds`` it runs at most that many rounds and
-  reports whether a fixpoint was actually reached.
+  super-weak acyclicity, MFA, stratified MFA -- lint findings
+  ``TD002``-``TD004`` and ``TD007``).  Any rung that certifies the set lets
+  the chase run unbounded; only when *no* rung admits it does the engine
+  refuse without an explicit ``max_rounds``, with a
+  :class:`~repro.errors.ChaseError` pointing at the ``TD001`` finding.
+  With ``max_rounds`` it runs at most that many rounds and reports whether
+  a fixpoint was actually reached.
 
-A ``budget=`` caps the total number of facts: when the static cost model
-(:func:`repro.analysis.cost.chase_cost`) already proves the chase fits, the
-cap costs nothing at runtime; otherwise every derived fact counts against
-it and crossing it raises :class:`~repro.errors.BudgetExceeded` immediately
-instead of grinding on a blowup (lint finding ``CC002`` predicts this).
+A ``budget=`` caps the total number of facts: when the static bounds
+(the coarse :func:`repro.analysis.cost.chase_cost` estimate or the refined
+per-relation tier bound of :func:`repro.analysis.frontier.frontier_report`,
+whichever is tighter) already prove the chase fits, the cap costs nothing
+at runtime; otherwise every derived fact counts against it and crossing it
+raises :class:`~repro.errors.BudgetExceeded` immediately instead of
+grinding on a blowup (lint finding ``CC002`` predicts this).  The
+``"auto"`` backend additionally consults the complexity tier: bounded runs
+of non-elementary-tier (uncertified) sets get a default fact budget so a
+runaway chase fails fast.
 
 Nulls are ground Skolem terms, exactly as in the single-pass engines, so
 re-firing a trigger re-derives the *same* fact and the fixpoint is
@@ -58,6 +64,7 @@ from repro.engine.matching import find_delta_matches, find_matches
 
 if TYPE_CHECKING:
     from repro.analysis.acyclicity import TerminationClass
+    from repro.analysis.frontier import ComplexityTier
     from repro.analysis.termination import TerminationReport
 
 
@@ -79,6 +86,8 @@ class FixpointChaseResult:
     termination_class: "TerminationClass | None" = None
     #: The backend that actually executed the run ("tuple"/"columnar"/"sql").
     backend: str = "tuple"
+    #: The complexity tier the "auto" policy consulted (None otherwise).
+    tier: "ComplexityTier | None" = None
 
     def __iter__(self) -> "Iterator[Atom]":
         return iter(self.instance)
@@ -135,8 +144,11 @@ def fixpoint_chase(
     the same fixpoint, though a round there only sees the previous round's
     facts, so bounded runs can need more rounds than the tuple engine), or
     ``"auto"`` (:func:`repro.engine.dispatch.choose_backend` picks by
-    instance size and the static certification).  The result's ``backend``
-    field records which engine actually ran.
+    instance size, the static certification, and the complexity tier:
+    PTIME-tier programs reach SQL pushdown at a lower threshold, and
+    bounded runs of non-elementary-tier programs get a default fact
+    budget).  The result's ``backend`` and ``tier`` fields record which
+    engine actually ran and which tier the policy consulted.
     """
     from repro.analysis.termination import termination_report
 
@@ -153,7 +165,7 @@ def fixpoint_chase(
             raise ChaseError(
                 "no rung of the termination hierarchy certifies the dependency "
                 "set (lint finding TD001: not weakly, jointly, or super-weakly "
-                "acyclic, and MFA found "
+                "acyclic, not MFA even per stratum, and MFA found "
                 + (
                     f"the cyclic term {hierarchy.mfa_cyclic_term}"
                     if hierarchy.mfa_cyclic_term is not None
@@ -167,15 +179,23 @@ def fixpoint_chase(
     enforce_budget = budget is not None
     predicted: int | None = None
     total_facts = 0
-    if budget is not None:
-        from repro.analysis.cost import chase_cost
+    frontier = None
+    if budget is not None or backend == "auto":
+        # Both the budget check and the "auto" policy want the frontier
+        # certificate: the former for the tightest static fact bound, the
+        # latter for the complexity tier.
+        from repro.analysis.frontier import frontier_report
 
         if hierarchy is None:
             from repro.analysis.acyclicity import classify_termination
 
             hierarchy = classify_termination(deps, weak=verdict)
+        frontier = frontier_report(deps, verdict=hierarchy)
+    if budget is not None and frontier is not None:
+        from repro.analysis.cost import chase_budget
+
         domain = {value for fact in instance for value in fact.args}
-        predicted = chase_cost(deps, verdict=hierarchy).fact_bound(len(domain))
+        predicted = chase_budget(deps, len(domain), verdict=hierarchy)
         if predicted is not None and predicted <= budget:
             enforce_budget = False  # statically certified to fit the budget
         total_facts = len(instance)
@@ -198,7 +218,21 @@ def fixpoint_chase(
         clauses=clauses,
         certified=certified,
         needs_fact_stream=fact_hook is not None,
+        tier=frontier.tier.tier if frontier is not None else None,
     )
+    if budget is None and choice.forced_budget is not None:
+        # "auto" caps bounded runs of non-elementary-tier sets; no static
+        # bound exists for them, so the cap is always enforced.
+        budget = choice.forced_budget
+        enforce_budget = True
+        total_facts = len(instance)
+        if total_facts > budget:
+            raise BudgetExceeded(
+                "fixpoint chase", budget, predicted=None,
+                hint="The input instance alone exceeds the automatic budget "
+                "imposed on non-elementary-tier programs; pass budget= "
+                "explicitly to raise it.",
+            )
 
     def finish(result: Instance, rounds: int, reached: bool) -> FixpointChaseResult:
         if hierarchy is not None:
@@ -216,6 +250,7 @@ def fixpoint_chase(
             termination=verdict,
             termination_class=termination_class,
             backend=choice.backend,
+            tier=choice.tier,
         )
 
     if choice.backend == "columnar":

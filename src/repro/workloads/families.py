@@ -89,6 +89,80 @@ TREE_FAMILY = InstanceFamily("binary-tree", binary_tree_instance)
 """Complete binary trees: branching sources with logarithmic diameter."""
 
 
+# --------------------------------------------- dependency-set witness families
+#
+# One generator per rung of the decidability frontier: programs the static
+# analyzer places at a specific tier (or that only the stratified-MFA rung
+# decides), used by the frontier benchmarks and the dispatch tests.
+
+
+def ladder_tgds(depth: int = 3):
+    """The existential ladder ``T_i(x,y) -> exists z . T_{i+1}(y,z)``.
+
+    Weakly acyclic with coarse chase-size degree ``2 * 2^depth`` (finding
+    ``CC002`` for depth >= 2 under the old single-bucket model), but the
+    per-relation degree program of :mod:`repro.analysis.frontier` certifies
+    Fibonacci-growing relation degrees (2, 3, 5, 8, ...): at the default
+    depth 3 the maximum degree is 8, inside the PTIME tier (``CC003``).
+    """
+    from repro.logic.parser import parse_tgd
+
+    return [
+        parse_tgd(f"T{i}(x,y) -> exists z . T{i + 1}(y,z)") for i in range(depth)
+    ]
+
+
+def ladder_instance(n: int, relation: str = "T0") -> Instance:
+    """A linear ``T0`` path of *n* edges seeding :func:`ladder_tgds`."""
+    from repro.logic.atoms import Atom
+    from repro.logic.values import Constant
+
+    return Instance(
+        Atom(relation, (Constant(f"v{i}"), Constant(f"v{i + 1}")))
+        for i in range(n)
+    )
+
+
+LADDER_FAMILY = InstanceFamily("ladder", ladder_instance)
+"""Linear seeds for the PTIME-tier ladder program."""
+
+
+def stratified_chain_tgds(length: int = 40):
+    """An MFA gadget bridged into a long certified pipeline.
+
+    The gadget (``A -> exists y . L``, ``L & B -> exists w . A``) is
+    MFA-certified only; the bridge feeds a chain of *length* existential
+    steps ``S_i(x) -> exists y . S_{i+1}(y)``.  The *global* critical chase
+    needs more than *length* rounds, so for length beyond the MFA round
+    budget (32) the monolithic verdict is inconclusive (``TD001``) -- but
+    every dependency-level stratum is tiny and certified, so
+    :func:`repro.analysis.acyclicity.stratified_mfa` admits the set.
+    """
+    from repro.logic.parser import parse_tgd
+
+    deps = [
+        parse_tgd("A(x) -> exists y . L(x,y)"),
+        parse_tgd("L(x,y) & B(y) -> exists w . A(w)"),
+        parse_tgd("L(x,y) -> S0(x)"),
+    ]
+    deps.extend(
+        parse_tgd(f"S{i}(x) -> exists y . S{i + 1}(y)") for i in range(length)
+    )
+    return deps
+
+
+def stratified_chain_instance(n: int) -> Instance:
+    """Seeds for :func:`stratified_chain_tgds`: n ``A``/``B`` pairs."""
+    from repro.logic.atoms import Atom
+    from repro.logic.values import Constant
+
+    facts = []
+    for i in range(max(n, 1)):
+        facts.append(Atom("A", (Constant(f"a{i}"),)))
+        facts.append(Atom("B", (Constant(f"b{i}"),)))
+    return Instance(facts)
+
+
 __all__ = [
     "InstanceFamily",
     "SUCCESSOR_FAMILY",
@@ -99,4 +173,9 @@ __all__ = [
     "successor_with_singleton",
     "star_instance",
     "binary_tree_instance",
+    "LADDER_FAMILY",
+    "ladder_tgds",
+    "ladder_instance",
+    "stratified_chain_tgds",
+    "stratified_chain_instance",
 ]
