@@ -316,6 +316,47 @@ def engine_counters() -> None:
     )
 
 
+def cache_persistence() -> None:
+    section("CACHE -- persistent store: cold vs warm-restart (repro.cache)")
+    import tempfile
+
+    import repro.cache as cache
+
+    tau_workload = [(TAU_P,), (TAU_PP,)]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache.configure(tmp)
+        try:
+            cache.clear_all_caches()
+            with perf.measuring() as cold:
+                for (lhs,) in tau_workload:
+                    implies_tgd([lhs], TAU)
+            # Warm restart: memory tiers dropped, disk tier kept -- the state
+            # a fresh process inherits from a populated REPRO_CACHE_DIR.
+            cache.clear_all_caches(disk=False)
+            with perf.measuring() as warm:
+                for (lhs,) in tau_workload:
+                    implies_tgd([lhs], TAU)
+            stats = cache.cache_stats()
+            print(
+                f"cold run:  disk misses = {cold.get('cache.disk.misses')}, "
+                f"writes = {cold.get('cache.disk.writes')}, "
+                f"write bytes = {cold.get('cache.disk.write_bytes')}"
+            )
+            print(
+                f"warm run:  disk hits = {warm.get('cache.disk.hits')}, "
+                f"verdict hits = {warm.get('implies.verdict_disk_hits')}, "
+                f"read bytes = {warm.get('cache.disk.read_bytes')} "
+                f"(re-chases nothing, re-sweeps nothing)"
+            )
+            print(
+                f"store: {stats['entries']} entries, "
+                f"{stats['size_bytes']} bytes on disk, "
+                f"lifetime counters = {stats['counters']}"
+            )
+        finally:
+            cache.configure()
+
+
 def extensions() -> None:
     section("EXT -- composition, certain answers, SQL, unfoldings")
     from repro.core.unfoldings import unfolding
@@ -396,6 +437,7 @@ def main() -> None:
     scaling()
     ablations()
     engine_counters()
+    cache_persistence()
     extensions()
     print("\ndone.")
 

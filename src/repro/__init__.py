@@ -130,6 +130,7 @@ from repro.core import (
     one_patterns,
     path_length_bound,
 )
+from repro.cache import cache_stats, clear_all_caches
 
 __version__ = "1.0.0"
 
@@ -168,4 +169,6 @@ __all__ = [
     "path_length_bound",
     # extensions
     "compose", "certain_answers", "parse_query", "cq_equivalent", "optimize",
+    # persistence (repro.cache)
+    "clear_all_caches", "cache_stats",
 ]

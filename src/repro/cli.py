@@ -12,6 +12,7 @@ profile     f-block / f-degree / path-length profile along a family
 optimize    redundancy removal + tgd normalization
 lint        static analysis: termination verdict + structural lints
 analyze     decidability-frontier certificate (tier + guards) as JSON
+cache       inspect / clear / vacuum the persistent cache store as JSON
 
 Dependencies are given as text (see repro/logic/parser.py); s-t tgds and
 nested tgds are auto-detected, SO tgds are recognized by function terms or
@@ -318,6 +319,35 @@ def cmd_analyze(args) -> int:
     return 0 if report.certified else 1
 
 
+def cmd_cache(args) -> int:
+    """Inspect or maintain the persistent cache store (repro.cache).
+
+    Output is deterministic JSON (sorted keys, stable shape): the store
+    path, schema version, enabled spaces, per-space entry counts, lifetime
+    hit/miss counters, and on-disk size.  ``clear`` drops every entry;
+    ``vacuum`` reclaims file space after evictions.  Without a configured
+    store (no ``REPRO_CACHE_DIR`` and no ``--dir``), ``stats`` reports
+    ``enabled: false`` and the maintenance actions exit 1.
+    """
+    import json
+
+    from repro.cache import cache_stats, configure, get_store
+
+    if args.dir:
+        configure(args.dir)
+    if args.action != "stats":
+        store = get_store()
+        if store is None:
+            print(json.dumps({"enabled": False, "path": None}, sort_keys=True, indent=2))
+            return 1
+        if args.action == "clear":
+            store.clear()
+        else:
+            store.vacuum()
+    print(json.dumps(cache_stats(), sort_keys=True, indent=2))
+    return 0
+
+
 def cmd_optimize(args) -> int:
     from repro.core.normalization import optimize
 
@@ -432,6 +462,21 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser = sub.add_parser("optimize", help="minimize a mapping")
     _add_dependency_arguments(optimize_parser)
     optimize_parser.set_defaults(func=cmd_optimize)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or maintain the persistent cache store"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=["stats", "clear", "vacuum"],
+        help="stats: print store statistics; clear: drop all entries; "
+        "vacuum: reclaim on-disk space",
+    )
+    cache_parser.add_argument(
+        "--dir",
+        help="cache directory (defaults to the REPRO_CACHE_DIR environment variable)",
+    )
+    cache_parser.set_defaults(func=cmd_cache)
 
     sql_parser = sub.add_parser("sql", help="compile a nested GLAV mapping to SQL")
     _add_dependency_arguments(sql_parser)

@@ -41,13 +41,25 @@ Engine-level accelerations on top of the paper's procedure:
   ``implies.sweep.incremental_hits``.
 - an optional **parallel pattern sweep** (``parallel=N``): the per-pattern
   checks fan out over a ``multiprocessing`` fork pool in work-stealing index
-  chunks.  Workers receive only integer ranges (the pattern DAG is a module
-  global inherited by fork, so no Instance is ever pickled), rebuild chase
-  states from the spec on demand with worker-local memoization, and return
-  only (index, failed) flags.  The first failing pattern *in enumeration
-  order* is reported, with diagnostics replayed deterministically in the
-  parent, so the verdict, ``patterns_checked``, and the counterexample agree
-  exactly with the serial sweep.
+  chunks.  Workers receive only integer ranges -- the sweep spec (pattern
+  DAG or pattern list, Sigma, clause programs) is published once into a
+  :mod:`repro.cache.shm` shared-memory segment that each worker attaches
+  and deserializes once, so no pattern or instance is ever pickled per
+  task.  Workers rebuild chase states from the spec on demand with
+  worker-local memoization and return only (index, failed) flags.  The
+  first failing pattern *in enumeration order* is reported, with
+  diagnostics replayed deterministically in the parent, so the verdict,
+  ``patterns_checked``, and the counterexample agree exactly with the
+  serial sweep.
+- optional **persistent tiers** (:mod:`repro.cache`, enabled by
+  ``REPRO_CACHE_DIR`` or ``repro.cache.configure``): chase-cache misses
+  consult a fingerprint-keyed on-disk store before chasing, every computed
+  chase is written through, and whole IMPLIES verdicts (result, failing
+  pattern, counterexamples) are stored under a fingerprint of
+  (Sigma, sigma, source egds, k, sweep mode) -- a warm restart answers a
+  repeated query without enumerating a single pattern.  Keys are
+  content-derived (hash-seed independent), and the disk tiers sit strictly
+  behind the in-memory ones, so the hot path is unchanged when disabled.
 """
 
 from __future__ import annotations
@@ -58,6 +70,13 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro import perf
+from repro.cache import SPACE_CHASE, SPACE_IMPLIES, disk_get, disk_put, get_store
+from repro.cache import shm as cache_shm
+from repro.cache.fingerprint import (
+    combine_fingerprints,
+    fingerprint_facts,
+    fingerprint_texts,
+)
 from repro.errors import DependencyError, ResourceLimitExceeded
 from repro.logic import intern
 from repro.logic.atoms import Atom
@@ -212,6 +231,47 @@ def _cache_store(key: tuple, result: Instance) -> None:
         _CHASE_CACHE.popitem(last=False)
 
 
+# Sigma fingerprints are repr tuples (hashable, process-local); the disk
+# tiers need content digests.  Memoized because one sweep re-digests the
+# same tuple at every cache-miss hook point.
+_SIGMA_DIGESTS: dict[tuple[str, ...], str] = {}
+
+
+def _sigma_digest(fingerprint: tuple[str, ...]) -> str:
+    digest = _SIGMA_DIGESTS.get(fingerprint)
+    if digest is None:
+        if len(_SIGMA_DIGESTS) > 256:
+            _SIGMA_DIGESTS.clear()
+        digest = fingerprint_texts(fingerprint)
+        _SIGMA_DIGESTS[fingerprint] = digest
+    return digest
+
+
+def _disk_chase_get(
+    source_facts: Iterable[Atom], fingerprint: tuple[str, ...]
+) -> Instance | None:
+    """Look a chase result up in the persistent tier (behind the LRU miss)."""
+    if get_store() is None:
+        return None
+    key = combine_fingerprints(fingerprint_facts(source_facts), _sigma_digest(fingerprint))
+    payload = disk_get(SPACE_CHASE, key)
+    if not isinstance(payload, tuple) or not all(
+        isinstance(fact, Atom) for fact in payload
+    ):
+        return None
+    return Instance(payload)
+
+
+def _disk_chase_put(
+    source_facts: Iterable[Atom], fingerprint: tuple[str, ...], result: Instance
+) -> None:
+    """Write one computed chase through to the persistent tier."""
+    if get_store() is None:
+        return
+    key = combine_fingerprints(fingerprint_facts(source_facts), _sigma_digest(fingerprint))
+    disk_put(SPACE_CHASE, key, tuple(sorted(result.facts, key=repr)))
+
+
 def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...]) -> Instance:
     key = (source.facts, fingerprint)
     cached = _CHASE_CACHE.get(key)
@@ -220,7 +280,10 @@ def _cached_chase(source: Instance, lhs: Sequence, fingerprint: tuple[str, ...])
         perf.incr("implies.cache_hits")
         return cached
     perf.incr("implies.cache_misses")
-    result = chase(source, lhs)
+    result = _disk_chase_get(source.facts, fingerprint)
+    if result is None:
+        result = chase(source, lhs)
+        _disk_chase_put(source.facts, fingerprint, result)
     _cache_store(key, result)
     return result
 
@@ -490,9 +553,14 @@ def _root_sweep_state(
         chased, chase_builder = cached, None
     else:
         perf.incr("implies.cache_misses")
-        chase_builder = InstanceBuilder()
-        chase_builder.add_all(run_clause_program(clauses, source_builder))
-        chased = chase_builder.freeze()
+        disk_hit = _disk_chase_get(source_facts, fingerprint)
+        if disk_hit is not None:
+            chased, chase_builder = disk_hit, None
+        else:
+            chase_builder = InstanceBuilder()
+            chase_builder.add_all(run_clause_program(clauses, source_builder))
+            chased = chase_builder.freeze()
+            _disk_chase_put(source_facts, fingerprint, chased)
         _cache_store(key, chased)
     return _SweepState(
         tree, factory, source_builder, source_facts, chased, chase_builder,
@@ -527,14 +595,21 @@ def _extend_sweep_state(
         chased, chase_builder = cached, None
     else:
         perf.incr("implies.cache_misses")
-        perf.incr("implies.sweep.incremental_hits")
-        if parent.chase_builder is not None:
-            chase_builder = parent.chase_builder.copy()
+        disk_hit = _disk_chase_get(source_facts, fingerprint)
+        if disk_hit is not None:
+            chased, chase_builder = disk_hit, None
         else:
-            chase_builder = InstanceBuilder(parent.chased)
-        if delta:
-            chase_builder.add_all(run_clause_program_delta(clauses, source_builder, delta))
-        chased = chase_builder.freeze()
+            perf.incr("implies.sweep.incremental_hits")
+            if parent.chase_builder is not None:
+                chase_builder = parent.chase_builder.copy()
+            else:
+                chase_builder = InstanceBuilder(parent.chased)
+            if delta:
+                chase_builder.add_all(
+                    run_clause_program_delta(clauses, source_builder, delta)
+                )
+            chased = chase_builder.freeze()
+            _disk_chase_put(source_facts, fingerprint, chased)
         _cache_store(key, chased)
     return _SweepState(
         tree, factory, source_builder, source_facts, chased, chase_builder, targets
@@ -607,10 +682,14 @@ def _replay_state(
 # ---------------------------------------------- parallel work-stealing sweep
 
 #: The sweep spec shared with fork workers: (entries, rhs, clauses,
-#: fingerprint).  Set in the parent immediately before the pool forks;
-#: workers read it from inherited memory, so no pattern or instance is ever
-#: pickled -- tasks and results are plain integers and booleans.
+#: fingerprint).  The parent publishes it once into a shared-memory segment
+#: (:mod:`repro.cache.shm`) before the pool forks; each worker attaches and
+#: deserializes it once, re-interning onto the fork-inherited tables.  When
+#: shared memory is unavailable the spec rides along as a plain module
+#: global inherited by fork.  Either way, tasks and results stay plain
+#: integers and booleans -- no pattern or instance is pickled per task.
 _INCR_SPEC: tuple | None = None
+_INCR_HANDLE: cache_shm.ShmHandle | None = None
 
 #: Worker-local memo of rebuilt sweep states, keyed by spec index.
 _WORKER_STATES: dict[int, _SweepState] = {}
@@ -621,10 +700,18 @@ def _init_incr_worker() -> None:
     _WORKER_STATES = {}
 
 
+def _incr_spec() -> tuple:
+    if _INCR_HANDLE is not None:
+        spec = cache_shm.attach(_INCR_HANDLE)
+        assert isinstance(spec, tuple)
+        return spec
+    assert _INCR_SPEC is not None
+    return _INCR_SPEC
+
+
 def _incr_worker(chunk: tuple[int, int]) -> tuple[int, list[bool]]:
     start, end = chunk
-    assert _INCR_SPEC is not None
-    entries, rhs, clauses, fingerprint = _INCR_SPEC
+    entries, rhs, clauses, fingerprint = _incr_spec()
     fails: list[bool] = []
     for index in range(start, end):
         state = _replay_state(index, entries, rhs, clauses, fingerprint, _WORKER_STATES)
@@ -648,7 +735,7 @@ def _sweep_incremental_parallel(
     to the serial sweep: the failing pattern is the enumeration-order first,
     and its counterexample instances are replayed deterministically.
     """
-    global _INCR_SPEC
+    global _INCR_SPEC, _INCR_HANDLE
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: fall back to the serial sweep
@@ -663,7 +750,12 @@ def _sweep_incremental_parallel(
               for start in range(0, total, chunk_size)]
     fail_index: int | None = None
     arrived: set[int] = set()
-    _INCR_SPEC = (entries, rhs, clauses, fingerprint)
+    spec = (entries, rhs, clauses, fingerprint)
+    handle = cache_shm.publish(spec)
+    if handle is not None:
+        _INCR_HANDLE = handle
+    else:
+        _INCR_SPEC = spec
     try:
         with context.Pool(processes=workers, initializer=_init_incr_worker) as pool:
             for start, fails in pool.imap_unordered(_incr_worker, chunks):
@@ -681,6 +773,8 @@ def _sweep_incremental_parallel(
                     break
     finally:
         _INCR_SPEC = None
+        _INCR_HANDLE = None
+        cache_shm.unlink(handle)
     if fail_index is None:
         return ImplicationResult(holds=True, k=k, patterns_checked=total)
     state = _replay_state(fail_index, entries, rhs, clauses, fingerprint)
@@ -696,17 +790,28 @@ def _sweep_incremental_parallel(
 
 # ------------------------------------------------------- from-scratch sweep
 
-_WORKER_STATE: tuple | None = None
+#: The from-scratch sweep spec: (patterns, lhs, rhs, source_egds,
+#: fingerprint).  Published once into shared memory (or, when that is
+#: unavailable, left in this fork-inherited global); workers receive plain
+#: pattern indexes as tasks instead of pickled patterns.
+_SCRATCH_SPEC: tuple | None = None
+_SCRATCH_HANDLE: cache_shm.ShmHandle | None = None
 
 
-def _init_pattern_worker(lhs, rhs, source_egds, fingerprint) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (lhs, rhs, source_egds, fingerprint)
+def _scratch_spec() -> tuple:
+    if _SCRATCH_HANDLE is not None:
+        spec = cache_shm.attach(_SCRATCH_HANDLE)
+        assert isinstance(spec, tuple)
+        return spec
+    assert _SCRATCH_SPEC is not None
+    return _SCRATCH_SPEC
 
 
-def _pattern_worker(pattern: Pattern) -> tuple[bool, Instance | None, Instance | None]:
-    lhs, rhs, source_egds, fingerprint = _WORKER_STATE
-    fails, source, target = _check_pattern(pattern, lhs, rhs, source_egds, fingerprint)
+def _pattern_worker(index: int) -> tuple[bool, Instance | None, Instance | None]:
+    patterns, lhs, rhs, source_egds, fingerprint = _scratch_spec()
+    fails, source, target = _check_pattern(
+        patterns[index], lhs, rhs, source_egds, fingerprint
+    )
     if not fails:
         return False, None, None
     return True, source, target
@@ -727,33 +832,41 @@ def _sweep_parallel(
     failing pattern (and the ``patterns_checked`` count up to it) is exactly
     the serial one; at most one chunk of extra work runs past a failure.
     """
+    global _SCRATCH_SPEC, _SCRATCH_HANDLE
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: fall back to the serial sweep
         return _sweep_serial(patterns, lhs, rhs, source_egds, fingerprint, k)
     chunk_size = max(1, 2 * workers)
     checked = 0
-    with context.Pool(
-        processes=workers,
-        initializer=_init_pattern_worker,
-        initargs=(list(lhs), rhs, list(source_egds), fingerprint),
-    ) as pool:
-        for start in range(0, len(patterns), chunk_size):
-            batch = patterns[start:start + chunk_size]
-            perf.incr("implies.parallel_chunks")
-            for offset, (fails, source, target) in enumerate(
-                pool.map(_pattern_worker, batch)
-            ):
-                checked += 1
-                if fails:
-                    return ImplicationResult(
-                        holds=False,
-                        k=k,
-                        patterns_checked=checked,
-                        failing_pattern=batch[offset],
-                        counterexample_source=source,
-                        counterexample_target=target,
-                    )
+    spec = (tuple(patterns), list(lhs), rhs, list(source_egds), fingerprint)
+    handle = cache_shm.publish(spec)
+    if handle is not None:
+        _SCRATCH_HANDLE = handle
+    else:
+        _SCRATCH_SPEC = spec
+    try:
+        with context.Pool(processes=workers) as pool:
+            for start in range(0, len(patterns), chunk_size):
+                batch = range(start, min(start + chunk_size, len(patterns)))
+                perf.incr("implies.parallel_chunks")
+                for offset, (fails, source, target) in enumerate(
+                    pool.map(_pattern_worker, batch)
+                ):
+                    checked += 1
+                    if fails:
+                        return ImplicationResult(
+                            holds=False,
+                            k=k,
+                            patterns_checked=checked,
+                            failing_pattern=patterns[start + offset],
+                            counterexample_source=source,
+                            counterexample_target=target,
+                        )
+    finally:
+        _SCRATCH_SPEC = None
+        _SCRATCH_HANDLE = None
+        cache_shm.unlink(handle)
     return ImplicationResult(holds=True, k=k, patterns_checked=checked)
 
 
@@ -779,6 +892,73 @@ def _sweep_serial(
                 counterexample_target=target,
             )
     return ImplicationResult(holds=True, k=k, patterns_checked=checked)
+
+
+# ------------------------------------------------------ persistent verdicts
+
+def _verdict_key(
+    fingerprint: tuple[str, ...],
+    rhs: NestedTgd,
+    source_egds: Sequence[Egd],
+    k: int,
+    incremental: bool,
+) -> str:
+    """The disk key of one full IMPLIES verdict.
+
+    Includes every input that can change the result *or its diagnostics*:
+    Sigma (repr fingerprint), sigma, the source egds, the clone bound, and
+    the sweep mode -- incremental and from-scratch sweeps agree on the
+    verdict but may report different (equally valid) counterexamples, and a
+    cached result must be indistinguishable from a recomputed one.  The
+    leading component pins a format version and the component counts, so
+    concatenated reprs cannot alias across the egd/lhs boundary.
+    """
+    mode = "incremental" if incremental else "scratch"
+    return fingerprint_texts((
+        f"implies-v1:k={k}:mode={mode}:lhs={len(fingerprint)}",
+        *fingerprint,
+        repr(rhs),
+        *[repr(egd) for egd in source_egds],
+    ))
+
+
+def _facts_payload(instance: Instance | None) -> tuple[Atom, ...] | None:
+    if instance is None:
+        return None
+    return tuple(sorted(instance.facts, key=repr))
+
+
+def _disk_verdict_get(key: str) -> ImplicationResult | None:
+    payload = disk_get(SPACE_IMPLIES, key)
+    if not isinstance(payload, tuple) or len(payload) != 6:
+        return None
+    holds, k, checked, failing, source_facts, target_facts = payload
+    if not isinstance(holds, bool) or not isinstance(k, int) or not isinstance(checked, int):
+        return None
+    perf.incr("implies.verdict_disk_hits")
+    return ImplicationResult(
+        holds=holds,
+        k=k,
+        patterns_checked=checked,
+        failing_pattern=failing,
+        counterexample_source=None if source_facts is None else Instance(source_facts),
+        counterexample_target=None if target_facts is None else Instance(target_facts),
+    )
+
+
+def _disk_verdict_put(key: str, result: ImplicationResult) -> None:
+    disk_put(
+        SPACE_IMPLIES,
+        key,
+        (
+            result.holds,
+            result.k,
+            result.patterns_checked,
+            result.failing_pattern,
+            _facts_payload(result.counterexample_source),
+            _facts_payload(result.counterexample_target),
+        ),
+    )
 
 
 def implies_tgd(
@@ -872,19 +1052,39 @@ def implies_tgd(
         )
 
     try:
-        if incremental:
-            if max_patterns is not None:
-                from repro.core.patterns import count_k_patterns
+        from repro.core.patterns import count_k_patterns
 
-                if count_k_patterns(rhs, k) > max_patterns:
-                    raise ResourceLimitExceeded("patterns", max_patterns)
+        # Persistent verdict tier: a warm process answers a repeated query
+        # without enumerating a single pattern.  Consulted only after the
+        # budget pre-flight (BudgetExceeded must still raise) and only when
+        # the sweep would fit max_patterns (ResourceLimitExceeded must still
+        # raise), so resource-limit semantics match the cache-off path.
+        verdict_key: str | None = None
+        store = get_store()
+        if store is not None and store.enabled(SPACE_IMPLIES):
+            if max_patterns is None or count_k_patterns(rhs, k) <= max_patterns:
+                verdict_key = _verdict_key(fingerprint, rhs, source_egds, k, incremental)
+                cached_verdict = _disk_verdict_get(verdict_key)
+                if cached_verdict is not None:
+                    return cached_verdict
+        if incremental:
+            if max_patterns is not None and count_k_patterns(rhs, k) > max_patterns:
+                raise ResourceLimitExceeded("patterns", max_patterns)
             if parallel and parallel > 1:
-                return _sweep_incremental_parallel(lhs, rhs, fingerprint, k, parallel)
-            return _sweep_incremental_serial(lhs, rhs, fingerprint, k)
-        patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
-        if parallel and parallel > 1 and len(patterns) > 1:
-            return _sweep_parallel(patterns, lhs, rhs, source_egds, fingerprint, k, parallel)
-        return _sweep_serial(patterns, lhs, rhs, source_egds, fingerprint, k)
+                result = _sweep_incremental_parallel(lhs, rhs, fingerprint, k, parallel)
+            else:
+                result = _sweep_incremental_serial(lhs, rhs, fingerprint, k)
+        else:
+            patterns = enumerate_k_patterns(rhs, k, max_patterns=max_patterns)
+            if parallel and parallel > 1 and len(patterns) > 1:
+                result = _sweep_parallel(
+                    patterns, lhs, rhs, source_egds, fingerprint, k, parallel
+                )
+            else:
+                result = _sweep_serial(patterns, lhs, rhs, source_egds, fingerprint, k)
+        if verdict_key is not None:
+            _disk_verdict_put(verdict_key, result)
+        return result
     finally:
         if presized:
             _set_chase_cache_limit(prior_cache_limit)

@@ -45,7 +45,10 @@ class Pattern:
     and by interning it is also pointer identity.
     """
 
-    __slots__ = ("part_id", "children", "_hash", "_sort_key", "_node_count", "__weakref__")
+    __slots__ = (
+        "part_id", "children", "_hash", "_sort_key", "_node_count",
+        "_dense_id", "__weakref__",
+    )
 
     part_id: int
     children: tuple["Pattern", ...]
@@ -75,6 +78,7 @@ class Pattern:
             "_node_count",
             1 + sum(child._node_count for child in children),
         )
+        object.__setattr__(candidate, "_dense_id", intern.next_dense_id("Pattern"))
         return intern.intern_into(_PATTERNS, key, candidate)
 
     def __setattr__(self, attr: str, value: object) -> None:
@@ -96,6 +100,11 @@ class Pattern:
     @property
     def node_count(self) -> int:
         return self._node_count
+
+    @property
+    def dense_id(self) -> int:
+        """The per-kind dense intern id (see :func:`repro.logic.intern.next_dense_id`)."""
+        return self._dense_id
 
     def subtrees(self) -> Iterator["Pattern"]:
         """Yield every subtree (closed under the child relation), preorder."""

@@ -52,9 +52,18 @@ restart per elimination -- is preserved as
   detected by equal canonical forms.
 - **Parallel local folding** (``core(instance, parallel=N)``): uncached
   block folds are dispatched to a fork-based process pool (mirroring the
-  IMPLIES pattern sweep); results land in the shared LRU.  A fold is a
-  deterministic function of the canonical form, so parallel and serial runs
-  return identical cores.
+  IMPLIES pattern sweep); results land in the shared LRU.  The canonical
+  blocks are published to the workers once through a
+  :mod:`repro.cache.shm` shared-memory segment (workers receive integer
+  indexes, not pickled fact tuples), with the pre-shm pickling path kept
+  as a fallback.  A fold is a deterministic function of the canonical
+  form, so parallel and serial runs return identical cores.
+- **Persistent fold tier** (:mod:`repro.cache`, enabled by
+  ``REPRO_CACHE_DIR`` / ``repro.cache.configure``): canonical blocks are
+  already process-independent (nulls renamed to ``Null(("#", i))``), so a
+  memo miss consults an on-disk store keyed by the block's content
+  fingerprint before folding, and computed folds are written through.
+  Disabled by default; the in-memory LRU stays the only tier on hot paths.
 """
 
 from __future__ import annotations
@@ -64,6 +73,9 @@ from collections import OrderedDict, deque
 from typing import Iterable, Sequence
 
 from repro import perf
+from repro.cache import SPACE_FOLD, disk_get, disk_put, get_store
+from repro.cache import shm as cache_shm
+from repro.cache.fingerprint import fingerprint_fact_sequence
 from repro.engine.builder import InstanceBuilder
 from repro.engine.gaifman import fact_blocks
 from repro.engine.hom_kernel import block_homomorphism
@@ -231,6 +243,25 @@ def _canonical_block(facts: Sequence[Atom]) -> tuple[tuple[Atom, ...], dict] | N
     return best, best_labeling
 
 
+def _disk_fold_get(key: tuple[Atom, ...]) -> tuple[Atom, ...] | None:
+    """Look a canonical-block fold up in the persistent tier."""
+    if get_store() is None:
+        return None
+    payload = disk_get(SPACE_FOLD, fingerprint_fact_sequence(key))
+    if not isinstance(payload, tuple) or not all(
+        isinstance(fact, Atom) for fact in payload
+    ):
+        return None
+    return payload
+
+
+def _disk_fold_put(key: tuple[Atom, ...], folded: tuple[Atom, ...]) -> None:
+    """Write one computed fold through to the persistent tier."""
+    if get_store() is None:
+        return
+    disk_put(SPACE_FOLD, fingerprint_fact_sequence(key), folded)
+
+
 def _fold_block(
     block: Sequence[Atom], canon: tuple[tuple[Atom, ...], dict] | None
 ) -> tuple[Atom, ...]:
@@ -244,10 +275,29 @@ def _fold_block(
         perf.incr("core.memo_hits")
     else:
         perf.incr("core.memo_misses")
-        cached = _fold_facts(key)
+        cached = _disk_fold_get(key)
+        if cached is None:
+            cached = _fold_facts(key)
+            _disk_fold_put(key, cached)
         _store_fold(key, cached)
     inverse = {label: null for null, label in labeling.items()}
     return tuple(fact.rename_values(inverse) for fact in cached)
+
+
+#: Canonical blocks published to prefold workers (shared-memory segment, or
+#: this fork-inherited global as the fallback); tasks are plain indexes.
+_PREFOLD_KEYS: tuple[tuple[Atom, ...], ...] | None = None
+_PREFOLD_HANDLE: "cache_shm.ShmHandle | None" = None
+
+
+def _prefold_worker(index: int) -> tuple[Atom, ...]:
+    if _PREFOLD_HANDLE is not None:
+        keys = cache_shm.attach(_PREFOLD_HANDLE)
+        assert isinstance(keys, tuple)
+    else:
+        assert _PREFOLD_KEYS is not None
+        keys = _PREFOLD_KEYS
+    return _fold_facts(keys[index])
 
 
 def _prefold_parallel(keys: list[tuple[Atom, ...]], workers: int) -> None:
@@ -255,16 +305,29 @@ def _prefold_parallel(keys: list[tuple[Atom, ...]], workers: int) -> None:
     import concurrent.futures
     import multiprocessing
 
+    global _PREFOLD_KEYS, _PREFOLD_HANDLE
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:
         return
     perf.incr("core.parallel_blocks", len(keys))
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        for key, folded in zip(keys, pool.map(_fold_facts, keys)):
-            _store_fold(key, folded)
+    spec = tuple(keys)
+    handle = cache_shm.publish(spec)
+    if handle is not None:
+        _PREFOLD_HANDLE = handle
+    else:
+        _PREFOLD_KEYS = spec
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            for key, folded in zip(keys, pool.map(_prefold_worker, range(len(keys)))):
+                _store_fold(key, folded)
+                _disk_fold_put(key, folded)
+    finally:
+        _PREFOLD_KEYS = None
+        _PREFOLD_HANDLE = None
+        cache_shm.unlink(handle)
 
 
 def core(instance: Instance, parallel: int | None = None) -> Instance:

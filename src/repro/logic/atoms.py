@@ -25,7 +25,7 @@ _ATOMS = intern.new_table()
 class Atom:
     """An atom ``relation(*args)``; immutable, hashable, and interned."""
 
-    __slots__ = ("relation", "args", "_hash", "_varset", "__weakref__")
+    __slots__ = ("relation", "args", "_hash", "_varset", "_dense_id", "__weakref__")
 
     relation: str
     args: tuple
@@ -43,6 +43,7 @@ class Atom:
         object.__setattr__(candidate, "args", args)
         object.__setattr__(candidate, "_hash", hash(key))
         object.__setattr__(candidate, "_varset", None)
+        object.__setattr__(candidate, "_dense_id", intern.next_dense_id("Atom"))
         return intern.intern_into(_ATOMS, key, candidate)
 
     def __setattr__(self, attr: str, value: object) -> None:
@@ -60,6 +61,11 @@ class Atom:
     @property
     def arity(self) -> int:
         return len(self.args)
+
+    @property
+    def dense_id(self) -> int:
+        """The per-kind dense intern id (see :func:`repro.logic.intern.next_dense_id`)."""
+        return self._dense_id
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)

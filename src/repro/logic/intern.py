@@ -23,6 +23,15 @@ arrival and the identity invariant holds across process boundaries.
 Table traffic is counted locally (two plain integers -- no per-construction
 dict update on the hot path) and published to :mod:`repro.perf` as
 ``intern.hits`` / ``intern.misses`` by :func:`publish_stats`.
+
+Beyond the tables, every interned object receives a **dense id**: a small
+per-kind integer assigned at intern time (0, 1, 2, ... in interning order).
+Dense ids are per-process -- the same term interned in two processes may get
+different ids -- but within a process they give every canonical object a
+compact, stable address, which is what the shared-memory universe publisher
+(:mod:`repro.cache.shm`) and columnar layouts index by.  Cross-process cache
+keys never use dense ids (or ``hash()``, which is seed-dependent); they use
+the content-derived fingerprints of :mod:`repro.cache.fingerprint`.
 """
 
 from __future__ import annotations
@@ -37,6 +46,11 @@ _hits = 0
 _misses = 0
 _published_hits = 0
 _published_misses = 0
+
+#: Next dense id per interned kind (class name -> next id).  Dense ids are
+#: never recycled: a weakly-collected object's id stays burned, so live ids
+#: are unique for the lifetime of the process.
+_dense_next: dict[str, int] = {}
 
 
 def new_table() -> "WeakValueDictionary[object, object]":
@@ -65,9 +79,44 @@ def note_hit() -> None:
     _hits += 1
 
 
+def next_dense_id(kind: str) -> int:
+    """Assign and return the next dense integer id for interned *kind*.
+
+    Called once per interned object, on the constructor miss path just before
+    the candidate enters its table.  Ids count up from 0 per kind; under a
+    (rare) concurrent-construction race both candidates draw an id but only
+    the table winner's id stays observable, so ids remain unique though not
+    perfectly gapless.
+    """
+    value = _dense_next.get(kind, 0)
+    _dense_next[kind] = value + 1
+    return value
+
+
+def dense_counts() -> dict[str, int]:
+    """Return the number of dense ids assigned so far, per interned kind."""
+    return dict(_dense_next)
+
+
 def stats() -> dict[str, int]:
     """Return the cumulative intern-table traffic of this process."""
     return {"hits": _hits, "misses": _misses}
+
+
+def reset_stats() -> None:
+    """Zero the local traffic counters and the publish watermark.
+
+    Part of :func:`repro.cache.clear_all_caches`: after a reset, the next
+    :func:`publish_stats` flushes only traffic accrued after the reset, so
+    tests and benchmarks measure their own interning and nothing earlier.
+    Dense-id assignment is *not* reset -- ids of live objects must stay
+    unique for the lifetime of the process.
+    """
+    global _hits, _misses, _published_hits, _published_misses
+    _hits = 0
+    _misses = 0
+    _published_hits = 0
+    _published_misses = 0
 
 
 def publish_stats() -> dict[str, int]:
@@ -92,4 +141,13 @@ def publish_stats() -> dict[str, int]:
     return {"hits": delta_hits, "misses": delta_misses}
 
 
-__all__ = ["new_table", "intern_into", "note_hit", "stats", "publish_stats"]
+__all__ = [
+    "new_table",
+    "intern_into",
+    "note_hit",
+    "next_dense_id",
+    "dense_counts",
+    "stats",
+    "reset_stats",
+    "publish_stats",
+]

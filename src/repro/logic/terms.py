@@ -31,7 +31,7 @@ class FuncTerm:
     functional terms are hashable and act as labeled nulls.
     """
 
-    __slots__ = ("function", "args", "_hash", "__weakref__")
+    __slots__ = ("function", "args", "_hash", "_dense_id", "__weakref__")
 
     function: str
     args: tuple
@@ -48,6 +48,7 @@ class FuncTerm:
         object.__setattr__(candidate, "function", function)
         object.__setattr__(candidate, "args", args)
         object.__setattr__(candidate, "_hash", hash(key))
+        object.__setattr__(candidate, "_dense_id", intern.next_dense_id("FuncTerm"))
         return intern.intern_into(_TERMS, key, candidate)
 
     def __setattr__(self, attr: str, value: object) -> None:
@@ -65,6 +66,11 @@ class FuncTerm:
     @property
     def arity(self) -> int:
         return len(self.args)
+
+    @property
+    def dense_id(self) -> int:
+        """The per-kind dense intern id (see :func:`repro.logic.intern.next_dense_id`)."""
+        return self._dense_id
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)

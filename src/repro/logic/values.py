@@ -30,10 +30,11 @@ _VARIABLES = intern.new_table()
 class _InternedLeaf:
     """Shared machinery of the three interned single-field value classes."""
 
-    __slots__ = ("name", "_hash", "__weakref__")
+    __slots__ = ("name", "_hash", "_dense_id", "__weakref__")
 
     name: Any
     _hash: int
+    _dense_id: int
 
     def __setattr__(self, attr: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -47,6 +48,11 @@ class _InternedLeaf:
     def __reduce__(self) -> tuple:
         return (type(self), (self.name,))
 
+    @property
+    def dense_id(self) -> int:
+        """The per-kind dense intern id (see :func:`repro.logic.intern.next_dense_id`)."""
+        return self._dense_id
+
 
 def _intern_leaf(cls: type, table: Any, name: object) -> Any:
     existing = table.get(name)
@@ -56,6 +62,7 @@ def _intern_leaf(cls: type, table: Any, name: object) -> Any:
     candidate = object.__new__(cls)
     object.__setattr__(candidate, "name", name)
     object.__setattr__(candidate, "_hash", hash((name,)))
+    object.__setattr__(candidate, "_dense_id", intern.next_dense_id(cls.__name__))
     return intern.intern_into(table, name, candidate)
 
 

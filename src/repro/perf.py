@@ -45,6 +45,22 @@ Counter names are dotted strings, grouped by subsystem:
                           the parent pattern's cached chase by the new
                           leaf's delta (DAG-incremental sweep), instead of
                           being re-chased from scratch
+``implies.verdict_disk_hits``  whole IMPLIES verdicts answered by the
+                          persistent verdict store (``repro.cache``)
+``cache.disk.hits``       persistent-store lookups that found a row
+``cache.disk.misses``     persistent-store lookups that found nothing
+``cache.disk.writes``     entries written through to the persistent store
+``cache.disk.read_bytes``   payload bytes read from the persistent store
+``cache.disk.write_bytes``  payload bytes written to the persistent store
+``cache.disk.evictions``  rows LRU-evicted past a space's entry cap
+``cache.disk.errors``     sqlite-level failures degraded to cache misses
+``cache.disk.corrupt``    payloads that failed to unpickle (row deleted,
+                          value recomputed and overwritten)
+``cache.shm.segments``    shared-memory segments published to fork workers
+``cache.shm.bytes``       serialized bytes published into shared memory
+``cache.shm.attaches``    worker-side attach+deserialize operations (once
+                          per worker per segment)
+``cache.shm.attach_ns``   nanoseconds spent attaching, summed over workers
 ``intern.hits``           hash-consing table hits (an equal object already
                           existed); accumulated locally and flushed by
                           ``logic.intern.publish_stats`` at measurement

@@ -1,9 +1,22 @@
-"""Shared fixtures: the paper's running dependencies and instances."""
+"""Shared fixtures: the paper's running dependencies and instances.
+
+Also the cache-isolation hook: every test starts with every cache tier
+cold (chase LRU, fold memo, intern traffic counters) and with disk
+persistence force-disabled, so no test observes another test's warm state
+and no test ever touches a developer's real ``REPRO_CACHE_DIR``.  Tests
+that exercise persistence opt back in with ``repro.cache.configure(tmp)``
+(the next test's setup re-disables it).  A plain pytest hook -- not an
+autouse fixture -- so Hypothesis's function-scoped-fixture health check
+stays quiet for ``@given`` tests.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+import repro.cache
 from repro import (
     parse_egd,
     parse_instance,
@@ -11,6 +24,13 @@ from repro import (
     parse_so_tgd,
     parse_tgd,
 )
+
+
+def pytest_runtest_setup(item: pytest.Item) -> None:
+    os.environ.pop("REPRO_CACHE_DIR", None)
+    os.environ.pop("REPRO_CACHE_SPACES", None)
+    repro.cache.configure(None)
+    repro.cache.clear_all_caches()
 
 
 @pytest.fixture

@@ -168,3 +168,66 @@ class TestCommands:
     def test_missing_dep_rejected(self):
         with pytest.raises(SystemExit):
             main(["chase", "--instance", "S(a)"])
+
+
+class TestCacheCommand:
+    def test_stats_disabled(self, capsys):
+        import json
+
+        code = main(["cache", "stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"enabled": False, "path": None}
+
+    def test_clear_disabled_exits_1(self, capsys):
+        import json
+
+        code = main(["cache", "clear"])
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["enabled"] is False
+
+    def test_stats_with_dir(self, capsys, tmp_path):
+        import json
+
+        from repro.cache import disk_put
+
+        code = main(["cache", "stats", "--dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["enabled"] is True
+        assert payload["entries"] == {}
+        assert payload["schema_version"] >= 1
+        disk_put("chase", "cli-key", ("v",))
+        code = main(["cache", "stats", "--dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == {"chase": 1}
+
+    def test_clear_and_vacuum_with_dir(self, capsys, tmp_path):
+        import json
+
+        from repro.cache import configure, disk_get, disk_put
+
+        configure(tmp_path)
+        disk_put("implies", "cli-key", ("verdict",))
+        code = main(["cache", "clear", "--dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == {}
+        assert disk_get("implies", "cli-key") is None
+        code = main(["cache", "vacuum", "--dir", str(tmp_path)])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["enabled"] is True
+
+    def test_output_is_deterministic_json(self, capsys, tmp_path):
+        import json
+
+        code = main(["cache", "stats", "--dir", str(tmp_path)])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out)
+        code = main(["cache", "stats", "--dir", str(tmp_path)])
+        assert code == 0
+        second = json.loads(capsys.readouterr().out)
+        # size_bytes tracks the WAL, which breathes between calls
+        first.pop("size_bytes"), second.pop("size_bytes")
+        assert first == second
