@@ -29,6 +29,11 @@ tier stratification) over the same families, and the ``ladder_chase`` axis
 for the ladder program over growing instances, next to the refined
 per-relation bound and the (astronomically larger) coarse CC002 bound.
 
+The ``containment`` axis times the mapping-containment analyzer
+(:mod:`repro.analysis.containment`) over the redundant-ladder and
+counterexample families of :mod:`repro.workloads.families`: verdict,
+refuted/redundant counts, and milliseconds per query.
+
 Run::
 
     PYTHONPATH=src python benchmarks/bench_static_analysis.py [--json PATH]
@@ -46,8 +51,10 @@ from repro.analysis.static import analyze
 from repro.analysis.termination import clear_termination_cache
 from repro.logic.parser import parse_nested_tgd, parse_tgd
 from repro.workloads.families import (
+    containment_pair,
     ladder_instance,
     ladder_tgds,
+    redundant_ladder_tgds,
     stratified_chain_tgds,
 )
 
@@ -116,6 +123,50 @@ def _ladder_chase_axis() -> list[dict]:
     return rows
 
 
+def _containment_axis() -> list[dict]:
+    """Time the containment analyzer over known-verdict workload pairs."""
+    from repro.analysis.containment import check_containment, redundancy_report
+    from repro.core.implication import clear_chase_cache
+
+    rows = []
+    for depth in (2, 3):
+        for contained in (True, False):
+            sigma, sigma_prime = containment_pair(depth, contained=contained)
+            clear_chase_cache()
+            best = _timed(
+                lambda s=sigma, sp=sigma_prime: check_containment(s, sp)
+            )
+            report = check_containment(sigma, sigma_prime)
+            rows.append(
+                {
+                    "family": f"{'contained' if contained else 'refuted'}-ladder-{depth}",
+                    "lhs": len(sigma),
+                    "rhs": len(sigma_prime),
+                    "status": report.status,
+                    "refuted": sum(
+                        1 for v in report.verdicts if v.status == "refuted"
+                    ),
+                    "contain_ms": best * 1000,
+                }
+            )
+    for depth in (2, 3):
+        deps = redundant_ladder_tgds(depth)
+        clear_chase_cache()
+        best = _timed(lambda d=deps: redundancy_report(d))
+        entries = redundancy_report(deps)
+        rows.append(
+            {
+                "family": f"redundant-ladder-{depth}",
+                "lhs": len(deps),
+                "rhs": len(deps),
+                "status": "redundancy-scan",
+                "refuted": sum(1 for e in entries if e.status == "redundant"),
+                "contain_ms": best * 1000,
+            }
+        )
+    return rows
+
+
 def run_benchmark() -> dict:
     families = {
         "chain-8": chain(8),
@@ -166,6 +217,7 @@ def run_benchmark() -> dict:
         "families": results,
         "frontier": frontier_rows,
         "ladder_chase": _ladder_chase_axis(),
+        "containment": _containment_axis(),
         "sigma_star_sweep_prediction_ms": sweep_s * 1000,
     }
 
@@ -201,6 +253,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{row['n']:5d} {row['chase_facts']:7d} {row['chase_s']:8.3f} "
             f"{row['refined_bound']:9d} {row['coarse_bound']:22d}"
+        )
+    print()
+    header = f"{'containment family':22s} {'lhs':>3s} {'rhs':>3s} {'status':>16s} {'hits':>4s} {'ms':>8s}"
+    print(header)
+    for row in summary["containment"]:
+        print(
+            f"{row['family']:22s} {row['lhs']:3d} {row['rhs']:3d} "
+            f"{row['status']:>16s} {row['refuted']:4d} {row['contain_ms']:8.2f}"
         )
     print(
         "sigma* sweep prediction: "

@@ -420,12 +420,43 @@ def static_analysis() -> None:
         print(f"  {finding.code}: {finding.message}")
 
 
+def containment_analysis() -> None:
+    section("CONTAIN -- mapping containment Sigma <= Sigma' (Cali-Torlone)")
+    from repro.analysis.containment import check_containment, verify_witness
+    from repro.core.normalization import optimize_report
+    from repro.workloads.families import containment_pair, redundant_ladder_tgds
+
+    with perf.measuring() as stats:
+        sigma, sigma_prime = containment_pair(3, contained=True)
+        report = check_containment(sigma, sigma_prime)
+        print(f"ladder-3 <= weakened-ladder-3: {report.status} "
+              f"(tier {report.tier}, proof map over "
+              f"{len(report.proof_map())} dependencies)")
+        sigma, sigma_prime = containment_pair(3, contained=False)
+        report = check_containment(sigma, sigma_prime)
+        witness = report.counterexample
+        print(f"ladder-3 <= reversed-ladder-3: {report.status}")
+        print(f"  witness source: "
+              f"{', '.join(str(f) for f in witness.source)}; unmatched: "
+              f"{', '.join(str(f) for f in witness.target)}; machine-check: "
+              f"{verify_witness(witness, sigma, sigma_prime[0])}")
+        opt = optimize_report(redundant_ladder_tgds(3), semantic=True)
+        print(f"optimize --semantic on redundant-ladder-3: "
+              f"{len(opt.kept) + len(opt.dropped)} -> {len(opt.kept)} "
+              f"dependencies, certificate holds = {opt.certificate.holds}")
+    print(f"counters: queries = {stats.get('containment.queries')}, "
+          f"sweeps = {stats.get('containment.checks')}, "
+          f"refuted = {stats.get('containment.refuted')}, "
+          f"redundant = {stats.get('containment.redundant')}")
+
+
 def main() -> None:
     fig1()
     fig2()
     fig3()
     ex310()
     static_analysis()
+    containment_analysis()
     fig5()
     prop413()
     fig6()

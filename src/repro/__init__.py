@@ -82,6 +82,9 @@ from repro.engine import (
 from repro.analysis import (
     AnalysisReport,
     ChaseCostEstimate,
+    ContainmentReport,
+    ContainmentWitness,
+    EquivalenceCertificate,
     Finding,
     LINT_CATALOG,
     SweepCostEstimate,
@@ -92,12 +95,16 @@ from repro.analysis import (
     apply_baseline,
     baseline_fingerprints,
     chase_cost,
+    check_containment,
+    check_equivalence,
     classify_termination,
+    contains,
     sarif_json,
     sarif_report,
     subsumes,
     sweep_cost,
     termination_report,
+    verify_witness,
 )
 # The paper-core subpackage is ``repro.core``; the core-of-an-instance
 # function therefore lives at the top level under the name ``compute_core``
@@ -107,7 +114,7 @@ from repro.mappings import SchemaMapping
 from repro.mappings.composition import compose
 from repro.queries import certain_answers, parse_query
 from repro.core.cq_equivalence import cq_equivalent
-from repro.core.normalization import optimize
+from repro.core.normalization import OptimizeReport, optimize, optimize_report
 from repro.core import (
     CanonicalInstances,
     FBlockProfile,
@@ -157,6 +164,8 @@ __all__ = [
     "TerminationClass", "TerminationVerdict", "classify_termination",
     "ChaseCostEstimate", "SweepCostEstimate", "chase_cost", "sweep_cost",
     "apply_baseline", "baseline_fingerprints", "sarif_json", "sarif_report",
+    "ContainmentReport", "ContainmentWitness", "EquivalenceCertificate",
+    "check_containment", "check_equivalence", "contains", "verify_witness",
     # mappings
     "SchemaMapping",
     # paper core
@@ -169,6 +178,7 @@ __all__ = [
     "path_length_bound",
     # extensions
     "compose", "certain_answers", "parse_query", "cq_equivalent", "optimize",
+    "OptimizeReport", "optimize_report",
     # persistence (repro.cache)
     "clear_all_caches", "cache_stats",
 ]

@@ -22,7 +22,11 @@ It also hosts the *static analyzer* over dependency programs:
   dependencies (the IMPLIES pre-pass);
 - :mod:`repro.analysis.static` -- the lint driver producing structured
   :class:`~repro.analysis.static.AnalysisReport` objects (``repro lint``);
-- :mod:`repro.analysis.sarif` -- SARIF 2.1.0 serialization of lint reports.
+- :mod:`repro.analysis.sarif` -- SARIF 2.1.0 serialization of lint reports;
+- :mod:`repro.analysis.containment` -- certified mapping containment
+  ``Sigma <= Sigma'`` (Cali-Torlone) with machine-checkable witnesses,
+  powering the MC001/MC002 lints, ``repro contain``, and
+  ``optimize(semantic=True)``.
 """
 
 from repro.analysis.properties import (
@@ -82,6 +86,18 @@ from repro.analysis.static import (
     baseline_fingerprints,
 )
 from repro.analysis.sarif import sarif_json, sarif_report
+from repro.analysis.containment import (
+    ContainmentReport,
+    ContainmentWitness,
+    DependencyVerdict,
+    EquivalenceCertificate,
+    check_containment,
+    check_equivalence,
+    contains,
+    eliminate_redundant,
+    redundancy_report,
+    verify_witness,
+)
 
 __all__ = [
     "check_admits_universal_solutions",
@@ -126,4 +142,14 @@ __all__ = [
     "baseline_fingerprints",
     "sarif_json",
     "sarif_report",
+    "ContainmentReport",
+    "ContainmentWitness",
+    "DependencyVerdict",
+    "EquivalenceCertificate",
+    "check_containment",
+    "check_equivalence",
+    "contains",
+    "eliminate_redundant",
+    "redundancy_report",
+    "verify_witness",
 ]

@@ -27,7 +27,14 @@ per-relation degree witnesses do not rescue it (``CC003`` when they do;
 ``CC004`` when a small coarse degree is not backed by witnesses).
 
 Pass 4 -- **structural lints** over the parts of each (nested) tgd, the
-clauses of each SO tgd, and each egd:
+clauses of each SO tgd, and each egd.
+
+Pass 5 -- **containment** (:mod:`repro.analysis.containment`): for sets of
+two or more tgds, the frontier-gated semantic-redundancy scan reports every
+dependency that the remaining ones *imply* (``MC001`` -- dropping it
+preserves the solution set of every source instance, beyond the syntactic
+``NT009`` subsumption) and every redundancy query refused at the
+admissibility gate (``MC002``):
 
 =======  ========  ====================================================
 code     severity  meaning
@@ -60,6 +67,11 @@ CC004    warning   coarse degree looks polynomial but no per-relation
                    witnesses exist at the certified rung (tier downgrade)
 EG001    info      egd equates a variable with itself (trivial)
 EG002    warning   egd body is disconnected
+MC001    info      dependency semantically redundant under containment
+                   (the remaining dependencies imply it -- auto-fixable
+                   via ``repro optimize --semantic``)
+MC002    info      semantic-redundancy containment query outside the
+                   certified frontier (refused, not run)
 =======  ========  ====================================================
 
     >>> from repro.logic.parser import parse_tgd
@@ -135,6 +147,16 @@ LINT_CATALOG: dict[str, tuple[str, str]] = {
     ),
     "EG001": ("info", "egd equates a variable with itself (trivial)"),
     "EG002": ("warning", "egd body is disconnected"),
+    "MC001": (
+        "info",
+        "dependency is semantically redundant under mapping containment "
+        "(the remaining dependencies imply it)",
+    ),
+    "MC002": (
+        "info",
+        "semantic-redundancy containment query is outside the certified "
+        "frontier (refused, not run)",
+    ),
 }
 
 #: The hierarchy rung -> the finding code reporting it (weak acyclicity
@@ -572,6 +594,7 @@ def analyze(
     check_termination: bool = True,
     check_subsumption: bool = True,
     check_cost: bool = True,
+    check_containment: bool = True,
 ) -> AnalysisReport:
     """Statically analyze a dependency program; return an :class:`AnalysisReport`.
 
@@ -580,7 +603,9 @@ def analyze(
     via *source_egds*).  ``check_termination=False`` skips the
     position-graph, hierarchy, and frontier passes;
     ``check_subsumption=False`` skips the quadratic NT009 pass;
-    ``check_cost=False`` skips the CC001-CC004 cost model.
+    ``check_cost=False`` skips the CC001-CC004 cost model;
+    ``check_containment=False`` skips the MC001/MC002 semantic-redundancy
+    scan (the only pass that actually runs gated IMPLIES sweeps).
     """
     if isinstance(dependencies, (STTgd, NestedTgd, SOTgd, Egd)):
         dependencies = [dependencies]
@@ -741,6 +766,25 @@ def analyze(
                         "minimization",
                     ))
                     break
+
+    if check_containment and len([d for d in tgds if not isinstance(d, SOTgd)]) >= 2:
+        from repro.analysis.containment import redundancy_report
+
+        for entry in redundancy_report(tgds, egds):
+            if entry.status == "redundant":
+                findings.append(_finding(
+                    "MC001", entry.dependency, "containment",
+                    f"dependency is semantically redundant: {entry.reason}",
+                    hint="`repro optimize --semantic` drops it and certifies "
+                    "the equivalence in both directions",
+                ))
+            else:
+                findings.append(_finding(
+                    "MC002", entry.dependency, "containment",
+                    f"semantic-redundancy check refused: {entry.reason}",
+                    hint="decide it off-line with `repro contain` and an "
+                    "explicit --budget",
+                ))
 
     for index, egd in enumerate(egds):
         findings.extend(_lint_egd(egd, _dep_label(egd, index)))

@@ -34,6 +34,7 @@ from repro.cache.store import (
 SPACE_CHASE = "chase"
 SPACE_FOLD = "fold"
 SPACE_IMPLIES = "implies"
+SPACE_CONTAIN = "contain"
 
 
 def disk_get(space: str, key: str) -> object | None:
@@ -104,6 +105,7 @@ __all__ = [
     "DiskStore",
     "SCHEMA_VERSION",
     "SPACE_CHASE",
+    "SPACE_CONTAIN",
     "SPACE_FOLD",
     "SPACE_IMPLIES",
     "configure",

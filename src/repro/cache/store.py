@@ -43,7 +43,9 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_SPACES = "REPRO_CACHE_SPACES"
 
 #: Per-space entry caps (LRU-evicted beyond these).
-SPACE_LIMITS: dict[str, int] = {"chase": 8192, "fold": 16384, "implies": 4096}
+SPACE_LIMITS: dict[str, int] = {
+    "chase": 8192, "contain": 2048, "fold": 16384, "implies": 4096,
+}
 DEFAULT_SPACES = frozenset(SPACE_LIMITS)
 _FALLBACK_LIMIT = 4096
 

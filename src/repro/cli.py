@@ -9,9 +9,10 @@ equivalent  decide logical equivalence of two dependency sets
 glav        decide equivalence to a GLAV mapping; print one if it exists
 patterns    enumerate the k-patterns of a nested tgd
 profile     f-block / f-degree / path-length profile along a family
-optimize    redundancy removal + tgd normalization
+optimize    redundancy removal + tgd normalization (--semantic, --json)
 lint        static analysis: termination verdict + structural lints
 analyze     decidability-frontier certificate (tier + guards) as JSON
+contain     decide mapping containment Sigma <= Sigma' as JSON
 cache       inspect / clear / vacuum the persistent cache store as JSON
 
 Dependencies are given as text (see repro/logic/parser.py); s-t tgds and
@@ -349,14 +350,42 @@ def cmd_cache(args) -> int:
 
 
 def cmd_optimize(args) -> int:
-    from repro.core.normalization import optimize
+    from repro.core.normalization import optimize_report
 
     deps = _dependencies(args)
-    optimized = optimize(deps, source_egds=_egds(args))
-    print(f"{len(deps)} dependencies -> {len(optimized)}")
-    for dep in optimized:
+    report = optimize_report(
+        deps, source_egds=_egds(args), semantic=args.semantic, budget=args.budget,
+    )
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"{len(deps)} dependencies -> {len(report.kept)}")
+    for dep in report.kept:
         print(f"  {dep}")
     return 0
+
+
+def cmd_contain(args) -> int:
+    from repro.analysis.containment import check_containment
+
+    lhs = [parse_dependency(text) for text in args.lhs]
+    rhs = [parse_dependency(text) for text in args.rhs]
+    report = check_containment(lhs, rhs, _egds(args), budget=args.budget)
+    if args.witnesses and not args.json:
+        print(f"containment: {report.status}")
+        print(f"certified: {report.certified} (tier {report.tier})")
+        witness = report.counterexample
+        if witness is not None:
+            print(f"refuted dependency: {witness.dependency}")
+            print(f"counterexample source: "
+                  f"{', '.join(str(f) for f in witness.source)}")
+            print(f"unmatched target pattern: "
+                  f"{', '.join(str(f) for f in witness.target)}")
+        for verdict in report.refusals:
+            print(f"refused {verdict.dependency}: {verdict.reason}")
+    else:
+        print(report.to_json())
+    return 0 if report.holds else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -461,7 +490,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     optimize_parser = sub.add_parser("optimize", help="minimize a mapping")
     _add_dependency_arguments(optimize_parser)
+    optimize_parser.add_argument(
+        "--semantic", action="store_true",
+        help="drop semantically redundant dependencies via the certified "
+        "containment analysis (attaches an equivalence certificate)",
+    )
+    optimize_parser.add_argument(
+        "--json", action="store_true",
+        help="emit kept/dropped dependencies (and the certificate) as "
+        "deterministic JSON",
+    )
+    optimize_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="explicit IMPLIES sweep budget for uncertified sets (--semantic)",
+    )
     optimize_parser.set_defaults(func=cmd_optimize)
+
+    contain_parser = sub.add_parser(
+        "contain",
+        help="decide mapping containment Sigma <= Sigma' (solution-set "
+        "inclusion; JSON; exit 1 unless containment holds)",
+    )
+    contain_parser.add_argument(
+        "--lhs", action="append", default=[], required=True,
+        help="a dependency of the contained mapping Sigma (repeatable)",
+    )
+    contain_parser.add_argument(
+        "--rhs", action="append", default=[], required=True,
+        help="a dependency of the containing mapping Sigma' (repeatable)",
+    )
+    contain_parser.add_argument("--egd", action="append", default=[])
+    contain_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="explicit sweep budget admitting queries outside the certified "
+        "frontier",
+    )
+    contain_parser.add_argument(
+        "--witnesses", action="store_true",
+        help="print human-readable witness/refusal lines instead of JSON",
+    )
+    contain_parser.add_argument(
+        "--json", action="store_true",
+        help="force deterministic JSON output (the default; wins over "
+        "--witnesses)",
+    )
+    contain_parser.set_defaults(func=cmd_contain)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or maintain the persistent cache store"

@@ -11,7 +11,14 @@ operations *exact* for nested GLAV mappings:
 - :func:`normalize_tgd_head` -- replace the head by its core: fold redundant
   existential structure (e.g. ``R(x, y) & R(x, z)`` with existential ``z``
   folds onto ``R(x, y)``), treating universal variables as constants;
-- :func:`optimize` -- the full pipeline over a set of dependencies.
+- :func:`optimize` -- the full pipeline over a set of dependencies, with
+  ``semantic=True`` upgrading redundancy removal from the IMPLIES loop to
+  the frontier-gated mapping-containment analysis of
+  :mod:`repro.analysis.containment`, attaching an equivalence certificate
+  checked in both directions;
+- :func:`optimize_report` -- the same pipeline returning an
+  :class:`OptimizeReport` (kept/dropped dependencies with reasons and the
+  certificate), the payload of ``repro optimize --json``.
 
 These operations echo the schema-mapping-optimization agenda of
 [Fagin-Kolaitis-Nash-Popa, reference 6 of the paper], whose f-block results
@@ -20,9 +27,11 @@ Section 4 builds on.
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.errors import DependencyError
+from repro.errors import DependencyError, ReproError
 from repro.logic.atoms import Atom
 from repro.logic.egds import Egd
 from repro.logic.instances import Instance
@@ -31,6 +40,9 @@ from repro.logic.tgds import STTgd
 from repro.logic.values import Constant, Variable
 from repro.core.implication import equivalent, implies
 from repro.engine.core_instance import core
+
+if TYPE_CHECKING:
+    from repro.analysis.containment import EquivalenceCertificate
 
 
 def remove_redundant_dependencies(
@@ -120,18 +132,71 @@ def normalize_tgd_head(tgd: STTgd) -> STTgd:
     return STTgd(body=tgd.body, head=new_head, name=tgd.name)
 
 
-def optimize(
+@dataclass(frozen=True)
+class OptimizeReport:
+    """The machine-readable outcome of :func:`optimize_report`.
+
+    ``kept`` holds the surviving (normalized) dependencies in input order,
+    ``dropped`` one ``(label, text, reason)`` triple per removed dependency.
+    With ``semantic=True``, ``certificate`` carries the two-directional
+    containment certificate of
+    :func:`repro.analysis.containment.check_equivalence` between the
+    optimized set and the original input (``None`` otherwise).
+    """
+
+    kept: tuple
+    dropped: tuple[tuple[str, str, str], ...]
+    semantic: bool
+    certificate: EquivalenceCertificate | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable view (``repro optimize --json``)."""
+        return {
+            "semantic": self.semantic,
+            "kept": [str(dep) for dep in self.kept],
+            "dropped": [
+                {"dependency": label, "text": text, "reason": reason}
+                for label, text, reason in self.dropped
+            ],
+            "equivalent": True if self.certificate is None else self.certificate.holds,
+            "certificate": None if self.certificate is None else self.certificate.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON with sorted keys."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _dep_label(dep: object, index: int) -> str:
+    name = getattr(dep, "name", None)
+    return name if name else f"#{index + 1}"
+
+
+def optimize_report(
     dependencies: Sequence,
     source_egds: Sequence[Egd] = (),
-) -> list:
-    """Run the full optimization pipeline over a set of dependencies.
+    *,
+    semantic: bool = False,
+    budget: int | None = None,
+) -> OptimizeReport:
+    """Run the optimization pipeline and report kept/dropped dependencies.
 
-    Flat dependencies get body minimization and head normalization; then
-    redundant dependencies are removed.  The result is logically equivalent
-    to the input (relative to the source egds).
+    Flat dependencies get body minimization and head normalization (both
+    equivalence-preserving via IMPLIES); then redundant dependencies are
+    removed.  With ``semantic=False`` redundancy removal is the greedy
+    IMPLIES loop of :func:`remove_redundant_dependencies`.  With
+    ``semantic=True`` it is the frontier-gated containment elimination of
+    :func:`repro.analysis.containment.eliminate_redundant` (refused queries
+    keep their dependency, so uncertified sets pass through unchanged unless
+    ``budget=`` is given), and the result carries an equivalence certificate
+    between the optimized set and the *original* input, checked in both
+    containment directions; a falsified certificate -- which would mean the
+    eliminator dropped a non-redundant dependency -- raises
+    :class:`~repro.errors.ReproError`.
     """
+    deps = list(dependencies)
     normalized: list = []
-    for dep in dependencies:
+    for dep in deps:
         if isinstance(dep, STTgd):
             dep = normalize_tgd_head(dep)
             dep = minimize_tgd_body(dep, source_egds=source_egds)
@@ -141,12 +206,75 @@ def optimize(
         elif not isinstance(dep, NestedTgd):
             raise DependencyError(f"cannot optimize dependency {dep!r}")
         normalized.append(dep)
-    return remove_redundant_dependencies(normalized, source_egds=source_egds)
+    labels = {id(dep): _dep_label(dep, index) for index, dep in enumerate(normalized)}
+
+    dropped: list[tuple[str, str, str]] = []
+    certificate: EquivalenceCertificate | None = None
+    if semantic:
+        from repro.analysis.containment import check_equivalence, eliminate_redundant
+
+        kept, removed = eliminate_redundant(
+            normalized, source_egds=list(source_egds), budget=budget,
+        )
+        for dep, reason in removed:
+            dropped.append((labels[id(dep)], str(dep), reason))
+        certificate = check_equivalence(
+            kept, deps, list(source_egds), budget=budget,
+        )
+        if certificate.holds is False:
+            raise ReproError(
+                "semantic optimization produced a non-equivalent mapping "
+                "(the equivalence certificate is falsified); this is a bug"
+            )
+    else:
+        kept = list(normalized)
+        changed = True
+        while changed:
+            changed = False
+            for index, dep in enumerate(kept):
+                rest = kept[:index] + kept[index + 1:]
+                if rest and implies(rest, dep, source_egds=list(source_egds)):
+                    dropped.append((
+                        labels[id(dep)], str(dep),
+                        "implied by the remaining dependencies (IMPLIES)",
+                    ))
+                    kept = rest
+                    changed = True
+                    break
+    return OptimizeReport(
+        kept=tuple(kept),
+        dropped=tuple(dropped),
+        semantic=semantic,
+        certificate=certificate,
+    )
+
+
+def optimize(
+    dependencies: Sequence,
+    source_egds: Sequence[Egd] = (),
+    *,
+    semantic: bool = False,
+    budget: int | None = None,
+) -> list:
+    """Run the full optimization pipeline over a set of dependencies.
+
+    Flat dependencies get body minimization and head normalization; then
+    redundant dependencies are removed -- exactly (via IMPLIES) by default,
+    or via the certified containment analysis with ``semantic=True`` (see
+    :func:`optimize_report`, which also returns the dropped dependencies
+    and the equivalence certificate).  The result is logically equivalent
+    to the input (relative to the source egds).
+    """
+    return list(optimize_report(
+        dependencies, source_egds, semantic=semantic, budget=budget,
+    ).kept)
 
 
 __all__ = [
+    "OptimizeReport",
     "remove_redundant_dependencies",
     "minimize_tgd_body",
     "normalize_tgd_head",
     "optimize",
+    "optimize_report",
 ]

@@ -76,6 +76,17 @@ Counter names are dotted strings, grouped by subsystem:
                           at engine exit
 ``backend.columnar.encoded_rows``  facts encoded into columnar id rows
 ``backend.columnar.decoded_rows``  columnar rows decoded back into facts
+``containment.queries``   ``Sigma <= Sigma'`` queries answered by
+                          ``analysis.containment.check_containment``
+``containment.checks``    gated IMPLIES sweeps actually run by the
+                          containment / redundancy analyses
+``containment.refuted``   right-hand dependencies refuted with a witness
+``containment.refused``   queries refused at the admissibility gate
+                          (uncertified frontier, budget, undecidable rhs)
+``containment.redundant``  dependencies found semantically redundant
+                          (lint MC001 / ``optimize(semantic=True)``)
+``containment.verdict_disk_hits``  whole containment reports answered by
+                          the persistent ``contain`` store (``repro.cache``)
 ========================  =====================================================
 
 The overhead is one dict update per recorded event; events are recorded at

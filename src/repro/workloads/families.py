@@ -151,6 +151,48 @@ def stratified_chain_tgds(length: int = 40):
     return deps
 
 
+def redundant_ladder_tgds(depth: int = 3):
+    """:func:`ladder_tgds` plus one implied weakening per rung.
+
+    Each weakening ``T_i(x,y) -> exists z, w . T_{i+1}(z,w)`` is strictly
+    implied by its rung (any witness edge works), so containment analysis
+    finds ``depth`` semantically redundant dependencies (``MC001``) and
+    ``optimize(semantic=True)`` shrinks the set back to the ladder.
+    """
+    from repro.logic.parser import parse_tgd
+
+    deps = ladder_tgds(depth)
+    deps.extend(
+        parse_tgd(f"T{i}(x,y) -> exists z, w . T{i + 1}(z,w)")
+        for i in range(depth)
+    )
+    return deps
+
+
+def containment_pair(depth: int = 2, contained: bool = True):
+    """A ``(Sigma, Sigma')`` pair with a known containment verdict.
+
+    With ``contained=True``, ``Sigma'`` consists of the per-rung weakenings
+    of the depth-*depth* ladder, so ``Sigma <= Sigma'`` holds with a
+    per-dependency proof map.  With ``contained=False``, ``Sigma'`` instead
+    demands the *reversed* edges ``T_i(x,y) -> T_{i+1}(y,x)``, which the
+    ladder does not entail -- every check yields a counterexample witness.
+    """
+    from repro.logic.parser import parse_tgd
+
+    sigma = ladder_tgds(depth)
+    if contained:
+        sigma_prime = [
+            parse_tgd(f"T{i}(x,y) -> exists z, w . T{i + 1}(z,w)")
+            for i in range(depth)
+        ]
+    else:
+        sigma_prime = [
+            parse_tgd(f"T{i}(x,y) -> T{i + 1}(y,x)") for i in range(depth)
+        ]
+    return sigma, sigma_prime
+
+
 def stratified_chain_instance(n: int) -> Instance:
     """Seeds for :func:`stratified_chain_tgds`: n ``A``/``B`` pairs."""
     from repro.logic.atoms import Atom
@@ -176,6 +218,8 @@ __all__ = [
     "LADDER_FAMILY",
     "ladder_tgds",
     "ladder_instance",
+    "redundant_ladder_tgds",
+    "containment_pair",
     "stratified_chain_tgds",
     "stratified_chain_instance",
 ]

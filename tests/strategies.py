@@ -156,6 +156,47 @@ def same_schema_tgds(draw, max_tgds: int = 3, max_body_atoms: int = 2):
 
 
 @st.composite
+def schema_mappings(draw, max_tgds: int = 3, max_body_atoms: int = 2):
+    """Generate a small schema mapping: flat s-t tgds over disjoint schemas.
+
+    Bodies draw from ``SOURCE_RELATIONS`` and heads from
+    ``TARGET_RELATIONS`` (the disjoint split every s-t mapping has), so any
+    drawn set is weakly acyclic by construction and the containment /
+    optimization machinery runs fully certified on it -- the regime the
+    differential suites need.  Bodies use a shared universal pool ``x0..x2``
+    (so independently drawn mappings overlap); heads mix in-scope universals
+    with an optional existential ``w``.
+    """
+    from repro.logic.tgds import STTgd
+
+    universal = [Variable(f"x{i}") for i in range(3)]
+    tgds = []
+    for __ in range(draw(st.integers(1, max_tgds))):
+        body = []
+        for __ in range(draw(st.integers(1, max_body_atoms))):
+            name, arity = draw(st.sampled_from(SOURCE_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(universal)) for __ in range(arity)
+            )
+            body.append(Atom(name, args))
+        in_scope = sorted(
+            {arg for atom in body for arg in atom.args}, key=lambda v: v.name
+        )
+        head_pool = list(in_scope)
+        if draw(st.booleans()):
+            head_pool.append(Variable("w"))  # existential
+        head = []
+        for __ in range(draw(st.integers(1, 2))):
+            name, arity = draw(st.sampled_from(TARGET_RELATIONS))
+            args = tuple(
+                draw(st.sampled_from(head_pool)) for __ in range(arity)
+            )
+            head.append(Atom(name, args))
+        tgds.append(STTgd(body=tuple(body), head=tuple(head)))
+    return tgds
+
+
+@st.composite
 def patterns(draw, tgd: NestedTgd | None = None, max_nodes: int = 6, k: int = 3):
     """Generate ``(tgd, pattern, k)`` with *pattern* a k-pattern of *tgd*.
 
@@ -197,6 +238,7 @@ __all__ = [
     "instances",
     "patterns",
     "same_schema_tgds",
+    "schema_mappings",
     "SOURCE_RELATIONS",
     "TARGET_RELATIONS",
     "INSTANCE_RELATIONS",

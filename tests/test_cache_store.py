@@ -93,7 +93,7 @@ class TestDiskStoreBasics:
         assert stats["enabled"] is True
         assert stats["schema_version"] == SCHEMA_VERSION
         assert stats["entries"] == {"chase": 1}
-        assert stats["spaces"] == ["chase", "fold", "implies"]
+        assert stats["spaces"] == ["chase", "contain", "fold", "implies"]
         assert str(stats["path"]).endswith(STORE_FILENAME)
         assert isinstance(stats["size_bytes"], int)
         store.close()
