@@ -19,12 +19,23 @@ Three workloads, each with a predictable asymptotic gap:
   as :func:`repro.engine.naive.core_naive` (restricted immutable instance
   per candidate null, restart per elimination).
 
+Two further axes compare the columnar/SQL backends of this PR's core stack:
+
+- **columnar kernel** (``columnar_*`` keys): the id-space kernel
+  (:mod:`repro.engine.hom_kernel_columnar`) against the generic kernel
+  decoding the *same* :class:`ColumnarInstance` target through the
+  ``FactIndex`` protocol, on every hom workload above.
+- **core backends** (``core_backends`` key): cold-cache
+  ``core(backend="tuple"/"columnar"/"sql")`` wall times on the star chase.
+
 Run as a script to record the comparison in ``BENCH_hom.json``::
 
     PYTHONPATH=src python benchmarks/bench_scaling_hom.py [--smoke] [--json PATH]
 
 Acceptance: the pinpoint workload must show a >= 10x kernel-vs-naive speedup
-at the largest size.
+at the largest size, and the id-space kernel must be at least as fast as
+decode-through on the hub workload at the largest size (both asserted in
+smoke runs too -- the perf-smoke CI gate).
 """
 
 import time
@@ -32,7 +43,12 @@ import time
 import pytest
 
 from repro.engine.chase import chase
+from repro.engine.columnar import ColumnarInstance
 from repro.engine.core_instance import clear_fold_cache, core
+from repro.engine.hom_kernel import (
+    block_homomorphism_generic,
+    find_homomorphism_indexed,
+)
 from repro.engine.homomorphism import find_homomorphism, is_homomorphism
 from repro.engine.naive import core_naive, find_homomorphism_naive
 from repro.logic.atoms import Atom
@@ -93,17 +109,7 @@ def _best_of(func, *args, repeats: int = 3, **kwargs):
 
 def compare_hom(workload: str, n: int) -> dict:
     """Time the indexed kernel against the naive finder on one workload."""
-    if workload == "pinpoint":
-        source, target = pinpoint_instances(n)
-        expect = True
-    elif workload == "hub":
-        source, target = hub_instances(n, satisfiable=True)
-        expect = True
-    elif workload == "hub_unsat":
-        source, target = hub_instances(n, satisfiable=False)
-        expect = False
-    else:
-        raise ValueError(workload)
+    source, target, expect = _hom_workload(workload, n)
     kernel_s, kernel_map = _best_of(find_homomorphism, source, target)
     naive_s, naive_map = _best_of(find_homomorphism_naive, source, target)
     assert (kernel_map is not None) == expect, workload
@@ -113,6 +119,60 @@ def compare_hom(workload: str, n: int) -> dict:
         assert is_homomorphism(naive_map, source, target)
     return {"workload": workload, "n": n, "kernel_s": kernel_s,
             "naive_s": naive_s, "speedup": naive_s / kernel_s}
+
+
+def _hom_workload(workload: str, n: int) -> tuple[Instance, Instance, bool]:
+    if workload == "pinpoint":
+        source, target = pinpoint_instances(n)
+        return source, target, True
+    if workload == "hub":
+        source, target = hub_instances(n, satisfiable=True)
+        return source, target, True
+    if workload == "hub_unsat":
+        source, target = hub_instances(n, satisfiable=False)
+        return source, target, False
+    raise ValueError(workload)
+
+
+def compare_hom_columnar(workload: str, n: int) -> dict:
+    """Time the id-space kernel against decode-through on a columnar target.
+
+    Both contestants see the *same* :class:`ColumnarInstance`:
+    ``find_homomorphism_indexed`` dispatches to the integer-domain kernel,
+    while ``block_homomorphism_generic`` decodes rows through the
+    ``FactIndex`` protocol (``facts_of`` / ``facts_with``) -- the cost the
+    id-space kernel exists to avoid.
+    """
+    source, target, expect = _hom_workload(workload, n)
+    store = ColumnarInstance(target)
+    idspace_s, idspace_map = _best_of(find_homomorphism_indexed, source, store)
+    decode_s, decode_map = _best_of(block_homomorphism_generic, source, store)
+    assert (idspace_map is not None) == expect, workload
+    assert (decode_map is not None) == expect, workload
+    if expect:
+        assert is_homomorphism(idspace_map, source, target)
+        assert is_homomorphism(decode_map, source, target)
+    return {"workload": workload, "n": n, "idspace_s": idspace_s,
+            "decode_s": decode_s, "speedup": decode_s / idspace_s}
+
+
+def compare_core_backends(n: int) -> dict:
+    """Cold-cache core wall times across the three backends on the star chase."""
+    chased = star_chase(n)
+
+    def cold(backend: str) -> Instance:
+        clear_fold_cache()
+        return core(chased, backend=backend)
+
+    times: dict[str, float] = {}
+    results: dict[str, Instance] = {}
+    for backend in ("tuple", "columnar", "sql"):
+        times[backend], results[backend] = _best_of(cold, backend)
+    for backend in ("columnar", "sql"):
+        assert len(results[backend]) == len(results["tuple"]) == n
+        assert results[backend].isomorphic(results["tuple"])
+    return {"n": n, "chase_facts": len(chased), "tuple_s": times["tuple"],
+            "columnar_s": times["columnar"], "sql_s": times["sql"]}
 
 
 def _cold_core(instance: Instance) -> Instance:
@@ -160,6 +220,26 @@ def test_hom_kernel_speedup():
     assert row["speedup"] >= 10.0, row
 
 
+def test_columnar_kernel_hub_gate():
+    """Acceptance: the id-space kernel is at least as fast as decoding the
+    same columnar target through the FactIndex protocol, on the hub workload
+    at the largest smoke size (the perf-smoke CI gate)."""
+    row = compare_hom_columnar("hub", SMOKE_HOM_SIZES[-1])
+    assert row["speedup"] >= 1.0, row
+
+
+@pytest.mark.parametrize("backend", ["tuple", "columnar", "sql"])
+def test_scale_core_backends(benchmark, backend):
+    chased = star_chase(SMOKE_CORE_SIZES[-1])
+
+    def cold():
+        clear_fold_cache()
+        return core(chased, backend=backend)
+
+    folded = benchmark(cold)
+    assert len(folded) == SMOKE_CORE_SIZES[-1]
+
+
 def main(argv=None) -> dict:
     import argparse
     import json
@@ -180,10 +260,18 @@ def main(argv=None) -> dict:
         "hub": [compare_hom("hub", n) for n in hom_sizes],
         "hub_unsat": [compare_hom("hub_unsat", n) for n in hom_sizes],
         "core": [compare_core(n) for n in core_sizes],
+        "columnar_pinpoint": [compare_hom_columnar("pinpoint", n)
+                              for n in hom_sizes],
+        "columnar_hub": [compare_hom_columnar("hub", n) for n in hom_sizes],
+        "columnar_hub_unsat": [compare_hom_columnar("hub_unsat", n)
+                               for n in hom_sizes],
+        "core_backends": [compare_core_backends(n) for n in core_sizes],
     }
     report["largest_pinpoint_speedup"] = report["pinpoint"][-1]["speedup"]
     report["largest_hub_speedup"] = report["hub"][-1]["speedup"]
     report["largest_core_speedup"] = report["core"][-1]["speedup"]
+    report["largest_hub_columnar_speedup"] = \
+        report["columnar_hub"][-1]["speedup"]
 
     with open(args.json, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -194,7 +282,18 @@ def main(argv=None) -> dict:
     for row in report["core"]:
         print(f"core      n={row['n']:4d}  kernel {row['kernel_s']:.4f}s  "
               f"naive {row['naive_s']:.4f}s  speedup {row['speedup']:.1f}x")
+    for key in ("columnar_pinpoint", "columnar_hub", "columnar_hub_unsat"):
+        for row in report[key]:
+            print(f"{key:18s} n={row['n']:4d}  id-space {row['idspace_s']:.4f}s  "
+                  f"decode {row['decode_s']:.4f}s  speedup {row['speedup']:.1f}x")
+    for row in report["core_backends"]:
+        print(f"core_backends      n={row['n']:4d}  "
+              f"tuple {row['tuple_s']:.4f}s  columnar {row['columnar_s']:.4f}s  "
+              f"sql {row['sql_s']:.4f}s")
     print(f"wrote {args.json}")
+    # The columnar-kernel hub gate holds at every size tier (smoke included:
+    # the perf-smoke CI job runs this script with --smoke).
+    assert report["largest_hub_columnar_speedup"] >= 1.0
     if not args.smoke:
         assert report["largest_pinpoint_speedup"] >= 10.0
     return report

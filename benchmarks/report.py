@@ -298,13 +298,31 @@ def engine_counters() -> None:
         f"backtracks = {stats.get('hom.backtracks')}"
     )
 
+    # The same pinned hub against a columnar target: the id-space kernel
+    # runs AC-3 and search over integer ids with no atom decode on the hot
+    # path (the hom.columnar.* counters mirror their hom.* twins).
+    from repro.engine.columnar import ColumnarInstance
+    from repro.engine.hom_kernel import find_homomorphism_indexed
+
+    store = ColumnarInstance(hom_target)
+    with perf.measuring() as stats:
+        assert find_homomorphism_indexed(hom_source, store) is not None
+    print(
+        f"id-space kernel (same hub, columnar target): "
+        f"kernel calls = {stats.get('hom.columnar.kernel_calls')}, "
+        f"ac3 revisions = {stats.get('hom.columnar.ac3_revisions')}, "
+        f"search nodes = {stats.get('hom.columnar.search_nodes')}, "
+        f"decoded rows = {stats.get('backend.columnar.decoded_rows')}"
+    )
+
     # The chase of the star has n isomorphic blocks: the core engine folds
     # one and drops the other n - 1 by canonical-form deduplication.
     from repro.engine.core_instance import clear_fold_cache
 
+    chased_star = chase(star, INTRO)
     clear_fold_cache()
     with perf.measuring() as stats:
-        folded = core(chase(star, INTRO))
+        folded = core(chased_star)
     print(
         f"core engine (star n=30): blocks = {stats.get('core.blocks')}, "
         f"iso folds = {stats.get('core.iso_folds')}, "
@@ -312,6 +330,35 @@ def engine_counters() -> None:
         f"/{stats.get('core.memo_misses')}, "
         f"eliminations = {stats.get('core.eliminations')}, "
         f"rigid blocks = {stats.get('core.rigid_blocks')} "
+        f"(core size {len(folded)})"
+    )
+
+    # The same core in id-space: fingerprints are byte-identical to the
+    # tuple engine's, so the two share one persistent fold tier.
+    clear_fold_cache()
+    with perf.measuring() as stats:
+        folded = core(chased_star, backend="columnar")
+    print(
+        f"columnar core (same star): "
+        f"blocks = {stats.get('core.columnar.blocks')}, "
+        f"iso folds = {stats.get('core.columnar.iso_folds')}, "
+        f"memo hits/misses = {stats.get('core.columnar.memo_hits')}"
+        f"/{stats.get('core.columnar.memo_misses')}, "
+        f"eliminations = {stats.get('core.columnar.eliminations')}, "
+        f"probe memo hits = {stats.get('backend.columnar.probe_hits')} "
+        f"(core size {len(folded)})"
+    )
+
+    # And pushed down to SQL: eliminating homomorphisms as SELECT joins,
+    # retractions as exact-row DELETEs.
+    with perf.measuring() as stats:
+        folded = core(chased_star, backend="sql")
+    print(
+        f"sql core (same star): blocks = {stats.get('core.sql.blocks')}, "
+        f"queries = {stats.get('core.sql.queries')}, "
+        f"eliminations = {stats.get('core.sql.eliminations')}, "
+        f"rigid blocks = {stats.get('core.sql.rigid_blocks')}, "
+        f"duckdb sessions = {stats.get('core.sql.duckdb_sessions')} "
         f"(core size {len(folded)})"
     )
 

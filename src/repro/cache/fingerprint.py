@@ -71,6 +71,30 @@ def encode_atom(atom: Atom) -> bytes:
     return cached
 
 
+def encode_canonical_null(index: int) -> bytes:
+    """The encoding of the canonical fold-memo null ``Null(("#", index))``.
+
+    Lets the columnar core engine render a canonical block fingerprint from
+    integer id tuples without constructing the interned ``Null`` object:
+    the bytes are exactly ``encode_value(Null(("#", index)))``.
+    """
+    return b"n" + _prefixed(repr(("#", index)).encode())
+
+
+def encode_atom_parts(relation: str, arg_encodings: Iterable[bytes]) -> bytes:
+    """Assemble an atom encoding from pre-encoded argument byte strings.
+
+    ``encode_atom_parts(a.relation, map(encode_value, a.args))`` equals
+    ``encode_atom(a)`` byte for byte, so fingerprints built from id tuples
+    (value encodings memoized per value id) share cache keys with
+    fingerprints built from decoded atoms.
+    """
+    pieces = [b"A", _prefixed(relation.encode())]
+    for encoding in arg_encodings:
+        pieces.append(_prefixed(encoding))
+    return b"".join(pieces)
+
+
 def _digest(parts: Iterable[bytes]) -> str:
     digest = hashlib.sha256()
     for part in parts:
@@ -91,6 +115,17 @@ def fingerprint_facts(facts: Iterable[Atom]) -> str:
 def fingerprint_fact_sequence(facts: Iterable[Atom]) -> str:
     """Fingerprint an *ordered* fact tuple (canonical fold-memo blocks)."""
     return _digest(_prefixed(encode_atom(fact)) for fact in facts)
+
+
+def fingerprint_encoded_sequence(encodings: Iterable[bytes]) -> str:
+    """Fingerprint an ordered sequence of pre-encoded atoms.
+
+    Equals ``fingerprint_fact_sequence`` of the corresponding atoms when each
+    element was built with :func:`encode_atom_parts`, so the columnar core
+    engine's id-space fingerprints hit the same on-disk fold entries as the
+    tuple engine's.
+    """
+    return _digest(_prefixed(encoding) for encoding in encodings)
 
 
 def fingerprint_texts(texts: Iterable[str]) -> str:
@@ -115,8 +150,11 @@ def combine_fingerprints(*fingerprints: str) -> str:
 __all__ = [
     "encode_value",
     "encode_atom",
+    "encode_atom_parts",
+    "encode_canonical_null",
     "fingerprint_facts",
     "fingerprint_fact_sequence",
+    "fingerprint_encoded_sequence",
     "fingerprint_texts",
     "fingerprint_pattern",
     "combine_fingerprints",

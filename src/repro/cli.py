@@ -3,6 +3,7 @@
 Commands
 --------
 chase       chase a source instance with dependencies (optionally the core)
+core        compute the core of an instance with a backend report (JSON)
 exchange    run a data exchange with a backend report (tuple/columnar/sql/auto)
 implies     run the IMPLIES decision procedure
 equivalent  decide logical equivalence of two dependency sets
@@ -142,6 +143,62 @@ def cmd_chase(args) -> int:
         print(_backend_banner(source, result, choice))
     for fact in sorted(result, key=repr):
         print(fact)
+    return 0
+
+
+def cmd_core(args) -> int:
+    """Compute the core of an instance; print a deterministic JSON report.
+
+    The report carries the backend actually used (with the dispatch reason
+    when ``--backend auto`` decided), input/core sizes, and the engine's
+    block/fold counters.  Core *size* is deterministic across backends (the
+    core is unique up to isomorphism); the fact listing is only printed under
+    ``--facts`` because different engines may keep different-but-isomorphic
+    representatives.
+    """
+    import json
+
+    from repro import perf
+    from repro.engine.core_instance import core
+    from repro.engine.dispatch import CORE_SQL_AUTO_THRESHOLD, choose_core_backend
+
+    instance = parse_instance(args.instance)
+    if args.dep:
+        from repro.engine.chase import chase
+
+        instance = chase(instance, [parse_dependency(text) for text in args.dep])
+    size = len(instance)
+    sql_supported = False
+    if args.backend == "sql" or (
+        args.backend == "auto" and size >= CORE_SQL_AUTO_THRESHOLD
+    ):
+        from repro.engine.sql_backend import sql_core_supported
+
+        sql_supported = sql_core_supported(instance)
+    choice = choose_core_backend(
+        args.backend, input_size=size, sql_supported=sql_supported
+    )
+    with perf.measuring() as stats:
+        result = core(instance, backend=choice.backend)
+    prefix = {"tuple": "core.", "columnar": "core.columnar.", "sql": "core.sql."}[
+        choice.backend
+    ]
+    report: dict = {
+        "backend": choice.backend,
+        "requested": args.backend,
+        "reason": choice.reason,
+        "input_facts": size,
+        "core_facts": len(result),
+        "blocks": stats.get(prefix + "blocks"),
+        "eliminations": stats.get(prefix + "eliminations"),
+        "rigid_blocks": stats.get(prefix + "rigid_blocks"),
+        "fold_memo_hits": stats.get(prefix + "memo_hits"),
+        "fold_disk_hits": stats.get("cache.disk.hits"),
+        "sql_queries": stats.get("core.sql.queries"),
+    }
+    if args.facts:
+        report["facts"] = sorted(str(fact) for fact in result)
+    print(json.dumps(report, sort_keys=True, indent=2))
     return 0
 
 
@@ -406,6 +463,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default: tuple)",
     )
     chase_parser.set_defaults(func=cmd_chase)
+
+    core_parser = sub.add_parser(
+        "core", help="compute the core of an instance with a backend report (JSON)"
+    )
+    core_parser.add_argument("--instance", required=True, help="instance text")
+    core_parser.add_argument(
+        "--dep", action="append", default=[], metavar="TEXT",
+        help="chase the instance with these dependencies first (repeatable)",
+    )
+    core_parser.add_argument(
+        "--backend", choices=backend_choices, default="auto",
+        help="core engine (default: auto)",
+    )
+    core_parser.add_argument(
+        "--facts", action="store_true",
+        help="include the core's fact listing in the JSON report",
+    )
+    core_parser.set_defaults(func=cmd_core)
 
     exchange_parser = sub.add_parser(
         "exchange", help="run a data exchange (chase) with a backend report"

@@ -36,11 +36,13 @@ def is_equivalent_to_glav(
     dependencies,
     source_egds: Sequence[Egd] = (),
     parallel: int | None = None,
+    backend: str = "tuple",
 ) -> bool:
     """Decide whether a nested GLAV mapping is logically equivalent to a GLAV mapping.
 
-    ``parallel=N`` is forwarded to the boundedness analysis (core folding on
-    N worker processes; same verdict as the serial run).
+    ``parallel=N`` and ``backend=`` are forwarded to the boundedness analysis
+    (core folding on N worker processes / on another core engine; same
+    verdict in every configuration).
 
         >>> from repro.logic.parser import parse_nested_tgd
         >>> sigma = parse_nested_tgd(
@@ -49,7 +51,7 @@ def is_equivalent_to_glav(
         False
     """
     verdict = decide_bounded_fblock_size(
-        dependencies, source_egds=source_egds, parallel=parallel
+        dependencies, source_egds=source_egds, parallel=parallel, backend=backend
     )
     return verdict.bounded
 
@@ -93,6 +95,7 @@ def to_glav(
     source_egds: Sequence[Egd] = (),
     max_pattern_nodes: int = 8,
     parallel: int | None = None,
+    backend: str = "tuple",
 ) -> list[STTgd]:
     """Construct a GLAV mapping logically equivalent to the given nested GLAV mapping.
 
@@ -101,7 +104,8 @@ def to_glav(
     *max_pattern_nodes* is exhausted before the implication closes.
     ``parallel=N`` is forwarded to both the boundedness analysis (parallel
     core folding) and the closing IMPLIES sweep (parallel pattern checks);
-    the construction is unchanged.
+    ``backend=`` to the boundedness analysis's core engine.  The construction
+    is unchanged in every configuration.
 
         >>> from repro.logic.parser import parse_nested_tgd
         >>> sigma = parse_nested_tgd("S1(x1) -> (S2(x2) -> T(x1, x2))")
@@ -111,7 +115,7 @@ def to_glav(
     """
     nested = nested_tgds_from(dependencies)
     verdict: FBlockVerdict = decide_bounded_fblock_size(
-        nested, source_egds=source_egds, parallel=parallel
+        nested, source_egds=source_egds, parallel=parallel, backend=backend
     )
     if not verdict.bounded:
         raise UndecidedError(
@@ -140,14 +144,18 @@ def to_glav(
     )
 
 
-def glav_distance_report(dependencies, source_egds: Sequence[Egd] = ()) -> dict:
+def glav_distance_report(
+    dependencies, source_egds: Sequence[Egd] = (), backend: str = "tuple"
+) -> dict:
     """A structured report for the GLAV-equivalence question.
 
     Returns a dict with the boundedness verdict, the witnessing growth
     sequence when unbounded, and (when bounded and small enough) the
     constructed equivalent GLAV mapping.
     """
-    verdict = decide_bounded_fblock_size(dependencies, source_egds=source_egds)
+    verdict = decide_bounded_fblock_size(
+        dependencies, source_egds=source_egds, backend=backend
+    )
     report: dict = {
         "bounded_fblock_size": verdict.bounded,
         "fblock_bound": verdict.bound,
@@ -157,7 +165,9 @@ def glav_distance_report(dependencies, source_egds: Sequence[Egd] = ()) -> dict:
     }
     if verdict.bounded:
         try:
-            report["equivalent_glav"] = to_glav(dependencies, source_egds=source_egds)
+            report["equivalent_glav"] = to_glav(
+                dependencies, source_egds=source_egds, backend=backend
+            )
         except UndecidedError:
             report["equivalent_glav"] = None
     return report

@@ -30,7 +30,18 @@ Three layers:
 
 Perf counters: ``backend.columnar.joins`` (per-atom index joins performed),
 ``backend.columnar.encoded_rows`` / ``backend.columnar.decoded_rows`` (facts
-crossing the object/array boundary).
+crossing the object/array boundary), ``backend.columnar.probe_hits``
+(``facts_of`` / ``facts_with`` probes answered by the per-group decode memo
+without re-materializing an atom list).
+
+The store also supports **tombstone deletion** (:meth:`ColumnarInstance.
+discard_row` / :meth:`~ColumnarInstance.discard_fact`): a discarded row is
+removed from the dedup map and the inverted index and recorded in the
+group's ``dead`` set, so full-scan fallbacks skip it while the columns keep
+their dense layout.  The chase engines never delete; the columnar core
+engine (:mod:`repro.engine.core_instance`) retracts eliminated facts this
+way, and every read path filters dead rows only behind an ``if group.dead``
+guard, keeping the append-only hot paths unchanged.
 """
 
 from __future__ import annotations
@@ -87,7 +98,10 @@ class ValueTable:
 class _RelGroup:
     """The fact table of one (relation, arity): columns, dedup map, index."""
 
-    __slots__ = ("relation", "arity", "columns", "row_of", "index", "atoms")
+    __slots__ = (
+        "relation", "arity", "columns", "row_of", "index", "atoms",
+        "dead", "probe", "facts_cache",
+    )
 
     def __init__(self, relation: str, arity: int) -> None:
         self.relation = relation
@@ -96,9 +110,22 @@ class _RelGroup:
         self.row_of: dict[tuple[int, ...], int] = {}
         self.index: list[dict[int, list[int]]] = [{} for _ in range(arity)]
         self.atoms: list[Atom | None] = []
+        #: Tombstoned row indexes (usually empty; see module docstring).
+        self.dead: set[int] = set()
+        #: Probe memo: (position, vid) -> decoded atom list, dropped on mutation.
+        self.probe: dict[tuple[int, int], list[Atom]] = {}
+        #: ``facts_of`` memo for this group, dropped on mutation.
+        self.facts_cache: list[Atom] | None = None
 
     def __len__(self) -> int:
-        return len(self.atoms)
+        return len(self.atoms) - len(self.dead)
+
+    def live_rows(self) -> Iterable[int]:
+        """The indexes of the live (non-tombstoned) rows, in insertion order."""
+        if not self.dead:
+            return range(len(self.atoms))
+        dead = self.dead
+        return [row for row in range(len(self.atoms)) if row not in dead]
 
     def add(self, ids: tuple[int, ...]) -> int | None:
         """Insert a row; return its index if new, None if already present."""
@@ -107,6 +134,10 @@ class _RelGroup:
         row = len(self.atoms)
         self.row_of[ids] = row
         self.atoms.append(None)
+        if self.probe:
+            for position, vid in enumerate(ids):
+                self.probe.pop((position, vid), None)
+        self.facts_cache = None
         for position, vid in enumerate(ids):
             self.columns[position].append(vid)
             bucket = self.index[position].get(vid)
@@ -115,6 +146,29 @@ class _RelGroup:
             else:
                 bucket.append(row)
         return row
+
+    def discard(self, row: int) -> bool:
+        """Tombstone a live row: drop it from the dedup map and the index."""
+        if row in self.dead or row >= len(self.atoms):
+            return False
+        ids = tuple(column[row] for column in self.columns)
+        if self.row_of.get(ids) != row:
+            return False
+        del self.row_of[ids]
+        self.dead.add(row)
+        self.atoms[row] = None
+        self.facts_cache = None
+        for position, vid in enumerate(ids):
+            bucket = self.index[position].get(vid)
+            if bucket is not None:
+                try:
+                    bucket.remove(row)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self.index[position][vid]
+            self.probe.pop((position, vid), None)
+        return True
 
 
 class ColumnarInstance:
@@ -168,6 +222,33 @@ class ColumnarInstance:
             self._count += 1
         return row
 
+    def discard_row(self, group: _RelGroup, row: int) -> bool:
+        """Tombstone one row of *group*; returns True if it was live."""
+        if group.discard(row):
+            self._count -= 1
+            return True
+        return False
+
+    def discard_fact(self, fact: Atom) -> bool:
+        """Tombstone the row holding *fact*, if present."""
+        groups = self._groups.get(fact.relation)
+        if not groups:
+            return False
+        lookup = self.values.lookup
+        ids = []
+        for arg in fact.args:
+            vid = lookup(arg)
+            if vid is None:
+                return False
+            ids.append(vid)
+        key = tuple(ids)
+        for group in groups:
+            if group.arity == len(key):
+                row = group.row_of.get(key)
+                if row is not None:
+                    return self.discard_row(group, row)
+        return False
+
     # ------------------------------------------------------------------ decode
 
     def decode_row(self, group: _RelGroup, row: int) -> Atom:
@@ -188,14 +269,27 @@ class ColumnarInstance:
 
     # --------------------------------------------------- FactIndex / read API
 
+    def _group_facts(self, group: _RelGroup) -> list[Atom]:
+        """All live facts of *group*, through the per-group decode memo."""
+        cached = group.facts_cache
+        if cached is None:
+            decode = self.decode_row
+            cached = [decode(group, row) for row in group.live_rows()]
+            group.facts_cache = cached
+        else:
+            perf.incr("backend.columnar.probe_hits")
+        return cached
+
     def facts_of(self, relation: str) -> Collection[Atom]:
         groups = self._groups.get(relation)
         if not groups:
             return _EMPTY
-        decode = self.decode_row
-        return [
-            decode(group, row) for group in groups for row in range(len(group))
-        ]
+        if len(groups) == 1:
+            return self._group_facts(groups[0])
+        out: list[Atom] = []
+        for group in groups:
+            out.extend(self._group_facts(group))
+        return out
 
     def facts_with(self, relation: str, position: int, value: object) -> Collection[Atom]:
         groups = self._groups.get(relation)
@@ -204,13 +298,63 @@ class ColumnarInstance:
         vid = self.values.lookup(value)
         if vid is None:
             return _EMPTY
+        out: list[Atom] | None = None
+        single: list[Atom] | None = None
+        for group in groups:
+            if position >= group.arity:
+                continue
+            cached = group.probe.get((position, vid))
+            if cached is None:
+                decode = self.decode_row
+                cached = [
+                    decode(group, row)
+                    for row in group.index[position].get(vid, _EMPTY)
+                ]
+                group.probe[(position, vid)] = cached
+            else:
+                perf.incr("backend.columnar.probe_hits")
+            if single is None and out is None:
+                single = cached
+            else:
+                if out is None:
+                    out = list(single) if single else []
+                    single = None
+                out.extend(cached)
+        if out is not None:
+            return out
+        return single if single is not None else _EMPTY
+
+    def facts_containing(self, value: object) -> Collection[Atom]:
+        """The live facts in which *value* occurs (at any position)."""
+        vid = self.values.lookup(value)
+        if vid is None:
+            return _EMPTY
         decode = self.decode_row
         out: list[Atom] = []
-        for group in groups:
-            if position < group.arity:
-                for row in group.index[position].get(vid, _EMPTY):
+        for groups in self._groups.values():
+            for group in groups:
+                rows: set[int] = set()
+                for position_index in group.index:
+                    rows.update(position_index.get(vid, _EMPTY))
+                for row in sorted(rows):
                     out.append(decode(group, row))
         return out
+
+    def active_domain(self) -> frozenset:
+        """The values occurring in some live fact."""
+        value = self.values.value
+        vids: set[int] = set()
+        for groups in self._groups.values():
+            for group in groups:
+                for position_index in group.index:
+                    vids.update(position_index)
+        return frozenset(value(vid) for vid in vids)
+
+    def nulls(self) -> frozenset:
+        """The null values (labeled nulls, ground Skolem terms) of the store."""
+        from repro.logic.values import is_null
+
+        return frozenset(v for v in self.active_domain() if is_null(v))
 
     def __contains__(self, fact: Atom) -> bool:
         groups = self._groups.get(fact.relation)
@@ -238,7 +382,7 @@ class ColumnarInstance:
         decode = self.decode_row
         for groups in self._groups.values():
             for group in groups:
-                for row in range(len(group)):
+                for row in group.live_rows():
                     yield decode(group, row)
 
     def __repr__(self) -> str:
@@ -395,7 +539,7 @@ class _ClausePlan:
                 if best is None or len(bucket) < len(best):
                     best = bucket
             if best is None:
-                out.append((group, range(len(group))))
+                out.append((group, group.live_rows()))
             elif best:
                 out.append((group, best))
         return out

@@ -64,6 +64,27 @@ restart per elimination -- is preserved as
   memo miss consults an on-disk store keyed by the block's content
   fingerprint before folding, and computed folds are written through.
   Disabled by default; the in-memory LRU stays the only tier on hot paths.
+
+**Backends** (``core(instance, backend=...)``): besides the tuple engine
+above, :class:`_ColumnarCore` runs the same worklist in *id-space* over a
+:class:`~repro.engine.columnar.ColumnarInstance` -- f-blocks are connected
+components of a union-find over integer value ids, canonical labelings
+permute null *ids* and compare memoized repr strings, eliminating
+homomorphisms go through :func:`~repro.engine.hom_kernel_columnar.
+solve_encoded` with per-group forbidden row sets, and eliminations are
+tombstone row discards.  Canonical-block fingerprints are computed from the
+id tuples via :func:`~repro.cache.fingerprint.encode_atom_parts` /
+:func:`~repro.cache.fingerprint.fingerprint_encoded_sequence` -- byte-equal
+to the tuple path's ``fingerprint_fact_sequence``, so both engines share the
+persistent ``SPACE_FOLD`` tier (payloads stay canonical atom tuples; the
+columnar engine decodes them only on the cold disk path).  ``backend="sql"``
+additionally pushes each candidate elimination down to one SELECT join
+(:func:`repro.engine.sql_backend.sql_core`); ``backend="auto"`` resolves
+through :func:`repro.engine.dispatch.choose_core_backend`.  All backends
+return the same core up to isomorphism (exactly: same fact count, same
+constants, isomorphic null structure); the fold each engine picks for a
+symmetric block may differ, which is why cross-engine agreement is stated
+up to isomorphism.
 """
 
 from __future__ import annotations
@@ -75,13 +96,29 @@ from typing import Iterable, Sequence
 from repro import perf
 from repro.cache import SPACE_FOLD, disk_get, disk_put, get_store
 from repro.cache import shm as cache_shm
-from repro.cache.fingerprint import fingerprint_fact_sequence
+from repro.cache.fingerprint import (
+    encode_atom_parts,
+    encode_canonical_null,
+    encode_value,
+    fingerprint_encoded_sequence,
+    fingerprint_fact_sequence,
+)
 from repro.engine.builder import InstanceBuilder
+from repro.engine.columnar import ColumnarInstance, _RelGroup
 from repro.engine.gaifman import fact_blocks
 from repro.engine.hom_kernel import block_homomorphism
+from repro.engine.hom_kernel_columnar import (
+    _CONST as _ID_CONST,
+    _VAR as _ID_VAR,
+    EncodedFact,
+    solve_encoded,
+)
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.values import Null, is_null
+
+#: One stored fact of a columnar store: (fact table, row index).
+_Row = tuple[_RelGroup, int]
 
 #: Maximum number of tie-break permutations tried when canonically labeling
 #: the nulls of a block; blocks more symmetric than this skip the fold cache.
@@ -93,10 +130,24 @@ _CANON_PERMUTATION_LIMIT = 120
 _FOLD_CACHE: OrderedDict[tuple[Atom, ...], tuple[Atom, ...]] = OrderedDict()
 _FOLD_CACHE_MAX = 1024
 
+#: The columnar twin of ``_FOLD_CACHE``: content fingerprint of the
+#: canonical block -> indexes (into the canonical row order) of the facts
+#: that survive the local fold.  Keyed by fingerprint rather than repr
+#: strings so adversarial names that render alike cannot alias entries.
+_COLUMNAR_FOLD_CACHE: OrderedDict[str, tuple[int, ...]] = OrderedDict()
+
 
 def clear_fold_cache() -> None:
-    """Empty the process-wide block-fold cache (mainly for tests)."""
+    """Empty the process-wide block-fold caches (mainly for tests)."""
     _FOLD_CACHE.clear()
+    _COLUMNAR_FOLD_CACHE.clear()
+
+
+def _store_columnar_fold(fingerprint: str, surviving: tuple[int, ...]) -> None:
+    _COLUMNAR_FOLD_CACHE[fingerprint] = surviving
+    _COLUMNAR_FOLD_CACHE.move_to_end(fingerprint)
+    while len(_COLUMNAR_FOLD_CACHE) > _FOLD_CACHE_MAX:
+        _COLUMNAR_FOLD_CACHE.popitem(last=False)
 
 
 def _store_fold(key: tuple[Atom, ...], folded: tuple[Atom, ...]) -> None:
@@ -330,7 +381,456 @@ def _prefold_parallel(keys: list[tuple[Atom, ...]], workers: int) -> None:
         cache_shm.unlink(handle)
 
 
-def core(instance: Instance, parallel: int | None = None) -> Instance:
+class _ColumnarCore:
+    """One id-space core computation: per-call caches over a shared ValueTable.
+
+    Every method works on ``(_RelGroup, row)`` pairs; interned value objects
+    are touched only through the three memoized per-id accessors (null
+    classification, repr, fingerprint encoding) and when a cold disk fold is
+    decoded -- no :class:`Atom` is materialized on the worklist path.  The
+    fold helper builds private mini stores over the *same* value table, so
+    one instance of this class serves the outer store and every fold store.
+    """
+
+    __slots__ = ("values", "_null_flags", "_reprs", "_encodings")
+
+    def __init__(self, values) -> None:
+        self.values = values
+        self._null_flags: list[bool] = []
+        self._reprs: dict[int, str] = {}
+        self._encodings: dict[int, bytes] = {}
+
+    # ------------------------------------------------------ per-id accessors
+
+    def is_null_vid(self, vid: int) -> bool:
+        flags = self._null_flags
+        value = self.values.value
+        while len(flags) <= vid:
+            flags.append(is_null(value(len(flags))))
+        return flags[vid]
+
+    def vid_repr(self, vid: int) -> str:
+        text = self._reprs.get(vid)
+        if text is None:
+            text = self._reprs[vid] = repr(self.values.value(vid))
+        return text
+
+    def vid_encoding(self, vid: int) -> bytes:
+        encoding = self._encodings.get(vid)
+        if encoding is None:
+            encoding = self._encodings[vid] = encode_value(self.values.value(vid))
+        return encoding
+
+    # ------------------------------------------------------------- structure
+
+    def null_components(self, rows: Sequence[_Row]) -> list[list[_Row]]:
+        """Split rows into connected components linked by shared null ids."""
+        is_null_vid = self.is_null_vid
+        anchor_of: dict[int, int] = {}
+        parent = list(range(len(rows)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for index, (group, row) in enumerate(rows):
+            for column in group.columns:
+                vid = column[row]
+                if not is_null_vid(vid):
+                    continue
+                anchor = anchor_of.setdefault(vid, index)
+                if anchor != index:
+                    root_a, root_b = find(anchor), find(index)
+                    if root_a != root_b:
+                        parent[root_b] = root_a
+        components: dict[int, list[_Row]] = {}
+        for index, entry in enumerate(rows):
+            components.setdefault(find(index), []).append(entry)
+        return list(components.values())
+
+    def null_blocks(self, store: ColumnarInstance) -> list[list[_Row]]:
+        """The f-blocks of *store* that contain a null (ground rows stay put)."""
+        is_null_vid = self.is_null_vid
+        rows: list[_Row] = [
+            (group, row)
+            for groups in store._groups.values()
+            for group in groups
+            for row in group.live_rows()
+        ]
+        blocks: list[list[_Row]] = []
+        for component in self.null_components(rows):
+            group, row = component[0]
+            if len(component) > 1 or any(
+                is_null_vid(column[row]) for column in group.columns
+            ):
+                blocks.append(component)
+        return blocks
+
+    # -------------------------------------------------------- canonical form
+
+    def canonical_block(
+        self, block: Sequence[_Row]
+    ) -> tuple[list[_Row], dict[int, int]] | None:
+        """Canonically label the null ids of a block, or None if too symmetric.
+
+        Mirrors :func:`_canonical_block` id-for-object: nulls group by degree
+        profile, ties try every within-group permutation, and the winning
+        ordering is the lexicographically least repr-string tuple (rendering
+        ``Null(("#", i))`` reprs from the canonical index directly).  Returns
+        the block rows in canonical order plus the null id -> canonical
+        index labeling.
+        """
+        is_null_vid = self.is_null_vid
+        profiles: dict[int, dict[tuple[str, int], int]] = {}
+        for group, row in block:
+            for pos, column in enumerate(group.columns):
+                vid = column[row]
+                if is_null_vid(vid):
+                    profile = profiles.setdefault(vid, {})
+                    key = (group.relation, pos)
+                    profile[key] = profile.get(key, 0) + 1
+        groups: dict[tuple, list[int]] = {}
+        for vid, profile in profiles.items():
+            groups.setdefault(tuple(sorted(profile.items())), []).append(vid)
+        total = 1
+        for members in groups.values():
+            for i in range(2, len(members) + 1):
+                total *= i
+                if total > _CANON_PERMUTATION_LIMIT:
+                    return None
+        vid_repr = self.vid_repr
+        ordered_groups = [
+            sorted(members, key=vid_repr) for __, members in sorted(groups.items())
+        ]
+        best_key: tuple[str, ...] | None = None
+        best_rows: list[_Row] = []
+        best_labeling: dict[int, int] = {}
+        for orderings in itertools.product(
+            *(itertools.permutations(members) for members in ordered_groups)
+        ):
+            labeling: dict[int, int] = {}
+            for members in orderings:
+                for vid in members:
+                    labeling[vid] = len(labeling)
+            entries: list[tuple[str, _Row]] = []
+            for group, row in block:
+                parts: list[str] = []
+                for column in group.columns:
+                    vid = column[row]
+                    canonical = labeling.get(vid)
+                    parts.append(
+                        f"_{('#', canonical)}" if canonical is not None
+                        else vid_repr(vid)
+                    )
+                entries.append((f"{group.relation}({', '.join(parts)})", (group, row)))
+            entries.sort(key=lambda entry: entry[0])
+            key = tuple(entry[0] for entry in entries)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_rows = [entry[1] for entry in entries]
+                best_labeling = labeling
+        assert best_key is not None
+        return best_rows, best_labeling
+
+    def block_fingerprint(
+        self, canon_rows: Sequence[_Row], labeling: dict[int, int]
+    ) -> str:
+        """Content fingerprint of the canonical block, from id tuples.
+
+        Byte-equal to ``fingerprint_fact_sequence`` of the decoded canonical
+        atoms, so the persistent fold tier is shared with the tuple engine.
+        """
+        vid_encoding = self.vid_encoding
+        encodings: list[bytes] = []
+        for group, row in canon_rows:
+            arg_encodings: list[bytes] = []
+            for column in group.columns:
+                vid = column[row]
+                canonical = labeling.get(vid)
+                arg_encodings.append(
+                    encode_canonical_null(canonical) if canonical is not None
+                    else vid_encoding(vid)
+                )
+            encodings.append(encode_atom_parts(group.relation, arg_encodings))
+        return fingerprint_encoded_sequence(encodings)
+
+    def canonical_atoms(
+        self, canon_rows: Sequence[_Row], labeling: dict[int, int]
+    ) -> tuple[Atom, ...]:
+        """Decode the canonical block (cold path: disk-tier payloads only)."""
+        value = self.values.value
+        out: list[Atom] = []
+        for group, row in canon_rows:
+            args: list[object] = []
+            for column in group.columns:
+                vid = column[row]
+                canonical = labeling.get(vid)
+                args.append(
+                    Null(("#", canonical)) if canonical is not None else value(vid)
+                )
+            out.append(Atom(group.relation, tuple(args)))
+        return tuple(out)
+
+    # ------------------------------------------------------------ elimination
+
+    def encode_block(self, block: Sequence[_Row]) -> list[EncodedFact]:
+        """Encode block rows for the id-space kernel: null ids are the vars."""
+        is_null_vid = self.is_null_vid
+        return [
+            EncodedFact(
+                group,
+                tuple(
+                    (_ID_VAR, vid) if is_null_vid(vid := column[row])
+                    else (_ID_CONST, vid)
+                    for column in group.columns
+                ),
+            )
+            for group, row in block
+        ]
+
+    def block_null_vids(self, block: Sequence[_Row]) -> list[int]:
+        """The null ids of a block, repr-sorted (same order the tuple engine
+        tries its elimination candidates in)."""
+        is_null_vid = self.is_null_vid
+        vids = {
+            vid
+            for group, row in block
+            for column in group.columns
+            if is_null_vid(vid := column[row])
+        }
+        return sorted(vids, key=self.vid_repr)
+
+    def rows_containing(
+        self, store: ColumnarInstance, vid: int
+    ) -> dict[_RelGroup, set[int]]:
+        """Per-group row sets in which value id *vid* occurs (forbidden sets)."""
+        forbidden: dict[_RelGroup, set[int]] = {}
+        for groups in store._groups.values():
+            for group in groups:
+                rows: set[int] | None = None
+                for position_index in group.index:
+                    bucket = position_index.get(vid)
+                    if bucket:
+                        if rows is None:
+                            rows = set(bucket)
+                        else:
+                            rows.update(bucket)
+                if rows:
+                    forbidden[group] = rows
+        return forbidden
+
+    def eliminating_hom(
+        self, store: ColumnarInstance, block: Sequence[_Row]
+    ) -> dict[object, int] | None:
+        """Id-space twin of :func:`_eliminating_hom`: retraction dropping a null."""
+        encoded = self.encode_block(block)
+        for vid in self.block_null_vids(block):
+            mapping = solve_encoded(encoded, self.rows_containing(store, vid))
+            if mapping is not None:
+                return mapping
+        return None
+
+    def process_blocks(
+        self, store: ColumnarInstance, pending: "deque[list[_Row]]"
+    ) -> None:
+        """Id-space twin of :func:`_process_blocks`: eliminations tombstone rows."""
+        while pending:
+            block = pending.popleft()
+            mapping = self.eliminating_hom(store, block)
+            if mapping is None:
+                perf.incr("core.columnar.rigid_blocks")
+                continue
+            perf.incr("core.columnar.eliminations")
+            images: set[tuple[_RelGroup, tuple[int, ...]]] = set()
+            for group, row in block:
+                image = tuple(
+                    mapping.get(column[row], column[row]) for column in group.columns
+                )
+                images.add((group, image))
+            survivors: list[_Row] = []
+            for group, row in block:
+                own = tuple(column[row] for column in group.columns)
+                if (group, own) in images:
+                    survivors.append((group, row))
+                else:
+                    store.discard_row(group, row)
+            if survivors:
+                pending.extend(self.null_components(survivors))
+
+    # ----------------------------------------------------------------- folding
+
+    def fold_canonical(
+        self, canon_rows: Sequence[_Row], labeling: dict[int, int]
+    ) -> tuple[int, ...]:
+        """Fold the canonical block in a private store sharing the value table.
+
+        Returns the canonical indexes of the surviving facts -- a pure,
+        deterministic function of the canonical form (elimination candidates
+        are repr-sorted, and canonical-null reprs are index-determined), so
+        the result is safe to memoize process-wide.
+        """
+        values = self.values
+        mini = ColumnarInstance(values=values)
+        canon_vids: dict[int, int] = {}
+        mini_rows: list[_Row] = []
+        for group, row in canon_rows:
+            ids: list[int] = []
+            for column in group.columns:
+                vid = column[row]
+                canonical = labeling.get(vid)
+                if canonical is None:
+                    ids.append(vid)
+                else:
+                    canon_vid = canon_vids.get(canonical)
+                    if canon_vid is None:
+                        canon_vid = values.intern(Null(("#", canonical)))
+                        canon_vids[canonical] = canon_vid
+                    ids.append(canon_vid)
+            mini_group = mini.group(group.relation, group.arity)
+            mini_row = mini.add_row(mini_group, tuple(ids))
+            assert mini_row is not None  # canonical facts are distinct
+            mini_rows.append((mini_group, mini_row))
+        pending: deque[list[_Row]] = deque(self.null_components(mini_rows))
+        self.process_blocks(mini, pending)
+        return tuple(
+            index
+            for index, (mini_group, mini_row) in enumerate(mini_rows)
+            if mini_row not in mini_group.dead
+        )
+
+    def _disk_fold_indexes(
+        self, fingerprint: str, canon_rows: Sequence[_Row], labeling: dict[int, int]
+    ) -> tuple[int, ...] | None:
+        """Map a tuple-engine disk payload back to canonical indexes, or None.
+
+        Payloads are canonical atom tuples (the cross-engine format); they
+        map back through a repr -> index table over the canonical order.  An
+        ambiguous repr (adversarial names) or an unmatched payload fact means
+        the entry is unusable here -- fold locally instead.
+        """
+        if get_store() is None:
+            return None
+        payload = disk_get(SPACE_FOLD, fingerprint)
+        if not isinstance(payload, tuple) or not all(
+            isinstance(fact, Atom) for fact in payload
+        ):
+            return None
+        vid_repr = self.vid_repr
+        index_of: dict[str, int] = {}
+        for index, (group, row) in enumerate(canon_rows):
+            parts = []
+            for column in group.columns:
+                vid = column[row]
+                canonical = labeling.get(vid)
+                parts.append(
+                    f"_{('#', canonical)}" if canonical is not None
+                    else vid_repr(vid)
+                )
+            text = f"{group.relation}({', '.join(parts)})"
+            if text in index_of:
+                return None
+            index_of[text] = index
+        indexes: list[int] = []
+        for fact in payload:
+            index = index_of.get(repr(fact))
+            if index is None:
+                return None
+            indexes.append(index)
+        return tuple(sorted(indexes))
+
+    def fold_block(
+        self,
+        store: ColumnarInstance,
+        block: list[_Row],
+        canon: tuple[list[_Row], dict[int, int]] | None,
+        fingerprint: str | None,
+    ) -> list[_Row]:
+        """Fold one block in place (memoized via *fingerprint*); survivors back.
+
+        A block too symmetric to canonicalize is returned unchanged: its
+        local fold is subsumed by the global worklist pass that follows,
+        which tries the same eliminations against the whole store.
+        """
+        if canon is None or fingerprint is None:
+            return block
+        canon_rows, labeling = canon
+        surviving = _COLUMNAR_FOLD_CACHE.get(fingerprint)
+        if surviving is not None:
+            _COLUMNAR_FOLD_CACHE.move_to_end(fingerprint)
+            perf.incr("core.columnar.memo_hits")
+        else:
+            perf.incr("core.columnar.memo_misses")
+            surviving = self._disk_fold_indexes(fingerprint, canon_rows, labeling)
+            if surviving is None:
+                surviving = self.fold_canonical(canon_rows, labeling)
+                if get_store() is not None:
+                    atoms = self.canonical_atoms(canon_rows, labeling)
+                    disk_put(
+                        SPACE_FOLD,
+                        fingerprint,
+                        tuple(atoms[index] for index in surviving),
+                    )
+            _store_columnar_fold(fingerprint, surviving)
+        keep = {canon_rows[index] for index in surviving}
+        survivors: list[_Row] = []
+        for group, row in block:
+            if (group, row) in keep:
+                survivors.append((group, row))
+            else:
+                store.discard_row(group, row)
+        return survivors
+
+
+def _core_columnar(instance: "Instance | ColumnarInstance") -> Instance:
+    """Compute the core in id-space over a columnar store.
+
+    Accepts either representation; an :class:`Instance` is encoded once, a
+    :class:`ColumnarInstance` is *consumed* (eliminations tombstone its rows
+    in place).  Same structure as the tuple path in :func:`core`: split into
+    f-blocks, drop isomorphic duplicates, fold each block locally through
+    the memo, then drain the global worklist.
+    """
+    store = (
+        instance
+        if isinstance(instance, ColumnarInstance)
+        else ColumnarInstance(instance)
+    )
+    engine = _ColumnarCore(store.values)
+    blocks = engine.null_blocks(store)
+    perf.incr("core.columnar.blocks", len(blocks))
+
+    kept: list[tuple[list[_Row], tuple[list[_Row], dict[int, int]] | None, str | None]] = []
+    seen: set[str] = set()
+    for block in blocks:
+        canon = engine.canonical_block(block)
+        fingerprint = None
+        if canon is not None:
+            fingerprint = engine.block_fingerprint(canon[0], canon[1])
+            if fingerprint in seen:
+                perf.incr("core.columnar.iso_folds")
+                for group, row in block:
+                    store.discard_row(group, row)
+                continue
+            seen.add(fingerprint)
+        kept.append((block, canon, fingerprint))
+
+    pending: deque[list[_Row]] = deque()
+    for block, canon, fingerprint in kept:
+        survivors = engine.fold_block(store, block, canon, fingerprint)
+        if survivors:
+            pending.extend(engine.null_components(survivors))
+    engine.process_blocks(store, pending)
+    return store.to_instance()
+
+
+def core(
+    instance: Instance,
+    parallel: int | None = None,
+    *,
+    backend: str = "tuple",
+) -> Instance:
     """Return the core of *instance*.
 
         >>> from repro.logic.parser import parse_instance
@@ -341,7 +841,33 @@ def core(instance: Instance, parallel: int | None = None) -> Instance:
     facts; it is homomorphically equivalent to the input and no proper
     subinstance of it is.  With ``parallel=N``, block-local folding runs on
     a pool of N worker processes (same result as the serial run).
+
+    ``backend`` selects the execution engine: ``"tuple"`` (this module's
+    object worklist -- the reference), ``"columnar"`` (id-space over a
+    :class:`~repro.engine.columnar.ColumnarInstance`), ``"sql"`` (per-block
+    eliminating homomorphisms as SELECT joins), or ``"auto"``
+    (:func:`~repro.engine.dispatch.choose_core_backend` by instance size).
+    All backends return the same core up to isomorphism; ``parallel``
+    applies to the tuple path only.
     """
+    if backend != "tuple":
+        from repro.engine.dispatch import CORE_SQL_AUTO_THRESHOLD, choose_core_backend
+
+        size = len(instance)
+        sql_supported = False
+        if backend == "sql" or (backend == "auto" and size >= CORE_SQL_AUTO_THRESHOLD):
+            from repro.engine.sql_backend import sql_core_supported
+
+            sql_supported = sql_core_supported(instance)
+        choice = choose_core_backend(
+            backend, input_size=size, sql_supported=sql_supported
+        )
+        if choice.backend == "sql":
+            from repro.engine.sql_backend import sql_core
+
+            return sql_core(instance)
+        if choice.backend == "columnar":
+            return _core_columnar(instance)
     builder = InstanceBuilder()
     null_blocks: list[list[Atom]] = []
     for block in fact_blocks(instance):
@@ -395,4 +921,7 @@ def is_core(instance: Instance) -> bool:
     return True
 
 
-__all__ = ["core", "is_core", "clear_fold_cache"]
+__all__ = ["core", "is_core", "clear_fold_cache", "core_columnar"]
+
+#: Public alias: the id-space engine, callable directly (benchmarks, tests).
+core_columnar = _core_columnar

@@ -58,6 +58,16 @@ SQL_AUTO_THRESHOLD_PTIME = 1_000
 #: ``BudgetExceeded`` instead of grinding through a blowup.
 NON_ELEMENTARY_AUTO_BUDGET = 1_000_000
 
+#: Minimum input facts before core's "auto" prefers the columnar engine.
+#: Lower than the chase crossover: the core worklist re-probes the same
+#: blocks many times, so the one-shot encode pass amortizes sooner.
+CORE_COLUMNAR_AUTO_THRESHOLD = 300
+
+#: Minimum input facts before core's "auto" pushes per-block eliminating
+#: homomorphisms down to SQL (per-block SELECT joins; session setup and
+#: encode/decode round-trips dominate below this).
+CORE_SQL_AUTO_THRESHOLD = 20_000
+
 
 @dataclass(frozen=True)
 class BackendChoice:
@@ -170,13 +180,60 @@ def choose_backend(
     )
 
 
+def choose_core_backend(
+    requested: str,
+    *,
+    input_size: int,
+    sql_supported: bool = False,
+) -> BackendChoice:
+    """Resolve a core-computation ``backend=`` argument to a concrete backend.
+
+    Core computation has its own crossover points: the block worklist
+    re-probes the shrinking instance many times per null, so the columnar
+    encode pass amortizes earlier than in a chase, while the SQL pushdown
+    (one SELECT join per candidate elimination) only wins once blocks are
+    large enough to drown the per-query compile/decode cost.
+
+    *sql_supported* reports whether the instance can be loaded into a SQL
+    core session (:func:`repro.engine.sql_backend.sql_core_supported`);
+    callers probe it lazily, only when SQL is actually in play.  An explicit
+    ``"sql"`` request on an unsupported instance raises, while ``"auto"``
+    falls back to the columnar engine.
+    """
+    validate_backend(requested)
+    if requested == "sql":
+        if not sql_supported:
+            raise ChaseError(
+                "backend 'sql' cannot load this instance for core "
+                "computation (unencodable value, arity-0 or mixed-arity "
+                "relation); use the columnar backend"
+            )
+        return BackendChoice("sql", requested, "requested explicitly")
+    if requested != "auto":
+        return BackendChoice(requested, requested, "requested explicitly")
+    if sql_supported and input_size >= CORE_SQL_AUTO_THRESHOLD:
+        return BackendChoice(
+            "sql", requested, f"{input_size} facts >= {CORE_SQL_AUTO_THRESHOLD}"
+        )
+    if input_size >= CORE_COLUMNAR_AUTO_THRESHOLD:
+        return BackendChoice(
+            "columnar",
+            requested,
+            f"{input_size} facts >= {CORE_COLUMNAR_AUTO_THRESHOLD}",
+        )
+    return BackendChoice("tuple", requested, f"small input ({input_size} facts)")
+
+
 __all__ = [
     "BACKENDS",
     "BackendChoice",
     "COLUMNAR_AUTO_THRESHOLD",
+    "CORE_COLUMNAR_AUTO_THRESHOLD",
+    "CORE_SQL_AUTO_THRESHOLD",
     "NON_ELEMENTARY_AUTO_BUDGET",
     "SQL_AUTO_THRESHOLD",
     "SQL_AUTO_THRESHOLD_PTIME",
     "choose_backend",
+    "choose_core_backend",
     "validate_backend",
 ]

@@ -41,16 +41,30 @@ the hash-consed value objects of :mod:`repro.logic`, and the SQL backend
 returns *exactly* the fact set the tuple engines produce (not merely an
 isomorphic copy).
 
+A fourth entry point, :func:`sql_core`, pushes *core computation* down
+(following the "Laconic schema mappings" observation that cores of the
+certified mapping classes are SQL-computable): each candidate elimination
+of the core worklist -- "does the f-block of null ``x`` map into the
+instance minus the facts containing ``x``?" -- compiles to one SELECT join
+(:class:`_BlockQuery`) and eliminations apply as exact-row DELETEs.  When
+the ``duckdb`` module is importable the session can run on an in-memory
+DuckDB connection for vectorized joins; SQLite remains the default and the
+fallback.
+
 Perf counters: ``backend.sql.statements`` (statements executed),
 ``backend.sql.encoded_rows`` / ``backend.sql.decoded_rows`` (rows crossing
-the boundary in each direction).
+the boundary in each direction); for the core pushdown additionally
+``core.sql.blocks``, ``core.sql.queries`` (eliminating-hom SELECTs),
+``core.sql.eliminations``, ``core.sql.rigid_blocks``, and
+``core.sql.duckdb_sessions``.
 """
 
 from __future__ import annotations
 
 import re
 import sqlite3
-from typing import Callable, Iterable, Sequence
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence
 
 from repro import perf
 from repro.errors import BudgetExceeded, ChaseError, DependencyError, EgdViolation
@@ -270,10 +284,19 @@ def _collect_arities(
 
 
 class _Session:
-    """A connection plus statement/row accounting flushed to :mod:`repro.perf`."""
+    """A connection plus statement/row accounting flushed to :mod:`repro.perf`.
 
-    def __init__(self) -> None:
-        self.connection = sqlite3.connect(":memory:")
+    Defaults to an in-memory SQLite connection; callers may inject any
+    DB-API-compatible connection instead (the core pushdown hands in a
+    DuckDB connection when the module is importable -- only the portable
+    subset of SQL used here runs on it: ``?`` placeholders, ``CREATE
+    TABLE``/``CREATE INDEX``, SELECT/INSERT/DELETE without ``rowcount``).
+    """
+
+    def __init__(self, connection: Any = None) -> None:
+        self.connection = (
+            connection if connection is not None else sqlite3.connect(":memory:")
+        )
         self.cursor = self.connection.cursor()
         self.statements = 0
         self.encoded_rows = 0
@@ -583,6 +606,184 @@ def sql_chase_egds(
         session.close()
 
 
+# ------------------------------------------------------------- core pushdown
+
+
+def sql_core_supported(instance: Instance) -> bool:
+    """Can *instance* load into a SQL core session?  (Used by ``auto``.)
+
+    Requires SQL-safe relation names and one fixed arity (>= 1) per
+    relation -- the same table-shape rules as the chase pushdown.
+    """
+    try:
+        _collect_arities(instance, ())
+    except DependencyError:
+        return False
+    return True
+
+
+def _duckdb_connection() -> Any:
+    """An in-memory DuckDB connection, or None when the module is absent."""
+    try:
+        import duckdb
+    except ImportError:
+        return None
+    return duckdb.connect(":memory:")
+
+
+class _BlockQuery:
+    """One f-block compiled to per-null eliminating-homomorphism SELECTs.
+
+    The block's facts become one table alias each (``a{i}``); a null's first
+    occurrence defines its join column, repeats add equalities, and ground
+    arguments pin columns with ``= ?`` parameters.  Eliminating null ``x``
+    means the image avoids every fact containing ``x``, which compiles to
+    ``a{i}.c{p} <> ?`` (the encoding of ``x``) for *every* alias position --
+    the SQL rendering of the tuple engine's ``forbidden`` fact set.  The
+    SELECT list is the distinct null columns (repr-sorted, ``ORDER BY`` +
+    ``LIMIT 1`` so runs are reproducible), and a returned row decodes
+    directly into the ``null -> value`` mapping.
+    """
+
+    def __init__(self, block: Sequence[Atom], nulls: Sequence[object]):
+        self.nulls = list(nulls)
+        column_of: dict[object, str] = {}
+        conditions: list[str] = []
+        parameters: list[str] = []
+        tables: list[str] = []
+        for index, fact in enumerate(block):
+            alias = f"a{index}"
+            tables.append(f'"{fact.relation}" AS {alias}')
+            for position, arg in enumerate(fact.args):
+                column = f"{alias}.c{position}"
+                if is_null(arg):
+                    known = column_of.get(arg)
+                    if known is None:
+                        column_of[arg] = column
+                    else:
+                        conditions.append(f"{column} = {known}")
+                else:
+                    conditions.append(f"{column} = ?")
+                    parameters.append(encode_value(arg))
+        self.base_conditions = conditions
+        self.base_parameters = parameters
+        self.from_clause = ", ".join(tables)
+        self.columns = [column_of[null] for null in self.nulls]
+        #: Every (alias, position) -- the exclusion conditions range over all.
+        self.all_columns = [
+            f"a{index}.c{position}"
+            for index, fact in enumerate(block)
+            for position in range(fact.arity)
+        ]
+
+    def eliminating(self, null: object) -> tuple[str, list[str]]:
+        """The (statement, parameters) eliminating *null*, LIMIT 1."""
+        encoded = encode_value(null)
+        conditions = list(self.base_conditions)
+        parameters = list(self.base_parameters)
+        for column in self.all_columns:
+            conditions.append(f"{column} <> ?")
+            parameters.append(encoded)
+        select_list = ", ".join(self.columns)
+        where = (" WHERE " + " AND ".join(conditions)) if conditions else ""
+        order = f" ORDER BY {select_list}" if self.columns else ""
+        return (
+            f"SELECT {select_list} FROM {self.from_clause}{where}{order} LIMIT 1",
+            parameters,
+        )
+
+
+def sql_core(instance: Instance, *, use_duckdb: bool | None = None) -> Instance:
+    """Compute the core of *instance* with block eliminations pushed to SQL.
+
+    Same worklist as :func:`repro.engine.core_instance.core` -- split into
+    f-blocks, repeatedly retract a block along an eliminating homomorphism,
+    re-enqueue the surviving components -- but each candidate elimination is
+    one SELECT join evaluated by the database over the live tables, and an
+    elimination is applied as exact-row DELETEs.  No block-local fold memo:
+    the database already amortizes the repeated joins, and memoization would
+    re-introduce the per-fact object traffic the pushdown avoids.
+
+    ``use_duckdb=None`` (the default) uses DuckDB when importable and falls
+    back to SQLite; ``True`` requires it; ``False`` forces SQLite.  Either
+    engine returns the same core up to isomorphism (and the identical fact
+    set on deterministic instances: candidate nulls are tried in repr order
+    and the SELECTs are ordered).
+    """
+    from repro.engine.builder import InstanceBuilder
+    from repro.engine.core_instance import _block_nulls, _has_nulls, _null_components
+    from repro.engine.gaifman import fact_blocks
+
+    arities = _collect_arities(instance, ())
+    connection = None
+    if use_duckdb or use_duckdb is None:
+        connection = _duckdb_connection()
+        if connection is None and use_duckdb:
+            raise ChaseError(
+                "use_duckdb=True but the duckdb module is not importable"
+            )
+    if connection is not None:
+        perf.incr("core.sql.duckdb_sessions")
+
+    builder = InstanceBuilder(instance)
+    pending: "deque[list[Atom]]" = deque()
+    blocks = 0
+    for block in fact_blocks(instance):
+        block_facts = sorted(block, key=repr)
+        if _has_nulls(block_facts):
+            blocks += 1
+            pending.append(block_facts)
+    perf.incr("core.sql.blocks", blocks)
+
+    session = _Session(connection)
+    queries = 0
+    try:
+        for relation, arity in sorted(arities.items()):
+            session.create_table(relation, arity)
+            session.load_facts(relation, arity, instance.facts_of(relation))
+            session.create_indexes(relation, arity)
+        while pending:
+            block = pending.popleft()
+            query = _BlockQuery(block, _block_nulls(block))
+            mapping: dict | None = None
+            for null in query.nulls:
+                statement, parameters = query.eliminating(null)
+                queries += 1
+                session.execute(statement, parameters)
+                row = session.cursor.fetchone()
+                if row is not None:
+                    session.decoded_rows += len(row)
+                    mapping = {
+                        key: decode_value(text)
+                        for key, text in zip(query.nulls, row)
+                    }
+                    break
+            if mapping is None:
+                perf.incr("core.sql.rigid_blocks")
+                continue
+            perf.incr("core.sql.eliminations")
+            images = {fact.rename_values(mapping) for fact in block}
+            survivors: list[Atom] = []
+            for fact in block:
+                if fact in images:
+                    survivors.append(fact)
+                else:
+                    builder.discard(fact)
+                    placeholders = " AND ".join(
+                        f"c{i} = ?" for i in range(fact.arity)
+                    )
+                    session.execute(
+                        f'DELETE FROM "{fact.relation}" WHERE {placeholders}',
+                        [encode_value(arg) for arg in fact.args],
+                    )
+            if survivors:
+                pending.extend(_null_components(survivors))
+        return builder.freeze()
+    finally:
+        perf.incr("core.sql.queries", queries)
+        session.close()
+
+
 def check_sql_backend_supported(clauses: Iterable[SOClause], *, what: str) -> None:
     """Raise a :class:`~repro.errors.ChaseError` if *clauses* cannot push down."""
     try:
@@ -596,6 +797,8 @@ __all__ = [
     "encode_value",
     "decode_value",
     "sql_compilable",
+    "sql_core",
+    "sql_core_supported",
     "sql_execute_exchange",
     "sql_fixpoint_chase",
     "sql_chase_egds",

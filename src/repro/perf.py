@@ -27,6 +27,11 @@ Counter names are dotted strings, grouped by subsystem:
 ``hom.ac3_wipeouts``      searches refuted by propagation alone (an emptied
                           domain or candidate list)
 ``hom.search_nodes``      nodes visited by the most-constrained-null search
+``hom.columnar.kernel_calls``  calls into the id-space (columnar) hom kernel;
+                          the remaining ``hom.columnar.*`` counters mirror
+                          their ``hom.*`` twins (``ac3_revisions``,
+                          ``ac3_wipeouts``, ``search_nodes``, ``backtracks``)
+                          for the integer-domain kernel
 ``core.blocks``           null-containing f-blocks seen by ``core``
 ``core.iso_folds``        duplicate blocks dropped as isomorphic copies
 ``core.memo_hits``        block folds answered by the canonical-form cache
@@ -34,6 +39,16 @@ Counter names are dotted strings, grouped by subsystem:
 ``core.eliminations``     eliminating retractions applied
 ``core.rigid_blocks``     blocks proven rigid (no eliminable null)
 ``core.parallel_blocks``  block folds dispatched to the worker pool
+``core.columnar.blocks``  f-blocks seen by the id-space core engine; its
+                          ``iso_folds`` / ``memo_hits`` / ``memo_misses`` /
+                          ``eliminations`` / ``rigid_blocks`` twins mirror
+                          the ``core.*`` meanings for
+                          ``core(backend="columnar")``
+``core.sql.blocks``       f-blocks seen by the SQL core pushdown
+``core.sql.queries``      eliminating-homomorphism SELECT joins executed
+``core.sql.eliminations``  eliminating retractions applied via SQL DELETEs
+``core.sql.rigid_blocks``  blocks every SELECT proved rigid
+``core.sql.duckdb_sessions``  core sessions run on a DuckDB connection
 ``implies.patterns``      k-patterns checked by ``implies_tgd``
 ``implies.cache_hits``    chase-cache hits inside ``implies_tgd``
 ``implies.cache_misses``  chase-cache misses inside ``implies_tgd``
@@ -76,6 +91,9 @@ Counter names are dotted strings, grouped by subsystem:
                           at engine exit
 ``backend.columnar.encoded_rows``  facts encoded into columnar id rows
 ``backend.columnar.decoded_rows``  columnar rows decoded back into facts
+``backend.columnar.probe_hits``  ``facts_of`` / ``facts_with`` probes
+                          answered by the per-group decode memo without
+                          re-materializing an atom list
 ``containment.queries``   ``Sigma <= Sigma'`` queries answered by
                           ``analysis.containment.check_containment``
 ``containment.checks``    gated IMPLIES sweeps actually run by the
